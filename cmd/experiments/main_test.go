@@ -1,0 +1,27 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseMachines(t *testing.T) {
+	if got := parseMachines(""); got != nil {
+		t.Errorf("empty → %v", got)
+	}
+	if got := parseMachines("10,15, 20"); !reflect.DeepEqual(got, []int{10, 15, 20}) {
+		t.Errorf("parseMachines = %v", got)
+	}
+	if got := parseMachines("5"); !reflect.DeepEqual(got, []int{5}) {
+		t.Errorf("single = %v", got)
+	}
+}
+
+func TestFirstOr(t *testing.T) {
+	if firstOr(nil, 7) != 7 {
+		t.Error("default not used")
+	}
+	if firstOr([]int{3, 9}, 7) != 3 {
+		t.Error("first not used")
+	}
+}

@@ -1,0 +1,429 @@
+// Command proger runs parallel progressive entity resolution on a TSV
+// dataset (or a generated synthetic one) and emits the identified
+// duplicate pairs with their simulated discovery timestamps.
+//
+// A minimal run on generated data:
+//
+//	proger -generate publications -n 20000 -machines 10
+//
+// A custom dataset with explicit blocking and matching configuration:
+//
+//	proger -input people.tsv \
+//	    -block name:2,3,5 -block state:2 \
+//	    -rule name:edit:0.8 -rule state:edit:0.2 -match-threshold 0.75 \
+//	    -mechanism sn -machines 4 -out pairs.tsv
+//
+// With -truth the tool also prints the duplicate-recall curve.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"proger"
+	"proger/internal/clustering"
+	"proger/internal/costmodel"
+	"proger/internal/datagen"
+	"proger/internal/report"
+)
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ";") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("proger: ")
+
+	input := flag.String("input", "", "input dataset TSV (mutually exclusive with -generate)")
+	generate := flag.String("generate", "", "generate a synthetic dataset: publications | books | people | persons")
+	n := flag.Int("n", 10000, "entities to generate")
+	seed := flag.Int64("seed", 1, "generator seed")
+	truthPath := flag.String("truth", "", "ground-truth TSV for recall reporting")
+	var blocks, rules stringList
+	flag.Var(&blocks, "block", "blocking family as attr:len1,len2,... (repeatable, dominance order)")
+	flag.Var(&rules, "rule", "match rule as attr:kind:weight[:maxchars], kind ∈ edit|exact|jaro|jaccard|cosine (repeatable)")
+	threshold := flag.Float64("match-threshold", 0.75, "weighted-similarity match threshold")
+	mech := flag.String("mechanism", "sn", "progressive mechanism: sn | psnm")
+	scheduler := flag.String("scheduler", "ours", "tree scheduler: ours | nosplit | lpt")
+	basic := flag.Bool("basic", false, "run the Basic baseline instead of the full pipeline")
+	window := flag.Int("window", 15, "SN window for -basic")
+	popcorn := flag.Float64("popcorn", -1, "popcorn threshold for -basic (negative = resolve fully)")
+	machines := flag.Int("machines", 10, "simulated machines")
+	slots := flag.Int("slots", 2, "task slots per machine")
+	out := flag.String("out", "", "output path for duplicate pairs (default stdout)")
+	clustersOut := flag.String("clusters", "", "also write transitive-closure clusters to this path")
+	showReport := flag.Bool("report", false, "print per-job diagnostics (summary, timeline, counters)")
+	segmentsDir := flag.String("segments", "", "write α-interval incremental result files to this directory")
+	alpha := flag.Float64("alpha", 500, "segment interval in cost units for -segments")
+	curvePoints := flag.Int("curve", 12, "recall-curve points to print when -truth is given")
+	flag.Parse()
+
+	ds, gt := loadDataset(*input, *generate, *n, *seed, *truthPath)
+	fams := buildFamilies(ds, blocks, *generate)
+	matcher := buildMatcher(ds, rules, *threshold, *generate)
+	mechanism := pickMechanism(*mech)
+
+	var (
+		res *proger.Result
+		err error
+	)
+	if *basic {
+		res, err = proger.ResolveBasic(ds, proger.BasicOptions{
+			Families:         fams,
+			Matcher:          matcher,
+			Mechanism:        mechanism,
+			Window:           *window,
+			PopcornThreshold: *popcorn,
+			Machines:         *machines,
+			SlotsPerMachine:  *slots,
+		})
+	} else {
+		opts := proger.Options{
+			Families:        fams,
+			Matcher:         matcher,
+			Mechanism:       mechanism,
+			Policy:          pickPolicy(*generate),
+			Machines:        *machines,
+			SlotsPerMachine: *slots,
+			Scheduler:       pickScheduler(*scheduler),
+		}
+		if gt != nil {
+			// Train the duplicate model on a disjoint sample when the
+			// workload is synthetic (we can regenerate with a new seed).
+			if tds, tgt := trainSet(*generate, *n, *seed); tds != nil {
+				opts.DupModel = proger.TrainDupModel(tds, tgt, buildFamilies(tds, blocks, *generate))
+			}
+		}
+		res, err = proger.Resolve(ds, opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	writePairs(*out, res)
+	if *clustersOut != "" {
+		writeClusters(*clustersOut, res, ds.Len())
+	}
+	fmt.Fprintf(os.Stderr, "proger: %d duplicate pairs in %.0f simulated cost units\n",
+		len(res.Duplicates), res.TotalTime)
+	if *showReport {
+		printReport(res)
+	}
+	if *segmentsDir != "" {
+		nFiles, err := report.WriteSegments(res.Job2, *alpha, *segmentsDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "proger: wrote %d incremental segment files to %s\n", nFiles, *segmentsDir)
+	}
+
+	if gt != nil {
+		curve := proger.BuildCurve(res.EventsAgainst(gt.IsDup), gt.NumDupPairs(), res.TotalTime)
+		fmt.Fprintf(os.Stderr, "proger: final duplicate recall %.3f (of %d true pairs)\n",
+			curve.FinalRecall(), gt.NumDupPairs())
+		for i := 1; i <= *curvePoints; i++ {
+			at := res.TotalTime * proger.CostUnits(i) / proger.CostUnits(*curvePoints)
+			fmt.Fprintf(os.Stderr, "proger:   t=%12.0f  recall=%.3f\n", at, curve.RecallAt(at))
+		}
+	}
+}
+
+func loadDataset(input, generate string, n int, seed int64, truthPath string) (*proger.Dataset, *proger.GroundTruth) {
+	switch {
+	case input != "" && generate != "":
+		log.Fatal("-input and -generate are mutually exclusive")
+	case input != "":
+		f, err := os.Open(input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		ds, err := proger.ReadTSV(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var gt *proger.GroundTruth
+		if truthPath != "" {
+			tf, err := os.Open(truthPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer tf.Close()
+			if gt, err = datagen.ReadGroundTruth(tf); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return ds, gt
+	case generate == "publications":
+		ds, gt := proger.GeneratePublications(n, seed)
+		return ds, gt
+	case generate == "books":
+		ds, gt := proger.GenerateBooks(n, seed)
+		return ds, gt
+	case generate == "people":
+		ds, gt := proger.GeneratePeople()
+		return ds, gt
+	case generate == "persons":
+		ds, gt := datagen.PersonRecords(datagen.DefaultPeople(n, seed))
+		return ds, gt
+	}
+	log.Fatal("need -input FILE or -generate publications|books|people|persons")
+	return nil, nil
+}
+
+func buildFamilies(ds *proger.Dataset, blocks stringList, generate string) proger.Families {
+	if len(blocks) == 0 {
+		switch generate {
+		case "publications":
+			return proger.CiteSeerXFamilies(ds.Schema)
+		case "books":
+			return proger.OLBooksFamilies(ds.Schema)
+		case "people":
+			return proger.Families{
+				{Name: "X", Attr: 0, PrefixLens: []int{2, 3, 5}, Index: 1},
+				{Name: "Y", Attr: 1, PrefixLens: []int{2}, Index: 2},
+			}
+		case "persons":
+			idx := ds.Schema.Index
+			return proger.Families{
+				{Name: "S", Attr: idx("name"), PrefixLens: []int{1, 2, 4}, Index: 1, Kind: proger.KeySoundex},
+				{Name: "C", Attr: idx("city"), PrefixLens: []int{3, 5}, Index: 2},
+				{Name: "T", Attr: idx("state"), PrefixLens: []int{2}, Index: 3},
+			}
+		}
+		log.Fatal("custom datasets need at least one -block attr:len1,len2,...")
+	}
+	fams := make(proger.Families, 0, len(blocks))
+	for i, spec := range blocks {
+		attr, rest, ok := strings.Cut(spec, ":")
+		if !ok {
+			log.Fatalf("bad -block %q (want attr:len1,len2,... or attr:soundex:len1,...)", spec)
+		}
+		idx := ds.Schema.Index(attr)
+		if idx < 0 {
+			log.Fatalf("-block %q: attribute %q not in schema %v", spec, attr, ds.Schema.Attributes)
+		}
+		kind := proger.KeyPrefix
+		if kindName, lensPart, hasKind := strings.Cut(rest, ":"); hasKind {
+			switch kindName {
+			case "prefix":
+				kind = proger.KeyPrefix
+			case "soundex":
+				kind = proger.KeySoundex
+			default:
+				log.Fatalf("-block %q: unknown key kind %q (want prefix or soundex)", spec, kindName)
+			}
+			rest = lensPart
+		}
+		var lens []int
+		for _, p := range strings.Split(rest, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v < 1 {
+				log.Fatalf("bad -block prefix length %q", p)
+			}
+			lens = append(lens, v)
+		}
+		fams = append(fams, &proger.Family{
+			Name:       fmt.Sprintf("F%d(%s)", i+1, attr),
+			Attr:       idx,
+			PrefixLens: lens,
+			Index:      i + 1,
+			Kind:       kind,
+		})
+	}
+	if err := fams.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return fams
+}
+
+func buildMatcher(ds *proger.Dataset, rules stringList, threshold float64, generate string) *proger.Matcher {
+	if len(rules) == 0 {
+		switch generate {
+		case "publications":
+			return proger.MustMatcher(0.75,
+				proger.Rule{Attr: ds.Schema.Index("title"), Weight: 0.5, Kind: proger.EditDistance},
+				proger.Rule{Attr: ds.Schema.Index("abstract"), Weight: 0.3, Kind: proger.EditDistance, MaxChars: 350},
+				proger.Rule{Attr: ds.Schema.Index("venue"), Weight: 0.2, Kind: proger.EditDistance},
+			)
+		case "books":
+			idx := ds.Schema.Index
+			return proger.MustMatcher(0.62,
+				proger.Rule{Attr: idx("title"), Weight: 0.35, Kind: proger.EditDistance},
+				proger.Rule{Attr: idx("authors"), Weight: 0.25, Kind: proger.EditDistance},
+				proger.Rule{Attr: idx("publisher"), Weight: 0.10, Kind: proger.EditDistance},
+				proger.Rule{Attr: idx("year"), Weight: 0.08, Kind: proger.ExactMatch},
+				proger.Rule{Attr: idx("language"), Weight: 0.06, Kind: proger.ExactMatch},
+				proger.Rule{Attr: idx("format"), Weight: 0.05, Kind: proger.ExactMatch},
+				proger.Rule{Attr: idx("pages"), Weight: 0.05, Kind: proger.ExactMatch},
+				proger.Rule{Attr: idx("edition"), Weight: 0.06, Kind: proger.ExactMatch},
+			)
+		case "people":
+			return proger.MustMatcher(0.75,
+				proger.Rule{Attr: 0, Weight: 0.8, Kind: proger.EditDistance},
+				proger.Rule{Attr: 1, Weight: 0.2, Kind: proger.EditDistance},
+			)
+		case "persons":
+			idx := ds.Schema.Index
+			return proger.MustMatcher(0.78,
+				proger.Rule{Attr: idx("name"), Weight: 0.55, Kind: proger.EditDistance},
+				proger.Rule{Attr: idx("city"), Weight: 0.20, Kind: proger.EditDistance},
+				proger.Rule{Attr: idx("state"), Weight: 0.10, Kind: proger.ExactMatch},
+				proger.Rule{Attr: idx("phone"), Weight: 0.15, Kind: proger.ExactMatch},
+			)
+		}
+		log.Fatal("custom datasets need at least one -rule attr:kind:weight")
+	}
+	parsed := make([]proger.Rule, 0, len(rules))
+	for _, spec := range rules {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 && len(parts) != 4 {
+			log.Fatalf("bad -rule %q (want attr:kind:weight[:maxchars])", spec)
+		}
+		idx := ds.Schema.Index(parts[0])
+		if idx < 0 {
+			log.Fatalf("-rule %q: attribute %q not in schema %v", spec, parts[0], ds.Schema.Attributes)
+		}
+		var kind proger.SimKind
+		switch parts[1] {
+		case "edit":
+			kind = proger.EditDistance
+		case "exact":
+			kind = proger.ExactMatch
+		case "jaro":
+			kind = proger.JaroWinklerSim
+		case "jaccard":
+			kind = proger.JaccardQ2
+		case "cosine":
+			kind = proger.TokenCosine
+		default:
+			log.Fatalf("-rule %q: unknown kind %q", spec, parts[1])
+		}
+		weight, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			log.Fatalf("-rule %q: bad weight", spec)
+		}
+		rule := proger.Rule{Attr: idx, Kind: kind, Weight: weight}
+		if len(parts) == 4 {
+			mc, err := strconv.Atoi(parts[3])
+			if err != nil || mc < 1 {
+				log.Fatalf("-rule %q: bad maxchars", spec)
+			}
+			rule.MaxChars = mc
+		}
+		parsed = append(parsed, rule)
+	}
+	m, err := proger.NewMatcher(threshold, parsed...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func pickMechanism(name string) proger.Mechanism {
+	switch name {
+	case "sn":
+		return proger.SN
+	case "psnm":
+		return proger.PSNM
+	}
+	log.Fatalf("unknown mechanism %q (want sn or psnm)", name)
+	return nil
+}
+
+func pickScheduler(name string) proger.SchedulerKind {
+	switch name {
+	case "ours":
+		return proger.SchedulerOurs
+	case "nosplit":
+		return proger.SchedulerNoSplit
+	case "lpt":
+		return proger.SchedulerLPT
+	}
+	log.Fatalf("unknown scheduler %q (want ours, nosplit, or lpt)", name)
+	return proger.SchedulerOurs
+}
+
+func pickPolicy(generate string) proger.Policy {
+	if generate == "books" {
+		return proger.OLBooksPolicy()
+	}
+	return proger.CiteSeerXPolicy()
+}
+
+func trainSet(generate string, n int, seed int64) (*proger.Dataset, *proger.GroundTruth) {
+	tn := n / 4
+	if tn < 500 {
+		tn = 500
+	}
+	switch generate {
+	case "publications":
+		ds, gt := proger.GeneratePublications(tn, seed+100000)
+		return ds, gt
+	case "books":
+		ds, gt := proger.GenerateBooks(tn, seed+100000)
+		return ds, gt
+	}
+	return nil, nil
+}
+
+func printReport(res *proger.Result) {
+	if res.Job1 != nil {
+		fmt.Fprint(os.Stderr, report.Summarize("job1-progressive-blocking", res.Job1).Render())
+	}
+	if res.Job2 != nil {
+		fmt.Fprint(os.Stderr, report.Summarize("job2-progressive-resolution", res.Job2).Render())
+		fmt.Fprint(os.Stderr, report.Timeline(res.Job2, 64))
+	}
+	fmt.Fprintln(os.Stderr, "counters:")
+	fmt.Fprint(os.Stderr, report.Counters(res.Counters))
+	if res.Schedule != nil {
+		costs := map[string]costmodel.Units{}
+		for _, blocks := range res.Schedule.TaskBlocks {
+			for _, b := range blocks {
+				costs[b.ID.String()] = b.CostEst
+			}
+		}
+		fmt.Fprintln(os.Stderr, "most expensive blocks:")
+		fmt.Fprint(os.Stderr, report.TopBlocks(costs, 8))
+	}
+}
+
+func writeClusters(path string, res *proger.Result, n int) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := clustering.WriteClusters(f, res.Clusters(n)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writePairs(out string, res *proger.Result) {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#lo\thi\ttime")
+	for _, ev := range res.Events {
+		fmt.Fprintf(bw, "%d\t%d\t%.1f\n", ev.Pair.Lo, ev.Pair.Hi, ev.Time)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

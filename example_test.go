@@ -1,0 +1,82 @@
+package proger_test
+
+import (
+	"fmt"
+
+	"proger"
+)
+
+// ExampleResolve runs the full parallel progressive pipeline on the
+// paper's Table-I toy dataset and prints the identified duplicates.
+func ExampleResolve() {
+	ds, _ := proger.GeneratePeople()
+	res, err := proger.Resolve(ds, proger.Options{
+		Families: proger.Families{
+			{Name: "X", Attr: 0, PrefixLens: []int{2, 3, 5}, Index: 1},
+			{Name: "Y", Attr: 1, PrefixLens: []int{2}, Index: 2},
+		},
+		Matcher: proger.MustMatcher(0.75,
+			proger.Rule{Attr: 0, Weight: 0.8, Kind: proger.EditDistance},
+			proger.Rule{Attr: 1, Weight: 0.2, Kind: proger.EditDistance},
+		),
+		Mechanism:       proger.SN,
+		Policy:          proger.CiteSeerXPolicy(),
+		Machines:        2,
+		SlotsPerMachine: 2,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, p := range res.Duplicates.Sorted() {
+		fmt.Println(p)
+	}
+	// Output:
+	// <e0,e1>
+	// <e0,e2>
+	// <e1,e2>
+	// <e3,e4>
+}
+
+// ExampleResolveBasic runs the §II-C Basic baseline with the popcorn
+// stopping scheme disabled (Basic F).
+func ExampleResolveBasic() {
+	ds, gt := proger.GeneratePeople()
+	res, err := proger.ResolveBasic(ds, proger.BasicOptions{
+		Families: proger.Families{
+			{Name: "X", Attr: 0, PrefixLens: []int{2}, Index: 1},
+			{Name: "Y", Attr: 1, PrefixLens: []int{2}, Index: 2},
+		},
+		Matcher: proger.MustMatcher(0.75,
+			proger.Rule{Attr: 0, Weight: 0.8, Kind: proger.EditDistance},
+			proger.Rule{Attr: 1, Weight: 0.2, Kind: proger.EditDistance},
+		),
+		Mechanism:        proger.SN,
+		Window:           15,
+		PopcornThreshold: -1,
+		Machines:         2,
+		SlotsPerMachine:  2,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("found %d of %d true pairs\n", len(res.Duplicates), gt.NumDupPairs())
+	// Output:
+	// found 4 of 4 true pairs
+}
+
+// ExampleTransitiveClosure groups resolved pairs into entity clusters.
+func ExampleTransitiveClosure() {
+	pairs := proger.PairSet{}
+	pairs.Add(proger.MakePair(0, 1))
+	pairs.Add(proger.MakePair(1, 2))
+	pairs.Add(proger.MakePair(4, 5))
+	for _, cluster := range proger.TransitiveClosure(6, pairs) {
+		fmt.Println(cluster)
+	}
+	// Output:
+	// [0 1 2]
+	// [3]
+	// [4 5]
+}

@@ -1,0 +1,82 @@
+// Command books runs the paper's OL-Books-style workload: a synthetic
+// book dataset resolved with the PSNM mechanism across a sweep of
+// cluster sizes, printing the recall speedup each extra machine buys —
+// a miniature of Figs. 10 and 11.
+//
+// Usage:
+//
+//	go run ./examples/books [-n 8000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"proger"
+)
+
+func main() {
+	n := flag.Int("n", 8000, "number of entities")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	ds, gt := proger.GenerateBooks(*n, *seed)
+	fmt.Printf("Dataset: %d book entities (8 attributes), %d true duplicate pairs\n",
+		ds.Len(), gt.NumDupPairs())
+
+	families := proger.OLBooksFamilies(ds.Schema)
+	idx := ds.Schema.Index
+	matcher := proger.MustMatcher(0.62,
+		proger.Rule{Attr: idx("title"), Weight: 0.35, Kind: proger.EditDistance},
+		proger.Rule{Attr: idx("authors"), Weight: 0.25, Kind: proger.EditDistance},
+		proger.Rule{Attr: idx("publisher"), Weight: 0.10, Kind: proger.EditDistance},
+		proger.Rule{Attr: idx("year"), Weight: 0.08, Kind: proger.ExactMatch},
+		proger.Rule{Attr: idx("language"), Weight: 0.06, Kind: proger.ExactMatch},
+		proger.Rule{Attr: idx("format"), Weight: 0.05, Kind: proger.ExactMatch},
+		proger.Rule{Attr: idx("pages"), Weight: 0.05, Kind: proger.ExactMatch},
+		proger.Rule{Attr: idx("edition"), Weight: 0.06, Kind: proger.ExactMatch},
+	)
+	trainDS, trainGT := proger.GenerateBooks(*n/4, *seed+100000)
+	model := proger.TrainDupModel(trainDS, trainGT, proger.OLBooksFamilies(trainDS.Schema))
+
+	machineCounts := []int{5, 10, 20}
+	curves := make([]*proger.Curve, len(machineCounts))
+	for i, mu := range machineCounts {
+		res, err := proger.Resolve(ds, proger.Options{
+			Families:        families,
+			Matcher:         matcher,
+			Mechanism:       proger.PSNM,
+			Policy:          proger.OLBooksPolicy(),
+			DupModel:        model,
+			Machines:        mu,
+			SlotsPerMachine: 2,
+			Scheduler:       proger.SchedulerOurs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		curves[i] = proger.BuildCurve(res.EventsAgainst(gt.IsDup), gt.NumDupPairs(), res.TotalTime)
+		theta := ds.Len() / mu
+		fmt.Printf("μ=%2d machines (θ=%5d entities/machine): final recall %.3f in %.0f cost units\n",
+			mu, theta, curves[i].FinalRecall(), res.TotalTime)
+	}
+
+	fmt.Printf("\nRecall speedup relative to %d machines:\n", machineCounts[0])
+	fmt.Printf("%8s", "recall")
+	for _, mu := range machineCounts {
+		fmt.Printf("  %8s", fmt.Sprintf("μ=%d", mu))
+	}
+	fmt.Println()
+	for _, rho := range []float64{0.2, 0.4, 0.6, 0.8} {
+		fmt.Printf("%8.1f", rho)
+		for i := range machineCounts {
+			if s, ok := proger.Speedup(curves[0], curves[i], rho); ok {
+				fmt.Printf("  %8.2f", s)
+			} else {
+				fmt.Printf("  %8s", "—")
+			}
+		}
+		fmt.Println()
+	}
+}

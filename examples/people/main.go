@@ -1,0 +1,79 @@
+// Command people resolves a people dataset (names, cities, states,
+// phones) with *phonetic* blocking: the dominating family keys on the
+// Soundex code of the name — robust to the spelling variation that
+// plagues person records — with prefix blocking on city and state as
+// safety nets, exactly the multi-blocking-function setup §II-A argues
+// for. It then compares phonetic against plain prefix blocking.
+//
+// Usage:
+//
+//	go run ./examples/people [-n 6000] [-machines 6] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"proger"
+	"proger/internal/datagen"
+)
+
+func main() {
+	n := flag.Int("n", 6000, "number of entities")
+	machines := flag.Int("machines", 6, "simulated machines")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	ds, gt := datagen.PersonRecords(datagen.DefaultPeople(*n, *seed))
+	fmt.Printf("Dataset: %d person records, %d true duplicate pairs\n", ds.Len(), gt.NumDupPairs())
+
+	idx := ds.Schema.Index
+	matcher := proger.MustMatcher(0.78,
+		proger.Rule{Attr: idx("name"), Weight: 0.55, Kind: proger.EditDistance},
+		proger.Rule{Attr: idx("city"), Weight: 0.20, Kind: proger.EditDistance},
+		proger.Rule{Attr: idx("state"), Weight: 0.10, Kind: proger.ExactMatch},
+		proger.Rule{Attr: idx("phone"), Weight: 0.15, Kind: proger.ExactMatch},
+	)
+
+	run := func(label string, fams proger.Families) *proger.Curve {
+		res, err := proger.Resolve(ds, proger.Options{
+			Families:        fams,
+			Matcher:         matcher,
+			Mechanism:       proger.SN,
+			Policy:          proger.CiteSeerXPolicy(),
+			Machines:        *machines,
+			SlotsPerMachine: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		curve := proger.BuildCurve(res.EventsAgainst(gt.IsDup), gt.NumDupPairs(), res.TotalTime)
+		m := proger.EvaluatePairs(res.Duplicates, gt.IsDup, gt.NumDupPairs())
+		fmt.Printf("%-18s recall %.3f  precision %.3f  F1 %.3f  in %8.0f cost units\n",
+			label, m.Recall, m.Precision, m.F1, res.TotalTime)
+		return curve
+	}
+
+	phonetic := run("soundex blocking", proger.Families{
+		{Name: "S", Attr: idx("name"), PrefixLens: []int{1, 2, 4}, Index: 1, Kind: proger.KeySoundex},
+		{Name: "C", Attr: idx("city"), PrefixLens: []int{3, 5}, Index: 2},
+		{Name: "T", Attr: idx("state"), PrefixLens: []int{2}, Index: 3},
+	})
+	prefix := run("prefix blocking", proger.Families{
+		{Name: "N", Attr: idx("name"), PrefixLens: []int{2, 3, 5}, Index: 1},
+		{Name: "C", Attr: idx("city"), PrefixLens: []int{3, 5}, Index: 2},
+		{Name: "T", Attr: idx("state"), PrefixLens: []int{2}, Index: 3},
+	})
+
+	fmt.Println("\nRecall curves (shared grid):")
+	end := phonetic.End
+	if prefix.End > end {
+		end = prefix.End
+	}
+	fmt.Printf("%14s  %10s  %10s\n", "cost units", "soundex", "prefix")
+	for i := 1; i <= 12; i++ {
+		at := end * proger.CostUnits(i) / 12
+		fmt.Printf("%14.0f  %10.3f  %10.3f\n", at, phonetic.RecallAt(at), prefix.RecallAt(at))
+	}
+}

@@ -1,0 +1,64 @@
+// Command quickstart resolves the paper's Table-I toy people dataset
+// end-to-end with the full parallel progressive pipeline and prints
+// every duplicate discovery with its simulated timestamp — the smallest
+// possible demonstration of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proger"
+)
+
+func main() {
+	// The Table-I dataset: nine people records, six real-world people.
+	ds, gt := proger.GeneratePeople()
+	fmt.Println("Input entities:")
+	for _, e := range ds.Entities {
+		fmt.Printf("  e%d: %-18s %s\n", e.ID, e.Attr(0), e.Attr(1))
+	}
+
+	// Blocking as in the paper's running example: X keys on name
+	// prefixes (2, then 3, then 5 chars); Y keys on the state.
+	// X dominates Y (§IV-A discusses why: state blocks are few and
+	// large, so their duplicate density is low).
+	families := proger.Families{
+		{Name: "X", Attr: 0, PrefixLens: []int{2, 3, 5}, Index: 1},
+		{Name: "Y", Attr: 1, PrefixLens: []int{2}, Index: 2},
+	}
+
+	// The resolve function: weighted edit similarity on name and state.
+	matcher := proger.MustMatcher(0.75,
+		proger.Rule{Attr: 0, Weight: 0.8, Kind: proger.EditDistance},
+		proger.Rule{Attr: 1, Weight: 0.2, Kind: proger.EditDistance},
+	)
+
+	res, err := proger.Resolve(ds, proger.Options{
+		Families:        families,
+		Matcher:         matcher,
+		Mechanism:       proger.SN, // Sorted Neighbor with the [5] hint
+		Policy:          proger.CiteSeerXPolicy(),
+		Machines:        2,
+		SlotsPerMachine: 2,
+		Scheduler:       proger.SchedulerOurs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nDuplicates, in discovery order (time = simulated cost units):")
+	for _, ev := range res.EventsAgainst(gt.IsDup) {
+		verdict := "correct"
+		if !ev.TrueDup {
+			verdict = "FALSE POSITIVE"
+		}
+		fmt.Printf("  t=%7.1f  %v  (%s)\n", ev.Time, ev.Pair, verdict)
+	}
+
+	curve := proger.BuildCurve(res.EventsAgainst(gt.IsDup), gt.NumDupPairs(), res.TotalTime)
+	fmt.Printf("\nFinal recall: %.2f  (found %d of %d true pairs)\n",
+		curve.FinalRecall(), len(res.Duplicates), gt.NumDupPairs())
+	fmt.Printf("Total simulated time: %.0f cost units (job 1: %.0f, job 2: %.0f)\n",
+		res.TotalTime, res.Job1.End, res.TotalTime-res.Job1.End)
+}

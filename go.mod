@@ -1,0 +1,3 @@
+module proger
+
+go 1.22

@@ -1,0 +1,63 @@
+package blocking
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"proger/internal/entity"
+)
+
+// Annotated is the annotated entity e*ᵢ of §III-B: the entity plus its
+// main blocking key values (in family dominance order). Annotation is
+// produced by Job 1's map phase so Job 2 need not recompute keys.
+type Annotated struct {
+	Ent      *entity.Entity
+	MainKeys []string
+}
+
+// Annotate computes the annotated form of e under the families.
+func Annotate(fs Families, e *entity.Entity) *Annotated {
+	return &Annotated{Ent: e, MainKeys: fs.MainKeys(e)}
+}
+
+// EncodeAnnotated appends the binary encoding of a to dst.
+func EncodeAnnotated(dst []byte, a *Annotated) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(a.MainKeys)))
+	for _, k := range a.MainKeys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+	}
+	return entity.EncodeBinary(dst, a.Ent)
+}
+
+// DecodeAnnotated decodes one annotated entity, returning it and the
+// number of bytes consumed.
+func DecodeAnnotated(src []byte) (*Annotated, int, error) {
+	off := 0
+	n64, n := binary.Uvarint(src[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("blocking: truncated annotation (key count)")
+	}
+	off += n
+	if n64 > uint64(len(src)) {
+		return nil, 0, fmt.Errorf("blocking: corrupt annotation key count %d", n64)
+	}
+	keys := make([]string, n64)
+	for i := range keys {
+		l, n := binary.Uvarint(src[off:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("blocking: truncated annotation (key %d len)", i)
+		}
+		off += n
+		if uint64(off)+l > uint64(len(src)) {
+			return nil, 0, fmt.Errorf("blocking: truncated annotation (key %d body)", i)
+		}
+		keys[i] = string(src[off : off+int(l)])
+		off += int(l)
+	}
+	e, n, err := entity.DecodeBinary(src[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Annotated{Ent: e, MainKeys: keys}, off + n, nil
+}

@@ -1,0 +1,56 @@
+package blocking
+
+import (
+	"testing"
+
+	"proger/internal/entity"
+)
+
+// FuzzDecodeStat guards the Job-1 statistics codec.
+func FuzzDecodeStat(f *testing.F) {
+	f.Add(EncodeStat(nil, &BlockStat{
+		ID: BlockID{Family: 1, Level: 2, Key: "ab"}, Size: 9, Uncov: 3, ChildKeys: []string{"abc"},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, n, err := DecodeStat(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		re := EncodeStat(nil, s)
+		s2, _, err := DecodeStat(re)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if s2.ID != s.ID || s2.Size != s.Size || s2.Uncov != s.Uncov || len(s2.ChildKeys) != len(s.ChildKeys) {
+			t.Fatalf("re-encode mismatch: %+v vs %+v", s, s2)
+		}
+	})
+}
+
+// FuzzDecodeAnnotated guards the annotated-entity codec.
+func FuzzDecodeAnnotated(f *testing.F) {
+	f.Add(EncodeAnnotated(nil, &Annotated{
+		Ent:      &entity.Entity{ID: 2, Attrs: []string{"x"}},
+		MainKeys: []string{"k1", "k2"},
+	}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, n, err := DecodeAnnotated(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		re := EncodeAnnotated(nil, a)
+		a2, _, err := DecodeAnnotated(re)
+		if err != nil || !entity.Equal(a.Ent, a2.Ent) || len(a.MainKeys) != len(a2.MainKeys) {
+			t.Fatalf("re-encode mismatch (%v)", err)
+		}
+	})
+}

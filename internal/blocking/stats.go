@@ -1,0 +1,164 @@
+package blocking
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// BlockStat is the Job-1 statistics record for one block: its size, its
+// uncovered-pair count, and its child blocks' keys (§III-B lists
+// exactly these three statistics).
+type BlockStat struct {
+	ID        BlockID
+	Size      int
+	Uncov     int64
+	ChildKeys []string
+}
+
+// EncodeStat appends the binary encoding of s to dst.
+func EncodeStat(dst []byte, s *BlockStat) []byte {
+	dst = append(dst, byte(s.ID.Family), byte(s.ID.Level))
+	dst = binary.AppendUvarint(dst, uint64(len(s.ID.Key)))
+	dst = append(dst, s.ID.Key...)
+	dst = binary.AppendUvarint(dst, uint64(s.Size))
+	dst = binary.AppendUvarint(dst, uint64(s.Uncov))
+	dst = binary.AppendUvarint(dst, uint64(len(s.ChildKeys)))
+	for _, k := range s.ChildKeys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// DecodeStat decodes one BlockStat and returns bytes consumed.
+func DecodeStat(src []byte) (*BlockStat, int, error) {
+	if len(src) < 2 {
+		return nil, 0, fmt.Errorf("blocking: truncated stat header")
+	}
+	s := &BlockStat{ID: BlockID{Family: int8(src[0]), Level: int8(src[1])}}
+	off := 2
+	readStr := func(what string) (string, error) {
+		l, n := binary.Uvarint(src[off:])
+		if n <= 0 {
+			return "", fmt.Errorf("blocking: truncated stat (%s len)", what)
+		}
+		off += n
+		if uint64(off)+l > uint64(len(src)) {
+			return "", fmt.Errorf("blocking: truncated stat (%s body)", what)
+		}
+		v := string(src[off : off+int(l)])
+		off += int(l)
+		return v, nil
+	}
+	var err error
+	if s.ID.Key, err = readStr("key"); err != nil {
+		return nil, 0, err
+	}
+	size, n := binary.Uvarint(src[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("blocking: truncated stat (size)")
+	}
+	off += n
+	s.Size = int(size)
+	uncov, n := binary.Uvarint(src[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("blocking: truncated stat (uncov)")
+	}
+	off += n
+	s.Uncov = int64(uncov)
+	cnt, n := binary.Uvarint(src[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("blocking: truncated stat (child count)")
+	}
+	off += n
+	if cnt > uint64(len(src)) {
+		return nil, 0, fmt.Errorf("blocking: corrupt child count %d", cnt)
+	}
+	s.ChildKeys = make([]string, cnt)
+	for i := range s.ChildKeys {
+		if s.ChildKeys[i], err = readStr(fmt.Sprintf("child %d", i)); err != nil {
+			return nil, 0, err
+		}
+	}
+	return s, off, nil
+}
+
+// Stats is the full Job-1 statistics output, indexable by block.
+type Stats struct {
+	Blocks map[BlockID]*BlockStat
+}
+
+// NewStats builds an index from a flat stat list.
+func NewStats(list []*BlockStat) *Stats {
+	m := make(map[BlockID]*BlockStat, len(list))
+	for _, s := range list {
+		m[s.ID] = s
+	}
+	return &Stats{Blocks: m}
+}
+
+// Get returns the stat for a block ID, or nil.
+func (st *Stats) Get(id BlockID) *BlockStat { return st.Blocks[id] }
+
+// BuildForests reconstructs the blocking trees of every family from the
+// statistics, in deterministic order: families in dominance order, and
+// within a family, trees by root key. This is what Job 2's map-task
+// setup does before generating the progressive schedule.
+func (st *Stats) BuildForests(fams Families) ([]*Tree, error) {
+	// Group stats by family and sort roots.
+	rootsByFam := make([][]*BlockStat, len(fams))
+	for _, s := range st.Blocks {
+		if int(s.ID.Family) >= len(fams) {
+			return nil, fmt.Errorf("blocking: stat %s references unknown family", s.ID)
+		}
+		if s.ID.Level == 1 {
+			rootsByFam[s.ID.Family] = append(rootsByFam[s.ID.Family], s)
+		}
+	}
+	var trees []*Tree
+	for famIdx := range fams {
+		roots := rootsByFam[famIdx]
+		sort.Slice(roots, func(i, j int) bool { return roots[i].ID.Key < roots[j].ID.Key })
+		for _, rs := range roots {
+			root, err := st.buildBlock(rs)
+			if err != nil {
+				return nil, err
+			}
+			trees = append(trees, &Tree{Root: root})
+		}
+	}
+	return trees, nil
+}
+
+func (st *Stats) buildBlock(s *BlockStat) (*Block, error) {
+	b := &Block{ID: s.ID, Size: s.Size, Uncov: s.Uncov}
+	for _, ck := range s.ChildKeys {
+		cid := BlockID{Family: s.ID.Family, Level: s.ID.Level + 1, Key: ck}
+		cs := st.Blocks[cid]
+		if cs == nil {
+			return nil, fmt.Errorf("blocking: stats missing child %s of %s", cid, s.ID)
+		}
+		child, err := st.buildBlock(cs)
+		if err != nil {
+			return nil, err
+		}
+		child.Parent = b
+		b.Children = append(b.Children, child)
+	}
+	return b, nil
+}
+
+// StatsFromTree flattens a built tree (with sizes and Uncov already
+// computed) into BlockStat records — Job 1's reduce output.
+func StatsFromTree(t *Tree) []*BlockStat {
+	var out []*BlockStat
+	t.Root.Walk(func(b *Block) {
+		s := &BlockStat{ID: b.ID, Size: b.Size, Uncov: b.Uncov}
+		for _, c := range b.Children {
+			s.ChildKeys = append(s.ChildKeys, c.ID.Key)
+		}
+		out = append(out, s)
+	})
+	return out
+}

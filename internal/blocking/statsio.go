@@ -1,0 +1,69 @@
+package blocking
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteStats serializes a Stats index as a stream of length-prefixed
+// BlockStat records, in deterministic (block-ID) order. This is the
+// on-disk form of Job 1's output: persist it once, rerun Job 2 (or
+// regenerate schedules with different parameters) without repeating the
+// blocking pass.
+func WriteStats(w io.Writer, st *Stats) error {
+	ids := make([]BlockID, 0, len(st.Blocks))
+	for id := range st.Blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		return a.Key < b.Key
+	})
+	bw := bufio.NewWriter(w)
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, id := range ids {
+		rec := EncodeStat(nil, st.Blocks[id])
+		n := binary.PutUvarint(lenBuf[:], uint64(len(rec)))
+		if _, err := bw.Write(lenBuf[:n]); err != nil {
+			return fmt.Errorf("blocking: writing stats: %w", err)
+		}
+		if _, err := bw.Write(rec); err != nil {
+			return fmt.Errorf("blocking: writing stats: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStats parses a stream written by WriteStats.
+func ReadStats(r io.Reader) (*Stats, error) {
+	br := bufio.NewReader(r)
+	var list []*BlockStat
+	for {
+		l, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("blocking: reading stats length: %w", err)
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("blocking: reading stats record: %w", err)
+		}
+		s, _, err := DecodeStat(buf)
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, s)
+	}
+	return NewStats(list), nil
+}

@@ -1,0 +1,98 @@
+package blocking
+
+import (
+	"fmt"
+	"sort"
+
+	"proger/internal/datagen"
+	"proger/internal/entity"
+)
+
+// This file implements the §IV-A observation that the dominance order
+// ≻_F "can be specified even more easily if the set of blocking
+// functions is automatically determined using approaches such as
+// [Bilenko et al. 2006]": estimate, per candidate family, the number of
+// duplicate and total pairs inside its blocks on a training sample, and
+// order families by duplicate density (duplicates / total pairs).
+
+// FamilyQuality reports how good a candidate blocking family is on a
+// training dataset.
+type FamilyQuality struct {
+	Family *Family
+	// DupPairs is the number of ground-truth duplicate pairs co-blocked
+	// by the family's main function.
+	DupPairs int64
+	// TotalPairs is the number of pairs its main blocks contain.
+	TotalPairs int64
+	// Density = DupPairs / TotalPairs — the paper's ordering criterion.
+	Density float64
+	// Coverage = DupPairs / all ground-truth pairs: how many duplicates
+	// the family can find at all.
+	Coverage float64
+}
+
+// EvaluateFamily measures a candidate family on a training dataset.
+func EvaluateFamily(ds *entity.Dataset, gt *datagen.GroundTruth, fam *Family) FamilyQuality {
+	q := FamilyQuality{Family: fam}
+	_, groups := GroupByMainKey(ds, fam)
+	for _, ents := range groups {
+		q.TotalPairs += entity.Pairs(len(ents))
+		counts := map[int]int{}
+		for _, e := range ents {
+			if int(e.ID) < len(gt.ClusterOf) {
+				counts[gt.ClusterOf[e.ID]]++
+			}
+		}
+		for _, c := range counts {
+			q.DupPairs += entity.Pairs(c)
+		}
+	}
+	if q.TotalPairs > 0 {
+		q.Density = float64(q.DupPairs) / float64(q.TotalPairs)
+	}
+	if total := gt.NumDupPairs(); total > 0 {
+		q.Coverage = float64(q.DupPairs) / float64(total)
+	}
+	return q
+}
+
+// SuggestFamilies evaluates the candidate families on a training
+// dataset, discards those whose duplicate coverage falls below
+// minCoverage, orders the survivors by non-increasing duplicate density
+// (the paper's ≻_F criterion), and renumbers their dominance indexes
+// accordingly. At least one family always survives (the best one).
+func SuggestFamilies(ds *entity.Dataset, gt *datagen.GroundTruth, candidates []*Family, minCoverage float64) (Families, []FamilyQuality, error) {
+	if len(candidates) == 0 {
+		return nil, nil, fmt.Errorf("blocking: no candidate families")
+	}
+	quals := make([]FamilyQuality, 0, len(candidates))
+	for _, f := range candidates {
+		if err := validateCandidate(f); err != nil {
+			return nil, nil, err
+		}
+		quals = append(quals, EvaluateFamily(ds, gt, f))
+	}
+	sort.SliceStable(quals, func(i, j int) bool { return quals[i].Density > quals[j].Density })
+
+	kept := make(Families, 0, len(quals))
+	for _, q := range quals {
+		if q.Coverage < minCoverage && len(kept) > 0 {
+			continue
+		}
+		f := *q.Family // copy so the caller's candidate keeps its index
+		f.Index = len(kept) + 1
+		kept = append(kept, &f)
+	}
+	if err := kept.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return kept, quals, nil
+}
+
+// validateCandidate checks everything Family.Validate does except the
+// dominance index, which SuggestFamilies assigns itself.
+func validateCandidate(f *Family) error {
+	tmp := *f
+	tmp.Index = 1
+	return tmp.Validate()
+}

@@ -1,0 +1,117 @@
+package blocking
+
+import (
+	"testing"
+
+	"proger/internal/datagen"
+)
+
+func TestEvaluateFamilyToyData(t *testing.T) {
+	ds, gt := datagen.People()
+	// X: name prefix 2. Blocks: jo{e0,e1,e2,e8}, ch{e3,e6}, gh{e4},
+	// ma{e5}, wi{e7}. Dup pairs co-blocked: {e0,e1,e2} → 3 (e3/e4 split
+	// by the G typo). Total pairs: 6 + 1 = 7.
+	x := &Family{Name: "X", Attr: 0, PrefixLens: []int{2}, Index: 1}
+	q := EvaluateFamily(ds, gt, x)
+	if q.DupPairs != 3 || q.TotalPairs != 7 {
+		t.Errorf("X quality = %+v", q)
+	}
+	if q.Coverage != 0.75 {
+		t.Errorf("X coverage = %v, want 0.75", q.Coverage)
+	}
+	// Y: state prefix 2. Blocks hi{e0,e1}, az{e2,e5,e6,e7}, la{e3,e4,e8}.
+	// Dups co-blocked: (e0,e1) + (e3,e4) = 2; total = 1 + 6 + 3 = 10.
+	y := &Family{Name: "Y", Attr: 1, PrefixLens: []int{2}, Index: 1}
+	qy := EvaluateFamily(ds, gt, y)
+	if qy.DupPairs != 2 || qy.TotalPairs != 10 {
+		t.Errorf("Y quality = %+v", qy)
+	}
+	// X is denser than Y — exactly the paper's reason to set X ≻ Y.
+	if q.Density <= qy.Density {
+		t.Errorf("expected density(X) %v > density(Y) %v", q.Density, qy.Density)
+	}
+}
+
+func TestSuggestFamiliesOrdersByDensity(t *testing.T) {
+	ds, gt := datagen.People()
+	candidates := []*Family{
+		{Name: "Y", Attr: 1, PrefixLens: []int{2}},       // state: sparse
+		{Name: "X", Attr: 0, PrefixLens: []int{2, 3, 5}}, // name: dense
+		{Name: "S", Attr: 0, PrefixLens: []int{1, 4}, Kind: KeySoundex},
+	}
+	fams, quals, err := SuggestFamilies(ds, gt, candidates, 0)
+	if err != nil {
+		t.Fatalf("SuggestFamilies: %v", err)
+	}
+	if len(fams) != 3 || len(quals) != 3 {
+		t.Fatalf("kept %d families, %d qualities", len(fams), len(quals))
+	}
+	// Name-based families must dominate the state family.
+	if fams[len(fams)-1].Name != "Y" {
+		order := []string{}
+		for _, f := range fams {
+			order = append(order, f.Name)
+		}
+		t.Errorf("dominance order = %v; Y (state) should be last", order)
+	}
+	// Indexes renumbered in order.
+	for i, f := range fams {
+		if f.Index != i+1 {
+			t.Errorf("family %s index %d at position %d", f.Name, f.Index, i)
+		}
+	}
+	// Qualities sorted by density.
+	for i := 1; i < len(quals); i++ {
+		if quals[i].Density > quals[i-1].Density {
+			t.Errorf("qualities not sorted at %d", i)
+		}
+	}
+	// The result plugs straight into the pipeline.
+	if err := fams.Validate(); err != nil {
+		t.Errorf("suggested families invalid: %v", err)
+	}
+}
+
+func TestSuggestFamiliesCoverageFilter(t *testing.T) {
+	ds, gt := datagen.Publications(datagen.DefaultPublications(600, 3))
+	candidates := []*Family{
+		{Name: "T", Attr: ds.Schema.Index("title"), PrefixLens: []int{2, 4}},
+		// Authors as a blocking key on publications: entities of a
+		// cluster share corrupted author strings, decent coverage; keep
+		// threshold high enough to likely drop the weakest candidate.
+		{Name: "V", Attr: ds.Schema.Index("venue"), PrefixLens: []int{3}},
+	}
+	fams, quals, err := SuggestFamilies(ds, gt, candidates, 2.0 /* impossible */)
+	if err != nil {
+		t.Fatalf("SuggestFamilies: %v", err)
+	}
+	// Impossible coverage keeps exactly the best family.
+	if len(fams) != 1 {
+		t.Errorf("kept %d families, want 1 (the best)", len(fams))
+	}
+	if len(quals) != 2 {
+		t.Errorf("qualities = %d", len(quals))
+	}
+}
+
+func TestSuggestFamiliesRejectsBadCandidates(t *testing.T) {
+	ds, gt := datagen.People()
+	if _, _, err := SuggestFamilies(ds, gt, nil, 0); err == nil {
+		t.Error("no candidates: want error")
+	}
+	bad := []*Family{{Name: "", Attr: 0, PrefixLens: []int{2}}}
+	if _, _, err := SuggestFamilies(ds, gt, bad, 0); err == nil {
+		t.Error("invalid candidate: want error")
+	}
+}
+
+func TestSuggestFamiliesDoesNotMutateCandidates(t *testing.T) {
+	ds, gt := datagen.People()
+	cand := &Family{Name: "X", Attr: 0, PrefixLens: []int{2}, Index: 99}
+	if _, _, err := SuggestFamilies(ds, gt, []*Family{cand}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cand.Index != 99 {
+		t.Error("candidate mutated")
+	}
+}

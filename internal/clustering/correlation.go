@@ -1,0 +1,83 @@
+package clustering
+
+import (
+	"math/rand"
+	"sort"
+
+	"proger/internal/entity"
+)
+
+// CorrelationClustering implements the randomized pivot algorithm
+// (CC-Pivot) for correlation clustering — the alternative final
+// clustering step the paper names alongside transitive closure
+// (§II-A, [22]). Entities are processed in a seeded random order; each
+// unclustered entity becomes a pivot and absorbs every unclustered
+// entity its duplicate set links it to. Unlike transitive closure it
+// does not chain through long weak paths, so one false-positive pair
+// cannot glue two large clusters together.
+//
+// The expected cost of CC-Pivot is within 3× of the optimal
+// disagreement count; determinism here comes from the seed.
+func CorrelationClustering(n int, dups entity.PairSet, seed int64) [][]entity.ID {
+	adj := make(map[entity.ID][]entity.ID, n)
+	for p := range dups {
+		if int(p.Lo) >= n || int(p.Hi) >= n {
+			continue
+		}
+		adj[p.Lo] = append(adj[p.Lo], p.Hi)
+		adj[p.Hi] = append(adj[p.Hi], p.Lo)
+	}
+	order := rand.New(rand.NewSource(seed)).Perm(n)
+	assigned := make([]bool, n)
+	var clusters [][]entity.ID
+	for _, idx := range order {
+		pivot := entity.ID(idx)
+		if assigned[pivot] {
+			continue
+		}
+		assigned[pivot] = true
+		cluster := []entity.ID{pivot}
+		for _, nb := range adj[pivot] {
+			if !assigned[nb] {
+				assigned[nb] = true
+				cluster = append(cluster, nb)
+			}
+		}
+		sort.Slice(cluster, func(i, j int) bool { return cluster[i] < cluster[j] })
+		clusters = append(clusters, cluster)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+	return clusters
+}
+
+// Disagreements counts the correlation-clustering objective for a
+// clustering against the pair decisions: positive pairs cut across
+// clusters plus negative (absent) pairs bundled inside one cluster.
+func Disagreements(clusters [][]entity.ID, dups entity.PairSet) int64 {
+	clusterOf := map[entity.ID]int{}
+	for i, c := range clusters {
+		for _, id := range c {
+			clusterOf[id] = i
+		}
+	}
+	var bad int64
+	// Positive pairs split apart.
+	for p := range dups {
+		ca, okA := clusterOf[p.Lo]
+		cb, okB := clusterOf[p.Hi]
+		if !okA || !okB || ca != cb {
+			bad++
+		}
+	}
+	// Negative pairs glued together.
+	for _, c := range clusters {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !dups.Has(entity.MakePair(c[i], c[j])) {
+					bad++
+				}
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,65 @@
+package clustering
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"proger/internal/entity"
+)
+
+// WriteClusters writes a clustering as tab-separated text: a
+// "#cluster\tmembers" header, then one line per cluster with the member
+// IDs comma-separated.
+func WriteClusters(w io.Writer, clusters [][]entity.ID) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "#cluster\tmembers"); err != nil {
+		return err
+	}
+	for i, c := range clusters {
+		ids := make([]string, len(c))
+		for j, id := range c {
+			ids[j] = strconv.Itoa(int(id))
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", i, strings.Join(ids, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadClusters parses a file written by WriteClusters.
+func ReadClusters(r io.Reader) ([][]entity.ID, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("clustering: empty cluster input")
+	}
+	if got := sc.Text(); got != "#cluster\tmembers" {
+		return nil, fmt.Errorf("clustering: bad header %q", got)
+	}
+	var out [][]entity.ID
+	line := 1
+	for sc.Scan() {
+		line++
+		parts := strings.Split(sc.Text(), "\t")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("clustering: line %d malformed", line)
+		}
+		var members []entity.ID
+		for _, s := range strings.Split(parts[1], ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("clustering: line %d: bad member %q", line, s)
+			}
+			members = append(members, entity.ID(id))
+		}
+		out = append(out, members)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"proger/internal/blocking"
+	"proger/internal/dedup"
+	"proger/internal/entity"
+	"proger/internal/mapreduce"
+	"proger/internal/match"
+	"proger/internal/mechanism"
+	"proger/internal/progress"
+)
+
+// This file implements the Basic approach of §II-C (Fig. 2): a single
+// MapReduce job whose map function emits (blocking key ⊕ function ID,
+// entity) per main blocking function, whose partition function is the
+// default hash partitioner, and whose reduce function resolves each
+// block with the mechanism M until the popcorn stopping condition [5]
+// is met. The smallest-key redundancy-elimination rule of Kolb et
+// al. [14] is incorporated, exactly as in §VI-B1.
+
+type basicSide struct {
+	families blocking.Families
+	matcher  *match.Matcher
+	mech     mechanism.Mechanism
+	window   int
+	// popcornThreshold < 0 disables the stopping condition ("Basic F").
+	popcornThreshold float64
+	popcornWindow    int
+}
+
+// BasicMapper emits one (famID|mainKey, annotated entity) pair per
+// family; the annotation carries the main keys for the smallest-key
+// responsibility rule.
+type BasicMapper struct {
+	mapreduce.MapperBase
+	side *basicSide
+}
+
+// Map implements mapreduce.Mapper.
+func (m *BasicMapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyValue, emit mapreduce.Emitter) error {
+	e, _, err := entity.DecodeBinary(rec.Value)
+	if err != nil {
+		return err
+	}
+	ann := blocking.Annotate(m.side.families, e)
+	ctx.Charge(ctx.Cost.ReadRecord * float64(len(m.side.families)))
+	buf := blocking.EncodeAnnotated(nil, ann)
+	for famIdx := range m.side.families {
+		emit.Emit(blocking.Job1KeyOf(famIdx, ann.MainKeys[famIdx]), buf)
+	}
+	return nil
+}
+
+// BasicReducer resolves one main block per reduce call.
+type BasicReducer struct {
+	mapreduce.ReducerBase
+	side *basicSide
+}
+
+// Reduce implements mapreduce.Reducer.
+func (r *BasicReducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
+	famIdx, blockKey, err := blocking.ParseJob1Key(key)
+	if err != nil {
+		return err
+	}
+	if famIdx < 0 || famIdx >= len(r.side.families) {
+		return fmt.Errorf("core: basic key %q references family %d", key, famIdx)
+	}
+	ents := make([]*entity.Entity, 0, len(values))
+	keysOf := map[entity.ID][]string{}
+	for _, v := range values {
+		ann, _, err := blocking.DecodeAnnotated(v)
+		if err != nil {
+			return err
+		}
+		ents = append(ents, ann.Ent)
+		keysOf[ann.Ent.ID] = ann.MainKeys
+	}
+
+	var stop mechanism.StopFunc
+	var observer func(bool)
+	if r.side.popcornThreshold >= 0 {
+		pc := &mechanism.Popcorn{Threshold: r.side.popcornThreshold, Window: r.side.popcornWindow}
+		stop = pc.Func()
+		observer = pc.Observe
+	}
+	env := &mechanism.Env{
+		SortAttr: r.side.families[famIdx].Attr,
+		Match:    r.side.matcher.Match,
+		Decide: func(p entity.Pair) mechanism.Decision {
+			if !dedup.SmallestKeyResponsible(keysOf[p.Lo], keysOf[p.Hi], famIdx, blockKey) {
+				return mechanism.SkipNotResponsible
+			}
+			return mechanism.Resolve
+		},
+		Emit: func(p entity.Pair, isDup bool) {
+			if isDup {
+				emit.Emit("dup", dupValue(p))
+			}
+		},
+		Charge:   ctx.Charge,
+		Stop:     stop,
+		Observer: observer,
+		Cost:     ctx.Cost,
+	}
+	st := r.side.mech.ResolveBlock(env, ents, r.side.window)
+	ctx.Inc("basic.blocks_resolved", 1)
+	ctx.Inc("basic.compared", int64(st.Compared))
+	ctx.Inc("basic.dups", int64(st.Dups))
+	ctx.Inc("basic.skipped", int64(st.Skipped))
+	return nil
+}
+
+// ResolveBasic runs the Basic baseline on the dataset.
+func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	cluster := mapreduce.Cluster{Machines: opts.Machines, SlotsPerMachine: opts.SlotsPerMachine}
+	side := &basicSide{
+		families:         opts.Families,
+		matcher:          opts.Matcher,
+		mech:             opts.Mechanism,
+		window:           opts.Window,
+		popcornThreshold: opts.PopcornThreshold,
+		popcornWindow:    opts.PopcornWindow,
+	}
+	cfg := mapreduce.Config{
+		Name:           "basic-progressive-er",
+		NewMapper:      func() mapreduce.Mapper { return &BasicMapper{side: side} },
+		NewReducer:     func() mapreduce.Reducer { return &BasicReducer{side: side} },
+		NumMapTasks:    cluster.Slots(),
+		NumReduceTasks: cluster.Slots(),
+		Cluster:        cluster,
+		Cost:           opts.Cost,
+		Workers:        opts.Workers,
+	}
+	jobRes, err := mapreduce.Run(cfg, blocking.MakeJob1Input(ds), 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: basic job: %w", err)
+	}
+	res := &Result{
+		Duplicates: entity.PairSet{},
+		TotalTime:  jobRes.End,
+		Job2:       jobRes,
+		Counters:   mapreduce.Counters{},
+	}
+	res.Counters.Merge(jobRes.Counters)
+	for _, kv := range jobRes.Output {
+		p, _, err := entity.DecodePair(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		res.Duplicates.Add(p)
+		res.Events = append(res.Events, progress.Event{Time: kv.Global, Pair: p})
+	}
+	return res, nil
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"proger/internal/blocking"
+	"proger/internal/costmodel"
+	"proger/internal/dedup"
+	"proger/internal/entity"
+	"proger/internal/estimate"
+	"proger/internal/mapreduce"
+	"proger/internal/match"
+	"proger/internal/mechanism"
+	"proger/internal/sched"
+)
+
+// job2Side is the side data every Job-2 task sees: the progressive
+// schedule plus the pipeline configuration pieces the tasks need.
+type job2Side struct {
+	schedule *sched.Schedule
+	families blocking.Families
+	matcher  *match.Matcher
+	mech     mechanism.Mechanism
+	policy   estimate.Policy
+	// noDedup disables the SHOULD-RESOLVE ownership check (ablation).
+	noDedup bool
+}
+
+// Job2Mapper implements §III-B's map function: for each entity, emit a
+// (SQ(X), entity ⊕ List(entity, X)) pair for every scheduled block X
+// containing the entity. Its Setup charges the simulated cost of
+// regenerating the progressive schedule from the Job-1 statistics,
+// which every map task pays (the paper generates the schedule in the
+// setup function of each map task).
+type Job2Mapper struct {
+	mapreduce.MapperBase
+	side *job2Side
+}
+
+// Setup implements mapreduce.Mapper.
+func (m *Job2Mapper) Setup(ctx *mapreduce.TaskContext) error {
+	nBlocks := m.side.schedule.NumBlocks()
+	// Schedule generation ≈ a handful of linear passes over the block
+	// statistics plus a few sorts of SL; in-memory arithmetic, priced
+	// at record-read granularity (far cheaper than hint sorting, which
+	// moves whole entities).
+	logB := 1.0
+	for n := nBlocks; n > 1; n >>= 1 {
+		logB++
+	}
+	genCost := ctx.Cost.ReadRecord * costmodel.Units(nBlocks) * (6 + logB)
+	ctx.Charge(genCost)
+	ctx.Inc("job2.schedule_gen", 1)
+	return nil
+}
+
+// Map implements mapreduce.Mapper.
+func (m *Job2Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyValue, emit mapreduce.Emitter) error {
+	e, _, err := entity.DecodeBinary(rec.Value)
+	if err != nil {
+		return err
+	}
+	s := m.side.schedule
+	fams := m.side.families
+	// Key computations: one prefix per level per family.
+	totalLevels := 0
+	for _, f := range fams {
+		totalLevels += f.Levels()
+	}
+	ctx.Charge(ctx.Cost.ReadRecord * costmodel.Units(totalLevels))
+
+	// Enumerate the entity's block path per family and emit per block.
+	entBuf := entity.EncodeBinary(nil, e)
+	for j, f := range fams {
+		// listByTree caches the list per tree along this family's path.
+		var lastTree = -1
+		var lastList []byte
+		for l := 1; l <= f.Levels(); l++ {
+			id := blocking.BlockID{Family: int8(j), Level: int8(l), Key: f.Key(e, l)}
+			b, ok := s.ByID[id]
+			if !ok {
+				continue // pruned block
+			}
+			ti := s.TreeOf[id]
+			if ti != lastTree {
+				lastTree = ti
+				lastList = m.buildList(e, j, l, ti)
+			}
+			value := make([]byte, 0, len(entBuf)+len(lastList))
+			value = append(value, entBuf...)
+			value = append(value, lastList...)
+			emit.Emit(sched.SQKey(b.SQ), value)
+			ctx.Inc("job2.emitted", 1)
+		}
+	}
+	return nil
+}
+
+// buildList constructs List(e, T) per §V for the tree at index ti of
+// family j, whose shallowest block on e's path is at level `level`.
+func (m *Job2Mapper) buildList(e *entity.Entity, j, level, ti int) []byte {
+	s := m.side.schedule
+	fams := m.side.families
+	tree := s.Trees[ti]
+	list := make(dedup.List, len(fams), len(fams)+1)
+	for k, f := range fams {
+		if k == j {
+			// Own family: the tree the emitted block belongs to.
+			list[k] = tree.Dom
+			continue
+		}
+		id := blocking.BlockID{Family: int8(k), Level: 1, Key: f.Key(e, 1)}
+		if t, ok := s.TreeOf[id]; ok {
+			list[k] = s.Trees[t].Dom
+		} else {
+			list[k] = dedup.SentinelFor(int32(e.ID))
+		}
+	}
+	// (n+1)st value: the highest split-off descendant tree containing
+	// the entity — the first deeper level on e's path whose block is
+	// the root of a different tree.
+	f := fams[j]
+	treeRootLevel := int(tree.Root.ID.Level)
+	for l := max(level, treeRootLevel) + 1; l <= f.Levels(); l++ {
+		id := blocking.BlockID{Family: int8(j), Level: int8(l), Key: f.Key(e, l)}
+		t, ok := s.TreeOf[id]
+		if !ok {
+			break // pruned below; nothing deeper can be scheduled
+		}
+		if t != ti && s.Trees[t].Root.ID == id {
+			list = append(list, s.Trees[t].Dom)
+			break
+		}
+	}
+	return dedup.Encode(nil, list)
+}
+
+// Job2Partitioner routes each sequence key to its reduce task.
+func Job2Partitioner(key string, numReduce int) int {
+	sq, err := sched.ParseSQKey(key)
+	if err != nil {
+		return 0
+	}
+	task := sched.TaskOfSQ(sq)
+	if task < 0 || task >= numReduce {
+		return 0
+	}
+	return task
+}
+
+// dupValue encodes a discovered duplicate pair as a reduce-output value.
+func dupValue(p entity.Pair) []byte { return entity.EncodePair(nil, p) }
+
+// Job2Reducer resolves blocks in sequence order. Per-tree resolved-pair
+// state lives on the reducer instance (one per reduce task), which is
+// what makes incremental bottom-up resolution repeat-free (§III-A).
+type Job2Reducer struct {
+	mapreduce.ReducerBase
+	side *job2Side
+	// resolved[treeIdx] is the pair set already resolved within that tree.
+	resolved map[int]entity.PairSet
+}
+
+// Reduce implements mapreduce.Reducer: one call per scheduled block.
+func (r *Job2Reducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
+	if r.resolved == nil {
+		r.resolved = map[int]entity.PairSet{}
+	}
+	s := r.side.schedule
+	sq, err := sched.ParseSQKey(key)
+	if err != nil {
+		return err
+	}
+	b := s.Block(sq)
+	if b == nil {
+		return fmt.Errorf("core: no scheduled block for sequence %d", sq)
+	}
+	treeIdx, ok := s.TreeOf[b.ID]
+	if !ok {
+		return fmt.Errorf("core: block %s has no tree", b.ID)
+	}
+	set := r.resolved[treeIdx]
+	if set == nil {
+		set = entity.PairSet{}
+		r.resolved[treeIdx] = set
+	}
+
+	ents := make([]*entity.Entity, 0, len(values))
+	lists := map[entity.ID]dedup.List{}
+	for _, v := range values {
+		e, n, err := entity.DecodeBinary(v)
+		if err != nil {
+			return err
+		}
+		l, _, err := dedup.Decode(v[n:])
+		if err != nil {
+			return err
+		}
+		ents = append(ents, e)
+		lists[e.ID] = l
+	}
+
+	famIdx := int(b.ID.Family)
+	index := famIdx + 1 // 1-based dominance Index of the family
+	n := len(r.side.families)
+	var stop mechanism.StopFunc
+	if !b.FullResolve {
+		stop = mechanism.DistinctThreshold(b.Th)
+	}
+	env := &mechanism.Env{
+		SortAttr: r.side.families[famIdx].Attr,
+		Match:    r.side.matcher.Match,
+		Decide: func(p entity.Pair) mechanism.Decision {
+			if set.Has(p) {
+				return mechanism.SkipResolved
+			}
+			if !r.side.noDedup && !dedup.ShouldResolve(lists[p.Lo], lists[p.Hi], index, n) {
+				return mechanism.SkipNotResponsible
+			}
+			return mechanism.Resolve
+		},
+		Emit: func(p entity.Pair, isDup bool) {
+			set.Add(p)
+			if isDup {
+				emit.Emit("dup", dupValue(p))
+			}
+		},
+		Charge: ctx.Charge,
+		Stop:   stop,
+		Cost:   ctx.Cost,
+	}
+	window := r.side.policy.Window(b)
+	st := r.side.mech.ResolveBlock(env, ents, window)
+	ctx.Inc("job2.blocks_resolved", 1)
+	ctx.Inc("job2.compared", int64(st.Compared))
+	ctx.Inc("job2.dups", int64(st.Dups))
+	ctx.Inc("job2.skipped", int64(st.Skipped))
+	if b.FullResolve {
+		ctx.Inc("job2.full_resolves", 1)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"proger/internal/blocking"
+	"proger/internal/datagen"
+	"proger/internal/dedup"
+	"proger/internal/entity"
+	"proger/internal/estimate"
+	"proger/internal/mechanism"
+	"proger/internal/sched"
+)
+
+// splitSchedule hand-builds the §V example topology: family X's tree
+// T(X¹ₐ) had its child X²ₐᵦ split off into its own tree, and family Y
+// has one root tree. Trees are in dominance (ID) order, so
+// Dom(T(X¹ₐ)) = 0, Dom(T(X²ₐᵦ)) = 1, Dom(T(Y¹)) = 2.
+func splitSchedule() (*sched.Schedule, blocking.Families) {
+	fams := blocking.Families{
+		{Name: "X", Attr: 0, PrefixLens: []int{1, 2, 3}, Index: 1},
+		{Name: "Y", Attr: 1, PrefixLens: []int{1}, Index: 2},
+	}
+	xRoot := &blocking.Block{ID: blocking.BlockID{Family: 0, Level: 1, Key: "a"}, Size: 4, FullResolve: true}
+	xSplit := &blocking.Block{ID: blocking.BlockID{Family: 0, Level: 2, Key: "ab"}, Size: 3, FullResolve: true, Frac: 1}
+	yRoot := &blocking.Block{ID: blocking.BlockID{Family: 1, Level: 1, Key: "z"}, Size: 4, FullResolve: true}
+	trees := []*blocking.Tree{
+		{Root: xRoot, Dom: 0},
+		{Root: xSplit, Dom: 1},
+		{Root: yRoot, Dom: 2},
+	}
+	s := &sched.Schedule{
+		Trees:      trees,
+		TaskOfTree: []int{0, 0, 0},
+		TaskBlocks: [][]*blocking.Block{{xSplit, xRoot, yRoot}},
+		ByID:       map[blocking.BlockID]*blocking.Block{},
+		TreeOf:     map[blocking.BlockID]int{},
+		R:          1,
+	}
+	for i, t := range trees {
+		for _, b := range t.Blocks() {
+			s.ByID[b.ID] = b
+			s.TreeOf[b.ID] = i
+		}
+	}
+	for task, blocks := range s.TaskBlocks {
+		for pos, b := range blocks {
+			b.SQ = sched.SQFor(task, pos)
+		}
+	}
+	return s, fams
+}
+
+func TestBuildListWithSplitTree(t *testing.T) {
+	s, fams := splitSchedule()
+	m := &Job2Mapper{side: &job2Side{schedule: s, families: fams}}
+	// Entity whose X path is a → ab → ab? ("ab" value, 2 chars) and Y
+	// key "z".
+	e := &entity.Entity{ID: 5, Attrs: []string{"abq", "z"}}
+
+	// Emission for the X main tree (tree 0, shallowest level 1): the
+	// list must carry [Dom(own X tree)=0, Dom(Y tree)=2] plus the
+	// (n+1)st value Dom(split descendant)=1.
+	buf := m.buildList(e, 0, 1, 0)
+	list, _, err := dedup.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(list, dedup.List{0, 2, 1}) {
+		t.Errorf("List(e, T(X¹ₐ)) = %v, want [0 2 1]", list)
+	}
+
+	// Emission for the split tree itself (tree 1, level 2): own family
+	// position is the split tree's Dom; no deeper split exists.
+	buf = m.buildList(e, 0, 2, 1)
+	list, _, err = dedup.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(list, dedup.List{1, 2}) {
+		t.Errorf("List(e, T(X²ₐᵦ)) = %v, want [1 2]", list)
+	}
+
+	// Emission for the Y tree: X position refers to the MAIN X tree
+	// (not the split), as §V specifies.
+	buf = m.buildList(e, 1, 1, 2)
+	list, _, err = dedup.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(list, dedup.List{0, 2}) {
+		t.Errorf("List(e, T(Y¹)) = %v, want [0 2]", list)
+	}
+}
+
+func TestSplitListsResolveExactlyOnce(t *testing.T) {
+	// Two entities sharing the whole topology: the split tree (and only
+	// it) must claim the pair.
+	s, fams := splitSchedule()
+	m := &Job2Mapper{side: &job2Side{schedule: s, families: fams}}
+	a := &entity.Entity{ID: 1, Attrs: []string{"abq", "z"}}
+	b := &entity.Entity{ID: 2, Attrs: []string{"abr", "z"}}
+	decode := func(e *entity.Entity, j, level, ti int) dedup.List {
+		l, _, err := dedup.Decode(m.buildList(e, j, level, ti))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	n := len(fams)
+	resolvers := 0
+	// X main tree (index 1).
+	if dedup.ShouldResolve(decode(a, 0, 1, 0), decode(b, 0, 1, 0), 1, n) {
+		resolvers++
+		t.Error("main X tree must defer to the split descendant")
+	}
+	// Split tree (index 1).
+	if dedup.ShouldResolve(decode(a, 0, 2, 1), decode(b, 0, 2, 1), 1, n) {
+		resolvers++
+	} else {
+		t.Error("split tree must resolve its own pair")
+	}
+	// Y tree (index 2).
+	if dedup.ShouldResolve(decode(a, 1, 1, 2), decode(b, 1, 1, 2), 2, n) {
+		resolvers++
+		t.Error("Y tree must defer to the dominating X family")
+	}
+	if resolvers != 1 {
+		t.Errorf("%d trees claim the pair, want exactly 1", resolvers)
+	}
+}
+
+func TestJob2PartitionerRouting(t *testing.T) {
+	if got := Job2Partitioner(sched.SQKey(sched.SQFor(3, 17)), 8); got != 3 {
+		t.Errorf("partition = %d, want 3", got)
+	}
+	// Malformed or out-of-range keys fall back to task 0 rather than
+	// crashing the job.
+	if got := Job2Partitioner("garbage", 8); got != 0 {
+		t.Errorf("garbage key → %d", got)
+	}
+	if got := Job2Partitioner(sched.SQKey(sched.SQFor(99, 0)), 8); got != 0 {
+		t.Errorf("out-of-range task → %d", got)
+	}
+}
+
+func TestResolveWithHierarchyMechanism(t *testing.T) {
+	// The pipeline is mechanism-agnostic: the hierarchical partitioning
+	// hint must work as M end to end.
+	ds, gt := datagen.People()
+	res, err := Resolve(ds, Options{
+		Families:        peopleFamilies(),
+		Matcher:         peopleMatcher(),
+		Mechanism:       mechanism.Hierarchy{},
+		Policy:          estimate.CiteSeerXPolicy(),
+		Machines:        2,
+		SlotsPerMachine: 2,
+	})
+	if err != nil {
+		t.Fatalf("Resolve with hierarchy hint: %v", err)
+	}
+	if int64(len(res.Duplicates)) != gt.NumDupPairs() {
+		t.Errorf("found %d, want %d", len(res.Duplicates), gt.NumDupPairs())
+	}
+}
+
+func TestCompactShuffleEquivalence(t *testing.T) {
+	// The footnote-5 compact emission must find exactly the same
+	// duplicate set as the expanded per-block emission, with a smaller
+	// shuffle.
+	ds, gt := datagen.Publications(datagen.DefaultPublications(1200, 73))
+	base := pubOptions(ds, gt, 3)
+	expanded, err := Resolve(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compactOpts := base
+	compactOpts.CompactShuffle = true
+	compact, err := Resolve(ds, compactOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compact.Duplicates) != len(expanded.Duplicates) {
+		t.Fatalf("duplicate counts differ: compact %d vs expanded %d",
+			len(compact.Duplicates), len(expanded.Duplicates))
+	}
+	for p := range expanded.Duplicates {
+		if !compact.Duplicates.Has(p) {
+			t.Fatalf("compact run missed pair %v", p)
+		}
+	}
+	eEmit := expanded.Counters.Get("job2.emitted")
+	cEmit := compact.Counters.Get("job2.emitted")
+	if cEmit >= eEmit {
+		t.Errorf("compact emitted %d records, expanded %d — no shuffle saving", cEmit, eEmit)
+	}
+	if compact.Counters.Get("job2.triggers") == 0 {
+		t.Error("no trigger records emitted")
+	}
+	// Redundancy-free resolution must hold in compact mode too.
+	seen := entity.PairSet{}
+	for _, ev := range compact.Events {
+		if !seen.Add(ev.Pair) {
+			t.Fatalf("pair %v emitted twice in compact mode", ev.Pair)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package core assembles the full parallel progressive ER pipeline of
+// the paper (§III): Job 1 (progressive blocking + statistics), schedule
+// generation, and Job 2 (progressive resolution with redundancy-free
+// pair ownership and incremental result delivery). It also implements
+// the Basic single-job baseline of §II-C used throughout the
+// evaluation.
+package core
+
+import (
+	"fmt"
+
+	"proger/internal/blocking"
+	"proger/internal/costmodel"
+	"proger/internal/estimate"
+	"proger/internal/match"
+	"proger/internal/mechanism"
+	"proger/internal/sched"
+)
+
+// Options configures the full pipeline.
+type Options struct {
+	// Families are the blocking-function families in dominance order.
+	Families blocking.Families
+	// Matcher is the resolve/match function.
+	Matcher *match.Matcher
+	// Mechanism is the progressive mechanism M (SN or PSNM).
+	Mechanism mechanism.Mechanism
+	// Policy sets per-level window/Th/Frac (§VI-A5).
+	Policy estimate.Policy
+	// DupModel estimates d(X); nil uses the analytic default. Train one
+	// with estimate.Train for the paper's learned model.
+	DupModel estimate.DupModel
+	// Machines and SlotsPerMachine describe the simulated cluster
+	// (paper: 2 map + 2 reduce slots per machine).
+	Machines        int
+	SlotsPerMachine int
+	// Cost is the simulated cost model; zero value uses the default.
+	Cost costmodel.Model
+	// Scheduler selects Ours / NoSplit / LPT (§VI-B2).
+	Scheduler sched.Kind
+	// CostVectorK is the number of sampling points in the auto-derived
+	// cost vector C (default 3).
+	CostVectorK int
+	// Budget, when > 0, switches the scheduler to the extended report's
+	// budget-constrained objective: generate the highest-quality result
+	// within Budget total cost units (uniform weights over a linear
+	// cost vector up to the per-task budget share). The run itself is
+	// not truncated — trim the returned events at the budget instead.
+	Budget costmodel.Units
+	// SplitBatch is b: overflowed trees split per iteration (default 4).
+	SplitBatch int
+	// Workers caps host-machine concurrency (0 = GOMAXPROCS); never
+	// affects results or simulated timing.
+	Workers int
+	// DisableRedundancyElimination turns off the §V SHOULD-RESOLVE
+	// check, so shared pairs are resolved in every tree containing them.
+	// Ablation knob: quantifies what redundancy-free resolution buys.
+	DisableRedundancyElimination bool
+	// CompactShuffle enables the footnote-5 map-side optimization: one
+	// emission per (entity, tree) instead of one per (entity, block),
+	// with per-block trigger records and reduce-side tree caching.
+	// Results are identical; the shuffle is ~2–3× smaller.
+	CompactShuffle bool
+	// DisableSubBlocking truncates every family to its main function
+	// only — no progressive blocking, each tree a single root block.
+	// Ablation knob: quantifies what the §III-A block hierarchy buys.
+	DisableSubBlocking bool
+}
+
+func (o *Options) validate() error {
+	if err := o.Families.Validate(); err != nil {
+		return err
+	}
+	if o.Matcher == nil {
+		return fmt.Errorf("core: Matcher is required")
+	}
+	if o.Mechanism == nil {
+		return fmt.Errorf("core: Mechanism is required")
+	}
+	if o.Machines < 1 || o.SlotsPerMachine < 1 {
+		return fmt.Errorf("core: cluster %d×%d invalid", o.Machines, o.SlotsPerMachine)
+	}
+	return nil
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Cost == (costmodel.Model{}) {
+		out.Cost = costmodel.Default()
+	}
+	if out.CostVectorK <= 0 {
+		out.CostVectorK = 3
+	}
+	if out.SplitBatch <= 0 {
+		out.SplitBatch = 4
+	}
+	if out.DupModel == nil {
+		out.DupModel = estimate.DefaultModel{}
+	}
+	return out
+}
+
+// BasicOptions configures the Basic baseline (§II-C): a single MR job,
+// hash partitioning on blocking keys, a stopping scheme per block, and
+// the smallest-key redundancy rule of [14].
+type BasicOptions struct {
+	Families blocking.Families
+	Matcher  *match.Matcher
+	// Mechanism is M, applied per main block.
+	Mechanism mechanism.Mechanism
+	// Window is the SN window w (the paper evaluates 5 and 15).
+	Window int
+	// PopcornThreshold is the stopping threshold; < 0 disables stopping
+	// entirely — the "Basic F" configuration that resolves every block
+	// to completion.
+	PopcornThreshold float64
+	// PopcornWindow is the trailing-comparison window used to measure
+	// the duplicate rate (default 200).
+	PopcornWindow int
+
+	Machines        int
+	SlotsPerMachine int
+	Cost            costmodel.Model
+	Workers         int
+}
+
+func (o *BasicOptions) validate() error {
+	if err := o.Families.Validate(); err != nil {
+		return err
+	}
+	if o.Matcher == nil {
+		return fmt.Errorf("core: Matcher is required")
+	}
+	if o.Mechanism == nil {
+		return fmt.Errorf("core: Mechanism is required")
+	}
+	if o.Machines < 1 || o.SlotsPerMachine < 1 {
+		return fmt.Errorf("core: cluster %d×%d invalid", o.Machines, o.SlotsPerMachine)
+	}
+	if o.Window < 2 {
+		return fmt.Errorf("core: window %d must be ≥ 2", o.Window)
+	}
+	return nil
+}
+
+func (o *BasicOptions) withDefaults() BasicOptions {
+	out := *o
+	if out.Cost == (costmodel.Model{}) {
+		out.Cost = costmodel.Default()
+	}
+	if out.PopcornWindow <= 0 {
+		out.PopcornWindow = 200
+	}
+	return out
+}

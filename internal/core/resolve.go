@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"proger/internal/blocking"
+	"proger/internal/clustering"
+	"proger/internal/costmodel"
+	"proger/internal/entity"
+	"proger/internal/estimate"
+	"proger/internal/mapreduce"
+	"proger/internal/progress"
+	"proger/internal/sched"
+)
+
+// Result is the outcome of a pipeline run: the identified duplicate
+// pairs with their discovery timestamps, plus run diagnostics.
+type Result struct {
+	// Duplicates is the set of identified duplicate pairs (each found
+	// exactly once under redundancy-free resolution).
+	Duplicates entity.PairSet
+	// Events lists every duplicate discovery in emission order with its
+	// global simulated time. TrueDup is left false; the evaluation layer
+	// fills it against ground truth via EventsAgainst.
+	Events []progress.Event
+	// TotalTime is the end-to-end simulated time.
+	TotalTime costmodel.Units
+	// Job1 and Job2 are the raw MapReduce results (Job1 is nil for the
+	// Basic baseline, which runs a single job).
+	Job1, Job2 *mapreduce.Result
+	// Schedule is the generated progressive schedule (nil for Basic).
+	Schedule *sched.Schedule
+	// Counters aggregates both jobs' counters.
+	Counters mapreduce.Counters
+}
+
+// Clusters groups the identified duplicate pairs into disjoint entity
+// clusters by transitive closure (§II-A's final clustering step), for a
+// dataset of n entities. Singleton clusters are included.
+func (r *Result) Clusters(n int) [][]entity.ID {
+	return clustering.TransitiveClosure(n, r.Duplicates)
+}
+
+// EventsAgainst returns the run's events with TrueDup filled from the
+// given ground-truth oracle.
+func (r *Result) EventsAgainst(isDup func(entity.Pair) bool) []progress.Event {
+	out := make([]progress.Event, len(r.Events))
+	for i, ev := range r.Events {
+		ev.TrueDup = isDup(ev.Pair)
+		out[i] = ev
+	}
+	return out
+}
+
+// Resolve runs the full parallel progressive ER pipeline of §III on the
+// dataset: Job 1 (progressive blocking + statistics), schedule
+// generation, and Job 2 (progressive resolution).
+func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.DisableSubBlocking {
+		opts.Families = truncateToMainFunctions(opts.Families)
+	}
+	cluster := mapreduce.Cluster{Machines: opts.Machines, SlotsPerMachine: opts.SlotsPerMachine}
+
+	// ---- Job 1: progressive blocking + statistics ----
+	stats, job1Res, err := blocking.RunJob1(ds, opts.Families, cluster, opts.Cost, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: job 1: %w", err)
+	}
+
+	// ---- Schedule generation (executed by each Job-2 map task in the
+	// paper; computed once here, with its cost charged per map task in
+	// Job2Mapper.Setup) ----
+	trees, err := stats.BuildForests(opts.Families)
+	if err != nil {
+		return nil, fmt.Errorf("core: building forests: %w", err)
+	}
+	trees = estimate.Prune(trees)
+	est := estimate.NewEstimator(opts.Policy, opts.Cost, opts.DupModel, ds.Len())
+	for _, t := range trees {
+		est.EstimateTree(t)
+	}
+	r := cluster.Slots() // reduce tasks = reduce slots, as in the paper
+	var (
+		cv      []costmodel.Units
+		weights []float64
+	)
+	if opts.Budget > 0 {
+		cv = sched.BudgetCostVector(opts.Budget, r, opts.CostVectorK)
+		weights = sched.UniformWeights(len(cv))
+	} else {
+		cv = sched.AutoCostVector(trees, r, opts.CostVectorK)
+		weights = sched.LinearWeights(len(cv))
+	}
+	schedule, err := sched.Generate(trees, sched.Config{
+		R:          r,
+		CostVector: cv,
+		Weights:    weights,
+		Batch:      opts.SplitBatch,
+		Estimator:  est,
+		Kind:       opts.Scheduler,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: schedule generation: %w", err)
+	}
+
+	// ---- Job 2: progressive resolution ----
+	side := &job2Side{
+		schedule: schedule,
+		families: opts.Families,
+		matcher:  opts.Matcher,
+		mech:     opts.Mechanism,
+		policy:   opts.Policy,
+		noDedup:  opts.DisableRedundancyElimination,
+	}
+	newMapper := func() mapreduce.Mapper { return &Job2Mapper{side: side} }
+	newReducer := func() mapreduce.Reducer { return &Job2Reducer{side: side} }
+	if opts.CompactShuffle {
+		newMapper = func() mapreduce.Mapper { return &CompactJob2Mapper{side: side} }
+		newReducer = func() mapreduce.Reducer { return &CompactJob2Reducer{side: side} }
+	}
+	job2Cfg := mapreduce.Config{
+		Name:           "job2-progressive-resolution",
+		NewMapper:      newMapper,
+		NewReducer:     newReducer,
+		Partition:      Job2Partitioner,
+		NumMapTasks:    cluster.Slots(),
+		NumReduceTasks: r,
+		Cluster:        cluster,
+		Cost:           opts.Cost,
+		Workers:        opts.Workers,
+	}
+	job2Res, err := mapreduce.Run(job2Cfg, blocking.MakeJob1Input(ds), job1Res.End)
+	if err != nil {
+		return nil, fmt.Errorf("core: job 2: %w", err)
+	}
+
+	res := &Result{
+		Duplicates: entity.PairSet{},
+		TotalTime:  job2Res.End,
+		Job1:       job1Res,
+		Job2:       job2Res,
+		Schedule:   schedule,
+		Counters:   mapreduce.Counters{},
+	}
+	res.Counters.Merge(job1Res.Counters)
+	res.Counters.Merge(job2Res.Counters)
+	for _, kv := range job2Res.Output {
+		p, _, err := entity.DecodePair(kv.Value)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding output pair: %w", err)
+		}
+		res.Duplicates.Add(p)
+		res.Events = append(res.Events, progress.Event{Time: kv.Global, Pair: p})
+	}
+	return res, nil
+}
+
+// truncateToMainFunctions strips every family down to its level-1
+// function, for the DisableSubBlocking ablation.
+func truncateToMainFunctions(fams blocking.Families) blocking.Families {
+	out := make(blocking.Families, len(fams))
+	for i, f := range fams {
+		g := *f
+		g.PrefixLens = f.PrefixLens[:1]
+		out[i] = &g
+	}
+	return out
+}

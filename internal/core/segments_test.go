@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"proger/internal/datagen"
+	"proger/internal/entity"
+)
+
+// TestIncrementalSegmentsConsistentWithEvents verifies the §III-B
+// incremental-delivery contract end to end: a consumer who, at any
+// instant t, merges all α-segments that have completely closed by t
+// sees exactly the duplicates discovered before those segments' close
+// times — never a pair from the future, and everything from closed
+// segments.
+func TestIncrementalSegmentsConsistentWithEvents(t *testing.T) {
+	ds, gt := datagen.Publications(datagen.DefaultPublications(900, 83))
+	res, err := Resolve(ds, pubOptions(ds, gt, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const alpha = 250.0
+	// Collect every record from every task's segments and check the
+	// partitioning invariants.
+	total := 0
+	for task := range res.Job2.ReduceTaskCosts {
+		segs := res.Job2.Segments(task, alpha)
+		for _, seg := range segs {
+			for _, rec := range seg.Records {
+				total++
+				if rec.Local < seg.Start || rec.Local >= seg.End {
+					t.Fatalf("task %d: record at local %v outside segment [%v,%v)",
+						task, rec.Local, seg.Start, seg.End)
+				}
+				p, _, err := entity.DecodePair(rec.Value)
+				if err != nil {
+					t.Fatalf("segment record not a pair: %v", err)
+				}
+				if !res.Duplicates.Has(p) {
+					t.Fatalf("segment pair %v not in the final duplicate set", p)
+				}
+			}
+		}
+	}
+	if total != len(res.Events) {
+		t.Fatalf("segments carry %d records, run produced %d events", total, len(res.Events))
+	}
+
+	// Simulate a consumer at the run's midpoint: merge segments closed
+	// by then (global close time = task start + segment end).
+	cutoff := res.TotalTime / 2
+	consumed := entity.PairSet{}
+	for task, start := range res.Job2.ReduceStarts {
+		for _, seg := range res.Job2.Segments(task, alpha) {
+			if start+seg.End > cutoff {
+				continue // segment not yet closed at the cutoff
+			}
+			for _, rec := range seg.Records {
+				p, _, err := entity.DecodePair(rec.Value)
+				if err != nil {
+					t.Fatal(err)
+				}
+				consumed.Add(p)
+			}
+		}
+	}
+	// Nothing from the future: every consumed pair's event time ≤ cutoff.
+	eventTime := map[entity.Pair]float64{}
+	for _, ev := range res.Events {
+		eventTime[ev.Pair] = float64(ev.Time)
+	}
+	for p := range consumed {
+		if eventTime[p] > float64(cutoff) {
+			t.Fatalf("consumed pair %v discovered at %v, after cutoff %v", p, eventTime[p], cutoff)
+		}
+	}
+	// Completeness up to the last closed segment: every event older
+	// than (cutoff − α) must be in some closed segment.
+	missing := 0
+	for _, ev := range res.Events {
+		if float64(ev.Time) <= float64(cutoff)-alpha && !consumed.Has(ev.Pair) {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d duplicates older than cutoff−α missing from closed segments", missing)
+	}
+	if len(consumed) == 0 {
+		t.Fatal("midpoint consumer saw nothing — segmentation inert")
+	}
+}

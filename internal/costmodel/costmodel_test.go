@@ -1,0 +1,67 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultRatios(t *testing.T) {
+	m := Default()
+	// The pair comparison is the unit of the simulation.
+	if m.PairCompare != 1.0 {
+		t.Errorf("PairCompare = %v, want 1", m.PairCompare)
+	}
+	// Skipping must be far cheaper than comparing, else redundancy
+	// elimination and incremental parent resolution would not pay off.
+	if m.SkipPair >= m.PairCompare/10 {
+		t.Errorf("SkipPair %v not ≪ PairCompare %v", m.SkipPair, m.PairCompare)
+	}
+	// Record I/O is cheaper than sorting per element; shuffle merging is
+	// cheaper than hint sorting.
+	if m.ShuffleSortPerElem >= m.SortPerElem {
+		t.Errorf("shuffle sort %v should be cheaper than hint sort %v", m.ShuffleSortPerElem, m.SortPerElem)
+	}
+	if m.TaskStartup <= 0 || m.JobSetup <= 0 {
+		t.Error("startup costs must be positive (they create the paper's preprocessing offset)")
+	}
+}
+
+func TestSortCost(t *testing.T) {
+	m := Default()
+	if m.SortCost(0) != 0 || m.SortCost(1) != 0 {
+		t.Error("sorting under 2 elements costs nothing")
+	}
+	want := m.SortPerElem * 8 * 3 // 8·log₂8
+	if got := m.SortCost(8); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SortCost(8) = %v, want %v", got, want)
+	}
+	// Superlinear growth.
+	if m.SortCost(1000) <= 10*m.SortCost(100) {
+		t.Error("sort cost should grow superlinearly")
+	}
+}
+
+func TestShuffleSortCost(t *testing.T) {
+	m := Default()
+	if m.ShuffleSortCost(1) != 0 {
+		t.Error("shuffle sort of 1 element costs nothing")
+	}
+	if m.ShuffleSortCost(100) >= m.SortCost(100) {
+		t.Error("shuffle sort must be cheaper than hint sort")
+	}
+}
+
+func TestHintCost(t *testing.T) {
+	m := Default()
+	// HintCost = read + sort; must exceed either part alone.
+	n := 50
+	if m.HintCost(n) <= m.SortCost(n) {
+		t.Error("hint cost must include reading")
+	}
+	if m.HintCost(n) <= m.ReadRecord*float64(n) {
+		t.Error("hint cost must include sorting")
+	}
+	if m.HintCost(0) != 0 {
+		t.Errorf("HintCost(0) = %v", m.HintCost(0))
+	}
+}

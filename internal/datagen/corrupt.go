@@ -1,0 +1,158 @@
+// Package datagen generates the synthetic workloads that stand in for
+// the paper's real datasets (CiteSeerX publications and OL-Books), plus
+// the Table-I toy people dataset. Generators produce exact ground truth
+// (the clustering of records into real-world objects), Zipf-skewed
+// attribute distributions (so block sizes skew the way the paper's
+// data does), and a typo/corruption model that spreads some duplicate
+// pairs across the blocks of different blocking functions — the reason
+// multiple blocking functions (and responsible-tree accounting) matter.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Corruptor applies data-quality defects to attribute values to create
+// duplicate records of the same real-world object.
+type Corruptor struct {
+	rng *rand.Rand
+	// TypoRate is the expected number of character-level edits applied
+	// per 20 characters of value length (minimum chance applies to
+	// short strings too).
+	TypoRate float64
+	// MissingRate is the probability an attribute value is dropped
+	// entirely in a duplicate record.
+	MissingRate float64
+	// TruncateRate is the probability a value is truncated to a prefix.
+	TruncateRate float64
+	// SwapRate is the probability two adjacent words are swapped.
+	SwapRate float64
+}
+
+// NewCorruptor returns a corruptor with the defect rates used by the
+// experiment workloads.
+func NewCorruptor(rng *rand.Rand) *Corruptor {
+	return &Corruptor{
+		rng:          rng,
+		TypoRate:     0.5,
+		MissingRate:  0.015,
+		TruncateRate: 0.015,
+		SwapRate:     0.04,
+	}
+}
+
+const letters = "abcdefghijklmnopqrstuvwxyz"
+
+// Corrupt returns a corrupted copy of value.
+func (c *Corruptor) Corrupt(value string) string {
+	if value == "" {
+		return value
+	}
+	if c.rng.Float64() < c.MissingRate {
+		return ""
+	}
+	s := []byte(value)
+	if c.rng.Float64() < c.SwapRate {
+		s = []byte(c.swapWords(string(s)))
+	}
+	// Character-level edits. Expected count scales with length so long
+	// abstracts collect more typos than short titles, as in real data.
+	expected := c.TypoRate * (1 + float64(len(s))/20)
+	n := c.poissonish(expected)
+	for i := 0; i < n && len(s) > 0; i++ {
+		pos := c.rng.Intn(len(s))
+		switch c.rng.Intn(4) {
+		case 0: // substitute
+			s[pos] = letters[c.rng.Intn(len(letters))]
+		case 1: // delete
+			s = append(s[:pos], s[pos+1:]...)
+		case 2: // insert
+			ch := letters[c.rng.Intn(len(letters))]
+			s = append(s[:pos], append([]byte{ch}, s[pos:]...)...)
+		case 3: // transpose with next
+			if pos+1 < len(s) {
+				s[pos], s[pos+1] = s[pos+1], s[pos]
+			}
+		}
+	}
+	if c.rng.Float64() < c.TruncateRate && len(s) > 8 {
+		keep := 8 + c.rng.Intn(len(s)-8)
+		s = s[:keep]
+	}
+	return string(s)
+}
+
+// swapWords exchanges two adjacent words, if the value has at least two.
+func (c *Corruptor) swapWords(value string) string {
+	words := strings.Fields(value)
+	if len(words) < 2 {
+		return value
+	}
+	i := c.rng.Intn(len(words) - 1)
+	words[i], words[i+1] = words[i+1], words[i]
+	return strings.Join(words, " ")
+}
+
+// poissonish draws a small non-negative count with the given mean using
+// a simple inversion on the exponential spacing; exact Poisson is not
+// needed, only a monotone mean→count relationship.
+func (c *Corruptor) poissonish(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 0
+	budget := mean
+	for budget > 0 {
+		draw := c.rng.ExpFloat64()
+		if draw > budget {
+			// Bernoulli on the remaining fraction.
+			if c.rng.Float64() < budget/draw {
+				n++
+			}
+			break
+		}
+		budget -= draw
+		n++
+		if n > 32 { // safety bound for extreme means
+			break
+		}
+	}
+	return n
+}
+
+// zipfWeights precomputes cumulative weights for a Zipf(s) distribution
+// over n ranks; used to sample skewed vocabulary and venue choices.
+type zipfPicker struct {
+	cum []float64
+	rng *rand.Rand
+}
+
+func newZipfPicker(rng *rand.Rand, n int, s float64) *zipfPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipfPicker{cum: cum, rng: rng}
+}
+
+// Pick returns a rank in [0, n), rank 0 most likely.
+func (z *zipfPicker) Pick() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,312 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"proger/internal/entity"
+	"proger/internal/match"
+)
+
+func TestPeople(t *testing.T) {
+	ds, gt := People()
+	if ds.Len() != 9 {
+		t.Fatalf("People has %d entities, want 9", ds.Len())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := gt.NumDupPairs(); got != 4 {
+		// {e0,e1,e2} → 3 pairs, {e3,e4} → 1 pair.
+		t.Errorf("NumDupPairs = %d, want 4", got)
+	}
+	if !gt.IsDup(entity.MakePair(0, 2)) {
+		t.Error("e0,e2 should be duplicates")
+	}
+	if gt.IsDup(entity.MakePair(0, 3)) {
+		t.Error("e0,e3 should not be duplicates")
+	}
+	if len(gt.Clusters) != 6 {
+		t.Errorf("clusters = %d, want 6", len(gt.Clusters))
+	}
+}
+
+func TestGroundTruthDupPairs(t *testing.T) {
+	gt := NewGroundTruth([]int{0, 0, 1, 0, 1})
+	pairs := gt.DupPairs()
+	want := map[entity.Pair]bool{
+		entity.MakePair(0, 1): true,
+		entity.MakePair(0, 3): true,
+		entity.MakePair(1, 3): true,
+		entity.MakePair(2, 4): true,
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("DupPairs = %v, want %d pairs", pairs, len(want))
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Errorf("unexpected pair %v", p)
+		}
+	}
+	if gt.NumDupPairs() != int64(len(want)) {
+		t.Errorf("NumDupPairs = %d, want %d", gt.NumDupPairs(), len(want))
+	}
+}
+
+func TestGroundTruthOutOfRange(t *testing.T) {
+	gt := NewGroundTruth([]int{0, 0})
+	if gt.IsDup(entity.MakePair(0, 99)) {
+		t.Error("out-of-range pair should not be a duplicate")
+	}
+}
+
+func TestPublicationsDeterministic(t *testing.T) {
+	cfg := DefaultPublications(500, 42)
+	a, gta := Publications(cfg)
+	b, gtb := Publications(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Entities {
+		if !entity.Equal(a.Entities[i], b.Entities[i]) {
+			t.Fatalf("entity %d differs between runs", i)
+		}
+	}
+	if gta.NumDupPairs() != gtb.NumDupPairs() {
+		t.Error("ground truth differs between runs")
+	}
+}
+
+func TestPublicationsShape(t *testing.T) {
+	cfg := DefaultPublications(2000, 7)
+	ds, gt := Publications(cfg)
+	if ds.Len() < 2000 {
+		t.Fatalf("got %d entities, want ≥ 2000", ds.Len())
+	}
+	if ds.Len() > 2000+cfg.MaxClusterSize {
+		t.Fatalf("overshoot too large: %d", ds.Len())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ds.Schema != PublicationSchema {
+		t.Error("schema mismatch")
+	}
+	nd := gt.NumDupPairs()
+	if nd < 100 {
+		t.Errorf("only %d duplicate pairs — workload too clean", nd)
+	}
+	// Every entity is assigned a cluster.
+	if len(gt.ClusterOf) != ds.Len() {
+		t.Fatalf("ClusterOf len %d, want %d", len(gt.ClusterOf), ds.Len())
+	}
+	// Titles look like text.
+	for _, e := range ds.Entities[:50] {
+		title := e.Attr(0)
+		if title != "" && !strings.Contains(title, " ") && len(title) > 40 {
+			t.Errorf("suspicious title %q", title)
+		}
+		if len(e.Attr(1)) > 0 && len(e.Attr(1)) < 10 && strings.Count(e.Attr(1), " ") == 0 {
+			continue // corrupted short abstract is fine
+		}
+	}
+}
+
+func TestPublicationsDuplicatesAreSimilar(t *testing.T) {
+	ds, gt := Publications(DefaultPublications(1500, 3))
+	m := match.MustNew(0.75,
+		match.Rule{Attr: 0, Weight: 0.5, Kind: match.EditDistance},
+		match.Rule{Attr: 1, Weight: 0.3, Kind: match.EditDistance, MaxChars: 350},
+		match.Rule{Attr: 2, Weight: 0.2, Kind: match.EditDistance},
+	)
+	dups := gt.DupPairs()
+	if len(dups) == 0 {
+		t.Fatal("no duplicate pairs generated")
+	}
+	matched := 0
+	for _, p := range dups {
+		if m.Match(ds.Get(p.Lo), ds.Get(p.Hi)) {
+			matched++
+		}
+	}
+	frac := float64(matched) / float64(len(dups))
+	if frac < 0.85 {
+		t.Errorf("matcher finds only %.2f of true duplicates — corruption too aggressive", frac)
+	}
+	// And distinct pairs should rarely match: sample random cross-cluster pairs.
+	rng := rand.New(rand.NewSource(5))
+	falsePos := 0
+	trials := 3000
+	for i := 0; i < trials; i++ {
+		a := entity.ID(rng.Intn(ds.Len()))
+		b := entity.ID(rng.Intn(ds.Len()))
+		if a == b || gt.IsDup(entity.MakePair(a, b)) {
+			continue
+		}
+		if m.Match(ds.Get(a), ds.Get(b)) {
+			falsePos++
+		}
+	}
+	if falsePos > trials/100 {
+		t.Errorf("%d/%d random distinct pairs match — matcher/generator too loose", falsePos, trials)
+	}
+}
+
+func TestBooksShape(t *testing.T) {
+	ds, gt := Books(DefaultBooks(2000, 11))
+	if ds.Len() < 2000 {
+		t.Fatalf("got %d entities", ds.Len())
+	}
+	if ds.Schema != BookSchema {
+		t.Error("schema mismatch")
+	}
+	if ds.Schema.Len() != 8 {
+		t.Errorf("books schema must have 8 attributes (paper: eight attributes)")
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if gt.NumDupPairs() < 100 {
+		t.Errorf("too few duplicates: %d", gt.NumDupPairs())
+	}
+}
+
+func TestBlockSizeSkew(t *testing.T) {
+	// The generator must produce skewed first-2-char title distribution,
+	// otherwise the tree-splitting machinery has nothing to do.
+	ds, _ := Publications(DefaultPublications(3000, 19))
+	counts := map[string]int{}
+	for _, e := range ds.Entities {
+		title := e.Attr(0)
+		if len(title) >= 2 {
+			counts[title[:2]]++
+		}
+	}
+	maxC, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	avg := float64(total) / float64(len(counts))
+	if float64(maxC) < 3*avg {
+		t.Errorf("largest block %d vs avg %.1f — not skewed enough", maxC, avg)
+	}
+}
+
+func TestCorruptorDeterministic(t *testing.T) {
+	a := NewCorruptor(rand.New(rand.NewSource(9)))
+	b := NewCorruptor(rand.New(rand.NewSource(9)))
+	for i := 0; i < 50; i++ {
+		va := a.Corrupt("progressive entity resolution with mapreduce")
+		vb := b.Corrupt("progressive entity resolution with mapreduce")
+		if va != vb {
+			t.Fatalf("iteration %d: %q vs %q", i, va, vb)
+		}
+	}
+}
+
+func TestCorruptorEmptyString(t *testing.T) {
+	c := NewCorruptor(rand.New(rand.NewSource(1)))
+	if got := c.Corrupt(""); got != "" {
+		t.Errorf("Corrupt(\"\") = %q", got)
+	}
+}
+
+func TestCorruptorPreservesApproximateLength(t *testing.T) {
+	c := NewCorruptor(rand.New(rand.NewSource(2)))
+	c.MissingRate = 0
+	c.TruncateRate = 0
+	in := strings.Repeat("abcdefghij", 5)
+	for i := 0; i < 100; i++ {
+		out := c.Corrupt(in)
+		if len(out) < len(in)-15 || len(out) > len(in)+15 {
+			t.Fatalf("length drifted: %d → %d", len(in), len(out))
+		}
+	}
+}
+
+func TestZipfPickerSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	z := newZipfPicker(rng, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.Pick()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("rank 0 (%d) should dominate rank 50 (%d)", counts[0], counts[50])
+	}
+	if counts[0] < 1000 {
+		t.Errorf("rank 0 only %d of 20000 — not Zipf-like", counts[0])
+	}
+}
+
+func TestVocabDistinctWords(t *testing.T) {
+	v := newVocab(1, 500)
+	seen := map[string]bool{}
+	for _, w := range v.words {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if len(w) < 2 {
+			t.Fatalf("degenerate word %q", w)
+		}
+	}
+	if len(v.words) != 500 {
+		t.Fatalf("vocab size %d, want 500", len(v.words))
+	}
+}
+
+func TestPoissonishMean(t *testing.T) {
+	c := NewCorruptor(rand.New(rand.NewSource(6)))
+	total := 0
+	n := 20000
+	mean := 2.5
+	for i := 0; i < n; i++ {
+		total += c.poissonish(mean)
+	}
+	got := float64(total) / float64(n)
+	if got < mean*0.8 || got > mean*1.2 {
+		t.Errorf("empirical mean %.2f, want ≈%.2f", got, mean)
+	}
+	if c.poissonish(0) != 0 || c.poissonish(-1) != 0 {
+		t.Error("non-positive mean must give 0")
+	}
+}
+
+func TestPersonRecords(t *testing.T) {
+	ds, gt := PersonRecords(DefaultPeople(1000, 7))
+	if ds.Len() < 1000 || ds.Schema != PersonSchema {
+		t.Fatalf("dataset: len=%d", ds.Len())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if gt.NumDupPairs() < 100 {
+		t.Errorf("too few duplicates: %d", gt.NumDupPairs())
+	}
+	// Determinism.
+	ds2, gt2 := PersonRecords(DefaultPeople(1000, 7))
+	for i := range ds.Entities {
+		if !entity.Equal(ds.Entities[i], ds2.Entities[i]) {
+			t.Fatalf("entity %d differs", i)
+		}
+	}
+	if gt.NumDupPairs() != gt2.NumDupPairs() {
+		t.Error("ground truth not deterministic")
+	}
+	// Phones of duplicates usually agree (rare corruption).
+	agree, total := 0, 0
+	for _, p := range gt.DupPairs() {
+		total++
+		if ds.Get(p.Lo).Attr(3) == ds.Get(p.Hi).Attr(3) {
+			agree++
+		}
+	}
+	if total > 0 && float64(agree)/float64(total) < 0.7 {
+		t.Errorf("only %d/%d duplicate phone agreements", agree, total)
+	}
+}

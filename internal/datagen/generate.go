@@ -1,0 +1,320 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"proger/internal/entity"
+)
+
+// Config controls a synthetic workload. The zero value is not usable;
+// start from DefaultPublications / DefaultBooks and override.
+type Config struct {
+	// NumEntities is the approximate total number of records generated
+	// (the generator stops at the first cluster boundary ≥ this).
+	NumEntities int
+	// DupClusterRate is the fraction of real-world objects that have
+	// more than one record.
+	DupClusterRate float64
+	// MaxClusterSize caps records per object.
+	MaxClusterSize int
+	// TitleZipf is the Zipf exponent for vocabulary skew; larger →
+	// more skewed blocking-key distribution → larger large blocks.
+	TitleZipf float64
+	// VocabSize is the number of distinct words available for titles.
+	VocabSize int
+	// Seed makes the generator fully deterministic.
+	Seed int64
+}
+
+// DefaultPublications mirrors the CiteSeerX workload structure:
+// 4 attributes (title, abstract, venue, authors), long text values,
+// heavy vocabulary skew.
+func DefaultPublications(numEntities int, seed int64) Config {
+	return Config{
+		NumEntities:    numEntities,
+		DupClusterRate: 0.30,
+		MaxClusterSize: 8,
+		TitleZipf:      0.85,
+		VocabSize:      1500,
+		Seed:           seed,
+	}
+}
+
+// DefaultBooks mirrors the OL-Books workload structure: 8 attributes,
+// shorter values, more exact-matchable fields, heavier skew.
+func DefaultBooks(numEntities int, seed int64) Config {
+	return Config{
+		NumEntities:    numEntities,
+		DupClusterRate: 0.25,
+		MaxClusterSize: 6,
+		TitleZipf:      1.0,
+		VocabSize:      2000,
+		Seed:           seed,
+	}
+}
+
+// PublicationSchema is the CiteSeerX-like schema (Table II, left).
+var PublicationSchema = entity.MustSchema("title", "abstract", "venue", "authors")
+
+// BookSchema is the OL-Books-like schema (Table II, right).
+var BookSchema = entity.MustSchema("title", "authors", "publisher", "year", "language", "format", "pages", "edition")
+
+// Publications generates a CiteSeerX-like dataset with ground truth.
+func Publications(cfg Config) (*entity.Dataset, *GroundTruth) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	voc := newVocab(cfg.Seed+101, cfg.VocabSize)
+	titlePick := newZipfPicker(rng, cfg.VocabSize, cfg.TitleZipf)
+	venues := venueList(cfg.Seed+102, 150)
+	venuePick := newZipfPicker(rng, len(venues), 1.0)
+	authors := nameList(cfg.Seed+103, 800)
+	cor := NewCorruptor(rng)
+
+	ds := entity.NewDataset(PublicationSchema)
+	var clusterOf []int
+	cluster := 0
+	for ds.Len() < cfg.NumEntities {
+		// Pick the title's first word explicitly: popular first words
+		// (low Zipf rank) mark "popular" objects, which real
+		// bibliographic data duplicates far more often — the skew that
+		// makes duplicate-aware scheduling matter (§VI-B2).
+		firstRank := titlePick.Pick()
+		size := clusterSize(rng, cfg, popularity(firstRank, cfg.VocabSize))
+		base := []string{
+			voc.words[firstRank] + " " + voc.phrase(titlePick, 3+rng.Intn(5)), // title
+			voc.phrase(titlePick, 25+rng.Intn(26)),                            // abstract
+			venues[venuePick.Pick()],                                          // venue
+			authorPhrase(rng, authors, 1+rng.Intn(3)),                         // authors
+		}
+		for i := 0; i < size; i++ {
+			rec := base
+			if i > 0 {
+				rec = corruptAll(cor, base)
+			}
+			ds.Append(rec...)
+			clusterOf = append(clusterOf, cluster)
+		}
+		cluster++
+	}
+	return ds, NewGroundTruth(clusterOf)
+}
+
+// Books generates an OL-Books-like dataset with ground truth.
+func Books(cfg Config) (*entity.Dataset, *GroundTruth) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	voc := newVocab(cfg.Seed+201, cfg.VocabSize)
+	titlePick := newZipfPicker(rng, cfg.VocabSize, cfg.TitleZipf)
+	pubs := venueList(cfg.Seed+202, 100)
+	pubPick := newZipfPicker(rng, len(pubs), 1.1)
+	authors := nameList(cfg.Seed+203, 1200)
+	languages := []string{"english", "german", "french", "spanish", "italian", "japanese", "russian", "dutch", "portuguese", "chinese"}
+	langPick := newZipfPicker(rng, len(languages), 1.4)
+	formats := []string{"hardcover", "paperback", "ebook"}
+	editions := []string{"1st", "2nd", "3rd", "4th", "5th"}
+	cor := NewCorruptor(rng)
+
+	ds := entity.NewDataset(BookSchema)
+	var clusterOf []int
+	cluster := 0
+	for ds.Len() < cfg.NumEntities {
+		firstRank := titlePick.Pick()
+		size := clusterSize(rng, cfg, popularity(firstRank, cfg.VocabSize))
+		base := []string{
+			voc.words[firstRank] + " " + voc.phrase(titlePick, 1+rng.Intn(5)), // title
+			authorPhrase(rng, authors, 1+rng.Intn(2)),                         // authors
+			pubs[pubPick.Pick()],                 // publisher
+			fmt.Sprintf("%d", 1950+rng.Intn(71)), // year
+			languages[langPick.Pick()],           // language
+			formats[rng.Intn(len(formats))],      // format
+			fmt.Sprintf("%d", 60+rng.Intn(900)),  // pages
+			editions[rng.Intn(len(editions))],    // edition
+		}
+		for i := 0; i < size; i++ {
+			rec := base
+			if i > 0 {
+				rec = corruptBook(cor, rng, base)
+			}
+			ds.Append(rec...)
+			clusterOf = append(clusterOf, cluster)
+		}
+		cluster++
+	}
+	return ds, NewGroundTruth(clusterOf)
+}
+
+// corruptBook applies the full corruption model to the text attributes
+// (title, authors, publisher) but only rare defects to the categorical
+// and numeric ones — in real book records the year or language of two
+// listings of the same book usually agree.
+func corruptBook(cor *Corruptor, rng *rand.Rand, base []string) []string {
+	out := make([]string, len(base))
+	for i, v := range base {
+		if i < 3 || rng.Float64() < 0.12 {
+			out[i] = cor.Corrupt(v)
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// PeopleSchema is the Table-I toy schema.
+var PeopleSchema = entity.MustSchema("name", "state")
+
+// People returns the toy dataset of Table I with its six true clusters:
+// {e1,e2,e3}, {e4,e5}, {e6}, {e7}, {e8}, {e9} (zero-indexed here).
+func People() (*entity.Dataset, *GroundTruth) {
+	ds := entity.NewDataset(PeopleSchema)
+	rows := [][2]string{
+		{"John Lopez", "HI"},
+		{"John Lopez", "HI"},
+		{"John Lopez", "AZ"},
+		{"Charles Andrews", "LA"},
+		{"Gharles Andrews", "LA"},
+		{"Mary Gibson", "AZ"},
+		{"Chloe Matthew", "AZ"},
+		{"William Martin", "AZ"},
+		{"Joey Brown", "LA"},
+	}
+	for _, r := range rows {
+		ds.Append(r[0], r[1])
+	}
+	clusterOf := []int{0, 0, 0, 1, 1, 2, 3, 4, 5}
+	return ds, NewGroundTruth(clusterOf)
+}
+
+// popularity maps the title's first-word Zipf rank to a duplicate-rate
+// multiplier, shaping where duplicates live relative to block sizes the
+// way real bibliographic data does:
+//
+//   - the very top ranks form the *largest* blocking trees but are
+//     generic stop-word-like openers ("introduction", "analysis") whose
+//     co-blocked works are mostly unrelated → big, duplicate-poor,
+//     expensive trees. These are the §VI-B2 trap for LPT: each hogs a
+//     reduce task while contributing little recall;
+//   - the next band is genuinely popular specific works, re-cited and
+//     re-listed often → medium-large, duplicate-rich trees, exactly
+//     what a duplicate-aware schedule resolves first (and splits);
+//   - the long tail duplicates at a modest background rate.
+func popularity(rank, vocab int) float64 {
+	switch {
+	case rank < vocab/500+1:
+		return 0.3
+	case rank < vocab/100:
+		return 3.0
+	case rank < vocab/12:
+		return 1.1
+	default:
+		return 0.5
+	}
+}
+
+// PersonSchema is the schema of the scalable people workload:
+// name, city, state, phone.
+var PersonSchema = entity.MustSchema("name", "city", "state", "phone")
+
+// PersonRecords generates a people dataset of the Table-I flavor at
+// arbitrary scale: person records duplicated with typos, useful for
+// demonstrating phonetic (Soundex) blocking on the name attribute.
+func PersonRecords(cfg Config) (*entity.Dataset, *GroundTruth) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	names := nameList(cfg.Seed+301, cfg.VocabSize)
+	cities := venueList(cfg.Seed+302, 120)
+	cityPick := newZipfPicker(rng, len(cities), 1.0)
+	states := []string{"AZ", "CA", "HI", "LA", "NY", "TX", "WA", "FL", "OH", "IL"}
+	statePick := newZipfPicker(rng, len(states), 0.8)
+	namePick := newZipfPicker(rng, len(names), cfg.TitleZipf)
+	cor := NewCorruptor(rng)
+
+	ds := entity.NewDataset(PersonSchema)
+	var clusterOf []int
+	cluster := 0
+	for ds.Len() < cfg.NumEntities {
+		nameRank := namePick.Pick()
+		size := clusterSize(rng, cfg, popularity(nameRank, len(names)))
+		base := []string{
+			names[nameRank],
+			cities[cityPick.Pick()],
+			states[statePick.Pick()],
+			fmt.Sprintf("%03d-%04d", rng.Intn(1000), rng.Intn(10000)),
+		}
+		for i := 0; i < size; i++ {
+			rec := base
+			if i > 0 {
+				rec = corruptPerson(cor, rng, base)
+			}
+			ds.Append(rec...)
+			clusterOf = append(clusterOf, cluster)
+		}
+		cluster++
+	}
+	return ds, NewGroundTruth(clusterOf)
+}
+
+// corruptPerson fully corrupts the text attributes (name, city) and
+// rarely touches the categorical ones (state, phone).
+func corruptPerson(cor *Corruptor, rng *rand.Rand, base []string) []string {
+	out := make([]string, len(base))
+	for i, v := range base {
+		if i < 2 || rng.Float64() < 0.10 {
+			out[i] = cor.Corrupt(v)
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// DefaultPeople returns the people-workload configuration.
+func DefaultPeople(numEntities int, seed int64) Config {
+	return Config{
+		NumEntities:    numEntities,
+		DupClusterRate: 0.30,
+		MaxClusterSize: 6,
+		TitleZipf:      0.9,
+		VocabSize:      1200,
+		Seed:           seed,
+	}
+}
+
+// clusterSize draws the number of records describing one object:
+// 1 for non-duplicated objects; otherwise 2 plus a geometric tail,
+// capped at MaxClusterSize. boost scales the duplication probability
+// (and, mildly, the tail) by the object's popularity.
+func clusterSize(rng *rand.Rand, cfg Config, boost float64) int {
+	p := cfg.DupClusterRate * boost
+	if p > 0.95 {
+		p = 0.95
+	}
+	if rng.Float64() >= p {
+		return 1
+	}
+	tail := 0.35
+	if boost > 1 {
+		tail = 0.45
+	}
+	size := 2
+	for size < cfg.MaxClusterSize && rng.Float64() < tail {
+		size++
+	}
+	return size
+}
+
+func corruptAll(cor *Corruptor, base []string) []string {
+	out := make([]string, len(base))
+	for i, v := range base {
+		out[i] = cor.Corrupt(v)
+	}
+	return out
+}
+
+func authorPhrase(rng *rand.Rand, names []string, n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		s += names[rng.Intn(len(names))]
+	}
+	return s
+}

@@ -1,0 +1,62 @@
+package datagen
+
+import (
+	"proger/internal/entity"
+)
+
+// GroundTruth records which entities represent the same real-world
+// object. It answers the two questions the evaluation needs: is a given
+// pair a true duplicate, and how many true duplicate pairs exist in
+// total (the N of Eq. 1 and the denominator of duplicate recall).
+type GroundTruth struct {
+	// ClusterOf maps entity ID → cluster index.
+	ClusterOf []int
+	// Clusters lists the member IDs of each cluster, in ID order.
+	Clusters [][]entity.ID
+}
+
+// NewGroundTruth builds a GroundTruth from a cluster assignment.
+func NewGroundTruth(clusterOf []int) *GroundTruth {
+	maxC := -1
+	for _, c := range clusterOf {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	g := &GroundTruth{ClusterOf: clusterOf, Clusters: make([][]entity.ID, maxC+1)}
+	for id, c := range clusterOf {
+		g.Clusters[c] = append(g.Clusters[c], entity.ID(id))
+	}
+	return g
+}
+
+// IsDup reports whether the pair is a true duplicate.
+func (g *GroundTruth) IsDup(p entity.Pair) bool {
+	if int(p.Lo) >= len(g.ClusterOf) || int(p.Hi) >= len(g.ClusterOf) {
+		return false
+	}
+	return g.ClusterOf[p.Lo] == g.ClusterOf[p.Hi]
+}
+
+// NumDupPairs returns the total number of true duplicate pairs
+// (Σ over clusters of Pairs(|cluster|)).
+func (g *GroundTruth) NumDupPairs() int64 {
+	var n int64
+	for _, c := range g.Clusters {
+		n += entity.Pairs(len(c))
+	}
+	return n
+}
+
+// DupPairs enumerates every true duplicate pair, in deterministic order.
+func (g *GroundTruth) DupPairs() []entity.Pair {
+	out := make([]entity.Pair, 0, g.NumDupPairs())
+	for _, c := range g.Clusters {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				out = append(out, entity.MakePair(c[i], c[j]))
+			}
+		}
+	}
+	return out
+}

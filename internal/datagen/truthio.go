@@ -1,0 +1,62 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteGroundTruth writes the cluster assignment as tab-separated text:
+// a "#id\tcluster" header followed by one line per entity.
+func WriteGroundTruth(w io.Writer, gt *GroundTruth) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "#id\tcluster"); err != nil {
+		return err
+	}
+	for id, c := range gt.ClusterOf {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", id, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGroundTruth parses a file written by WriteGroundTruth. Lines must
+// appear in dense ID order.
+func ReadGroundTruth(r io.Reader) (*GroundTruth, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("datagen: empty ground-truth input")
+	}
+	if got := sc.Text(); got != "#id\tcluster" {
+		return nil, fmt.Errorf("datagen: bad ground-truth header %q", got)
+	}
+	var clusterOf []int
+	line := 1
+	for sc.Scan() {
+		line++
+		parts := strings.Split(sc.Text(), "\t")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("datagen: ground-truth line %d malformed", line)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil || id != len(clusterOf) {
+			return nil, fmt.Errorf("datagen: ground-truth line %d: want dense id %d", line, len(clusterOf))
+		}
+		c, err := strconv.Atoi(parts[1])
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("datagen: ground-truth line %d: bad cluster %q", line, parts[1])
+		}
+		clusterOf = append(clusterOf, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewGroundTruth(clusterOf), nil
+}

@@ -1,0 +1,46 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGroundTruthIO(t *testing.T) {
+	_, gt := Publications(DefaultPublications(300, 77))
+	var buf bytes.Buffer
+	if err := WriteGroundTruth(&buf, gt); err != nil {
+		t.Fatalf("WriteGroundTruth: %v", err)
+	}
+	back, err := ReadGroundTruth(&buf)
+	if err != nil {
+		t.Fatalf("ReadGroundTruth: %v", err)
+	}
+	if len(back.ClusterOf) != len(gt.ClusterOf) {
+		t.Fatalf("lengths differ: %d vs %d", len(back.ClusterOf), len(gt.ClusterOf))
+	}
+	for i := range gt.ClusterOf {
+		if back.ClusterOf[i] != gt.ClusterOf[i] {
+			t.Fatalf("cluster of e%d differs", i)
+		}
+	}
+	if back.NumDupPairs() != gt.NumDupPairs() {
+		t.Error("duplicate pair count differs after round trip")
+	}
+}
+
+func TestReadGroundTruthErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong header\n",
+		"#id\tcluster\n0\n",
+		"#id\tcluster\n5\t0\n",       // non-dense id
+		"#id\tcluster\n0\tnotanum\n", // bad cluster
+		"#id\tcluster\n0\t-2\n",      // negative cluster
+	}
+	for i, in := range cases {
+		if _, err := ReadGroundTruth(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

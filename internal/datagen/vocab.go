@@ -1,0 +1,85 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// vocab is a deterministic fake-word vocabulary. Words are built from
+// syllables so titles look like natural text ("damibo retuka nolisa"),
+// and because words are drawn with Zipf skew, their first characters —
+// which blocking functions use as keys — follow the heavy-tailed
+// distribution responsible for the paper's block-size skewness.
+type vocab struct {
+	words []string
+}
+
+var syllOnset = []string{"b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br", "cl", "dr", "st", "tr", "pl"}
+var syllNucleus = []string{"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"}
+var syllCoda = []string{"", "", "", "n", "r", "s", "t", "l", "m"}
+
+// newVocab generates n distinct words deterministically from the seed.
+func newVocab(seed int64, n int) *vocab {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	words := make([]string, 0, n)
+	for len(words) < n {
+		nSyll := 2 + rng.Intn(2)
+		var b strings.Builder
+		for s := 0; s < nSyll; s++ {
+			b.WriteString(syllOnset[rng.Intn(len(syllOnset))])
+			b.WriteString(syllNucleus[rng.Intn(len(syllNucleus))])
+			b.WriteString(syllCoda[rng.Intn(len(syllCoda))])
+		}
+		w := b.String()
+		if !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	return &vocab{words: words}
+}
+
+// phrase draws nWords words using the picker (Zipf over the vocabulary)
+// and joins them with spaces.
+func (v *vocab) phrase(z *zipfPicker, nWords int) string {
+	parts := make([]string, nWords)
+	for i := range parts {
+		parts[i] = v.words[z.Pick()%len(v.words)]
+	}
+	return strings.Join(parts, " ")
+}
+
+// nameList generates n personal names ("Given Surname").
+func nameList(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	v := newVocab(seed+1, 400)
+	out := make([]string, n)
+	for i := range out {
+		g := v.words[rng.Intn(len(v.words))]
+		s := v.words[rng.Intn(len(v.words))]
+		out[i] = title(g) + " " + title(s)
+	}
+	return out
+}
+
+// venueList generates n venue/publisher names like "proceedings of
+// damibo" or "retuka press".
+func venueList(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	v := newVocab(seed+2, 300)
+	suffixes := []string{"press", "journal", "conference", "symposium", "letters", "review"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s %s", v.words[rng.Intn(len(v.words))], suffixes[rng.Intn(len(suffixes))])
+	}
+	return out
+}
+
+func title(w string) string {
+	if w == "" {
+		return w
+	}
+	return strings.ToUpper(w[:1]) + w[1:]
+}

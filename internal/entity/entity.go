@@ -1,0 +1,192 @@
+// Package entity defines the data model shared by every stage of the
+// progressive entity-resolution pipeline: entities, attribute schemas,
+// datasets, and pair identifiers.
+//
+// An Entity is a flat record: an integer ID plus one string value per
+// attribute of its dataset's Schema. The pipeline never interprets
+// attribute values itself; blocking functions and similarity functions
+// are configured with attribute indexes.
+package entity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies an entity within a dataset. IDs are dense, starting at 0,
+// which lets per-entity state live in slices instead of maps.
+type ID int32
+
+// Entity is a single record of a dataset. Attrs is indexed by the
+// dataset Schema's attribute positions.
+type Entity struct {
+	ID    ID
+	Attrs []string
+}
+
+// Attr returns the value of attribute i, or "" if the entity has no
+// value at that position (ragged records are tolerated).
+func (e *Entity) Attr(i int) string {
+	if i < 0 || i >= len(e.Attrs) {
+		return ""
+	}
+	return e.Attrs[i]
+}
+
+// Clone returns a deep copy of the entity.
+func (e *Entity) Clone() *Entity {
+	attrs := make([]string, len(e.Attrs))
+	copy(attrs, e.Attrs)
+	return &Entity{ID: e.ID, Attrs: attrs}
+}
+
+// String renders the entity compactly for logs and error messages.
+func (e *Entity) String() string {
+	return fmt.Sprintf("e%d{%s}", e.ID, strings.Join(e.Attrs, "|"))
+}
+
+// Schema names the attributes of a dataset, in positional order.
+type Schema struct {
+	Attributes []string
+	index      map[string]int
+}
+
+// NewSchema builds a Schema from attribute names. Names must be unique.
+func NewSchema(attrs ...string) (*Schema, error) {
+	s := &Schema{Attributes: attrs, index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("entity: duplicate attribute %q in schema", a)
+		}
+		s.index[a] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for package-level
+// schema literals in tests and generators.
+func MustSchema(attrs ...string) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Index returns the position of the named attribute, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.Attributes) }
+
+// Dataset is an in-memory collection of entities plus its schema.
+// Entities are stored in ID order: Entities[i].ID == ID(i).
+type Dataset struct {
+	Schema   *Schema
+	Entities []*Entity
+}
+
+// NewDataset creates an empty dataset with the given schema.
+func NewDataset(schema *Schema) *Dataset {
+	return &Dataset{Schema: schema}
+}
+
+// Append adds a record, assigning the next dense ID, and returns the
+// new entity.
+func (d *Dataset) Append(attrs ...string) *Entity {
+	e := &Entity{ID: ID(len(d.Entities)), Attrs: attrs}
+	d.Entities = append(d.Entities, e)
+	return e
+}
+
+// Len returns the number of entities.
+func (d *Dataset) Len() int { return len(d.Entities) }
+
+// Get returns the entity with the given ID, or nil if out of range.
+func (d *Dataset) Get(id ID) *Entity {
+	if int(id) < 0 || int(id) >= len(d.Entities) {
+		return nil
+	}
+	return d.Entities[id]
+}
+
+// Validate checks the dense-ID invariant and per-record arity.
+func (d *Dataset) Validate() error {
+	n := d.Schema.Len()
+	for i, e := range d.Entities {
+		if e == nil {
+			return fmt.Errorf("entity: nil entity at position %d", i)
+		}
+		if int(e.ID) != i {
+			return fmt.Errorf("entity: entity at position %d has ID %d (want dense IDs)", i, e.ID)
+		}
+		if len(e.Attrs) > n {
+			return fmt.Errorf("entity: e%d has %d attributes, schema has %d", e.ID, len(e.Attrs), n)
+		}
+	}
+	return nil
+}
+
+// Pair identifies an unordered pair of entities. Construct with
+// MakePair so that Lo < Hi always holds; that canonical form makes Pair
+// usable directly as a map/set key.
+type Pair struct {
+	Lo, Hi ID
+}
+
+// MakePair returns the canonical (Lo < Hi) pair for a and b.
+// a and b must differ.
+func MakePair(a, b ID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{Lo: a, Hi: b}
+}
+
+// String renders the pair as <eLo,eHi>.
+func (p Pair) String() string { return fmt.Sprintf("<e%d,e%d>", p.Lo, p.Hi) }
+
+// PairSet is a set of canonical pairs.
+type PairSet map[Pair]struct{}
+
+// Add inserts p and reports whether it was newly added.
+func (s PairSet) Add(p Pair) bool {
+	if _, ok := s[p]; ok {
+		return false
+	}
+	s[p] = struct{}{}
+	return true
+}
+
+// Has reports membership.
+func (s PairSet) Has(p Pair) bool { _, ok := s[p]; return ok }
+
+// Sorted returns the pairs in (Lo, Hi) order, for deterministic output.
+func (s PairSet) Sorted() []Pair {
+	out := make([]Pair, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Hi < out[j].Hi
+	})
+	return out
+}
+
+// Pairs returns n·(n−1)/2: the number of unordered pairs among n
+// entities. This is the Pairs(.) function used throughout the paper.
+func Pairs(n int) int64 {
+	if n < 2 {
+		return 0
+	}
+	return int64(n) * int64(n-1) / 2
+}

@@ -1,0 +1,290 @@
+package entity
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema("name", "state")
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if got := s.Index("state"); got != 1 {
+		t.Errorf("Index(state) = %d, want 1", got)
+	}
+	if got := s.Index("missing"); got != -1 {
+		t.Errorf("Index(missing) = %d, want -1", got)
+	}
+}
+
+func TestNewSchemaDuplicate(t *testing.T) {
+	if _, err := NewSchema("a", "b", "a"); err == nil {
+		t.Fatal("NewSchema with duplicate attribute: want error, got nil")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema with duplicates should panic")
+		}
+	}()
+	MustSchema("x", "x")
+}
+
+func TestDatasetAppendAndGet(t *testing.T) {
+	d := NewDataset(MustSchema("name"))
+	e0 := d.Append("alice")
+	e1 := d.Append("bob")
+	if e0.ID != 0 || e1.ID != 1 {
+		t.Fatalf("IDs = %d,%d; want 0,1", e0.ID, e1.ID)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if got := d.Get(1); got.Attr(0) != "bob" {
+		t.Errorf("Get(1).Attr(0) = %q, want bob", got.Attr(0))
+	}
+	if d.Get(-1) != nil || d.Get(2) != nil {
+		t.Error("Get out of range should return nil")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestDatasetValidateCatchesSparseIDs(t *testing.T) {
+	d := NewDataset(MustSchema("name"))
+	d.Entities = append(d.Entities, &Entity{ID: 5, Attrs: []string{"x"}})
+	if err := d.Validate(); err == nil {
+		t.Fatal("Validate should reject non-dense IDs")
+	}
+}
+
+func TestEntityAttrOutOfRange(t *testing.T) {
+	e := &Entity{ID: 0, Attrs: []string{"a"}}
+	if e.Attr(3) != "" {
+		t.Error("Attr out of range should be empty")
+	}
+	if e.Attr(-1) != "" {
+		t.Error("Attr(-1) should be empty")
+	}
+}
+
+func TestEntityClone(t *testing.T) {
+	e := &Entity{ID: 7, Attrs: []string{"a", "b"}}
+	c := e.Clone()
+	c.Attrs[0] = "z"
+	if e.Attrs[0] != "a" {
+		t.Error("Clone must not share attr storage")
+	}
+	if c.ID != 7 {
+		t.Errorf("Clone ID = %d, want 7", c.ID)
+	}
+}
+
+func TestMakePairCanonical(t *testing.T) {
+	p := MakePair(9, 3)
+	if p.Lo != 3 || p.Hi != 9 {
+		t.Fatalf("MakePair(9,3) = %v, want <e3,e9>", p)
+	}
+	if MakePair(3, 9) != p {
+		t.Error("MakePair must be symmetric")
+	}
+}
+
+func TestMakePairSymmetryProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		if a == b {
+			return true
+		}
+		return MakePair(ID(a), ID(b)) == MakePair(ID(b), ID(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairSet(t *testing.T) {
+	s := PairSet{}
+	if !s.Add(MakePair(1, 2)) {
+		t.Error("first Add should report true")
+	}
+	if s.Add(MakePair(2, 1)) {
+		t.Error("Add of same unordered pair should report false")
+	}
+	if !s.Has(MakePair(1, 2)) {
+		t.Error("Has should find the pair")
+	}
+	s.Add(MakePair(0, 5))
+	s.Add(MakePair(0, 3))
+	sorted := s.Sorted()
+	if len(sorted) != 3 {
+		t.Fatalf("len = %d, want 3", len(sorted))
+	}
+	if sorted[0] != MakePair(0, 3) || sorted[1] != MakePair(0, 5) {
+		t.Errorf("Sorted order wrong: %v", sorted)
+	}
+}
+
+func TestPairs(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 3}, {4, 6}, {10, 45}, {30, 435}, {100000, 4999950000}}
+	for _, c := range cases {
+		if got := Pairs(c.n); got != c.want {
+			t.Errorf("Pairs(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	e := &Entity{ID: 42, Attrs: []string{"John Lopez", "", "HI", "with\ttab and\nnewline"}}
+	buf := EncodeBinary(nil, e)
+	got, n, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d bytes, want %d", n, len(buf))
+	}
+	if !Equal(e, got) {
+		t.Errorf("round trip mismatch: %v vs %v", e, got)
+	}
+}
+
+func TestBinaryCodecConcatenated(t *testing.T) {
+	var buf []byte
+	want := []*Entity{
+		{ID: 0, Attrs: []string{"a"}},
+		{ID: 1, Attrs: []string{"bb", "cc"}},
+		{ID: 2, Attrs: nil},
+	}
+	for _, e := range want {
+		buf = EncodeBinary(buf, e)
+	}
+	off := 0
+	for i, w := range want {
+		e, n, err := DecodeBinary(buf[off:])
+		if err != nil {
+			t.Fatalf("entity %d: %v", i, err)
+		}
+		if len(w.Attrs) == 0 {
+			if e.ID != w.ID || len(e.Attrs) != 0 {
+				t.Errorf("entity %d mismatch: %v", i, e)
+			}
+		} else if !Equal(w, e) {
+			t.Errorf("entity %d mismatch: %v vs %v", i, w, e)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Errorf("decoded %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestBinaryCodecTruncated(t *testing.T) {
+	e := &Entity{ID: 3, Attrs: []string{"hello", "world"}}
+	buf := EncodeBinary(nil, e)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeBinary(buf[:cut]); err == nil {
+			// A prefix may decode successfully only if it happens to
+			// contain a full record, which cannot happen here because
+			// the encoding is a single record.
+			t.Errorf("DecodeBinary of %d-byte prefix: want error", cut)
+		}
+	}
+}
+
+func TestBinaryCodecQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(id int32, a, b, c string) bool {
+		e := &Entity{ID: ID(id), Attrs: []string{a, b, c}}
+		got, n, err := DecodeBinary(EncodeBinary(nil, e))
+		return err == nil && n > 0 && Equal(e, got)
+	}
+	cfg := &quick.Config{Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	d := NewDataset(MustSchema("name", "state"))
+	d.Append("John Lopez", "HI")
+	d.Append("tabby\tcat", "line\nbreak")
+	d.Append("back\\slash", "")
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, d); err != nil {
+		t.Fatalf("WriteTSV: %v", err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadTSV: %v", err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), d.Len())
+	}
+	for i := range d.Entities {
+		if !Equal(d.Entities[i], got.Entities[i]) {
+			t.Errorf("entity %d: %v vs %v", i, d.Entities[i], got.Entities[i])
+		}
+	}
+	if got.Schema.Index("state") != 1 {
+		t.Error("schema lost in round trip")
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("")); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := ReadTSV(strings.NewReader("no header\n")); err == nil {
+		t.Error("bad header: want error")
+	}
+	if _, err := ReadTSV(strings.NewReader("#id\ta\tb\n0\tonly-one-field\n")); err == nil {
+		t.Error("wrong arity: want error")
+	}
+}
+
+func TestPairCodec(t *testing.T) {
+	p := MakePair(100, 2000000)
+	buf := EncodePair(nil, p)
+	got, n, err := DecodePair(buf)
+	if err != nil || n != len(buf) || got != p {
+		t.Fatalf("DecodePair = %v,%d,%v; want %v,%d,nil", got, n, err, p, len(buf))
+	}
+	if _, _, err := DecodePair(nil); err == nil {
+		t.Error("DecodePair(nil): want error")
+	}
+}
+
+func TestEscapeTSVIdempotentOnPlain(t *testing.T) {
+	f := func(s string) bool {
+		clean := strings.Map(func(r rune) rune {
+			if r == '\t' || r == '\n' || r == '\\' {
+				return 'x'
+			}
+			return r
+		}, s)
+		return escapeTSV(clean) == clean && unescapeTSV(clean) == clean
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapeUnescapeRoundTrip(t *testing.T) {
+	f := func(s string) bool { return unescapeTSV(escapeTSV(s)) == s }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

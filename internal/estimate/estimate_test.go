@@ -1,0 +1,434 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"proger/internal/blocking"
+	"proger/internal/costmodel"
+	"proger/internal/datagen"
+	"proger/internal/entity"
+)
+
+func TestWindowPairs(t *testing.T) {
+	cases := []struct {
+		n, w int
+		want int64
+	}{
+		{0, 5, 0}, {1, 5, 0},
+		{2, 5, 1},      // w clamps to n → all pairs
+		{4, 10, 6},     // all pairs
+		{10, 3, 9 + 8}, // d=1: 9, d=2: 8
+		{10, 10, 45},   // all pairs
+		{100, 15, 14*100 - 15*14/2},
+		{5, 0, 4}, // w<2 clamps to 2 → distance-1 pairs only
+	}
+	for _, c := range cases {
+		if got := WindowPairs(c.n, c.w); got != c.want {
+			t.Errorf("WindowPairs(%d,%d) = %d, want %d", c.n, c.w, got, c.want)
+		}
+	}
+}
+
+func TestWindowPairsNeverExceedsAllPairs(t *testing.T) {
+	for n := 0; n < 60; n++ {
+		for w := 0; w < 70; w++ {
+			if got := WindowPairs(n, w); got > entity.Pairs(n) {
+				t.Fatalf("WindowPairs(%d,%d) = %d > Pairs = %d", n, w, got, entity.Pairs(n))
+			}
+		}
+	}
+}
+
+func TestPolicyLevels(t *testing.T) {
+	p := CiteSeerXPolicy()
+	root := &blocking.Block{Size: 100}
+	mid := &blocking.Block{Size: 40, Parent: root}
+	leaf := &blocking.Block{Size: 10, Parent: mid}
+	mid.Children = []*blocking.Block{leaf}
+	root.Children = []*blocking.Block{mid}
+
+	if p.Window(root) != 15 || p.Window(mid) != 10 || p.Window(leaf) != 5 {
+		t.Errorf("windows = %d,%d,%d", p.Window(root), p.Window(mid), p.Window(leaf))
+	}
+	if p.Frac(root) != 1 || p.Frac(mid) != 0.9 || p.Frac(leaf) != 0.8 {
+		t.Errorf("fracs = %v,%v,%v", p.Frac(root), p.Frac(mid), p.Frac(leaf))
+	}
+	if p.Th(mid) != 40 {
+		t.Errorf("Th = %d, want |X| = 40", p.Th(mid))
+	}
+	// Detached subtree roots count as full resolves.
+	detached := &blocking.Block{Size: 40, FullResolve: true}
+	if p.Window(detached) != 15 || p.Frac(detached) != 1 {
+		t.Error("FullResolve block should use root parameters")
+	}
+	// Th is never below 1.
+	tiny := &blocking.Block{Size: 0}
+	if p.Th(tiny) != 1 {
+		t.Errorf("Th(0) = %d", p.Th(tiny))
+	}
+	b := OLBooksPolicy()
+	if b.FracLeaf != 0.85 || b.FracMid != 0.95 {
+		t.Error("books policy fracs wrong")
+	}
+}
+
+func TestFracBucket(t *testing.T) {
+	cases := map[float64]int{
+		1.0:   0,
+		0.5:   0,
+		0.1:   0, // boundary: −log10(0.1) = 1 exactly... see below
+		0.09:  1,
+		0.009: 2,
+		1e-9:  7,
+		0:     7,
+		-1:    7,
+	}
+	// 0.1 is a float boundary; accept bucket 0 or 1.
+	for f, want := range cases {
+		got := fracBucket(f)
+		if f == 0.1 {
+			if got != 0 && got != 1 {
+				t.Errorf("fracBucket(0.1) = %d", got)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("fracBucket(%v) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	bounds := BucketBounds()
+	if len(bounds) != numBuckets {
+		t.Fatalf("bounds = %d", len(bounds))
+	}
+	if bounds[0][1] != 1.0 || bounds[numBuckets-1][0] != 0 {
+		t.Errorf("outer bounds wrong: %v", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i][1] != bounds[i-1][0] {
+			t.Errorf("bounds not contiguous at %d", i)
+		}
+	}
+}
+
+func TestDefaultModelMonotoneDecreasingDensity(t *testing.T) {
+	m := DefaultModel{}
+	small := &blocking.Block{Size: 10}
+	large := &blocking.Block{Size: 1000}
+	ds := 10000
+	dSmall := m.D(small, entity.Pairs(10), ds) / float64(entity.Pairs(10))
+	dLarge := m.D(large, entity.Pairs(1000), ds) / float64(entity.Pairs(1000))
+	if dSmall <= dLarge {
+		t.Errorf("duplicate density should fall with size: %v vs %v", dSmall, dLarge)
+	}
+	if m.D(small, 0, ds) != 0 {
+		t.Error("zero covered pairs → zero estimate")
+	}
+	if got := m.D(&blocking.Block{Size: 1}, 5, ds); got != 0 {
+		t.Errorf("singleton block: %v", got)
+	}
+}
+
+func TestTrainLearnsHigherDensityForSmallerBlocks(t *testing.T) {
+	ds, gt := datagen.Publications(datagen.DefaultPublications(2000, 31))
+	fams := blocking.CiteSeerXFamilies(ds.Schema)
+	m := Train(ds, gt, fams)
+	if len(m.Probs) == 0 {
+		t.Fatal("no probabilities learned")
+	}
+	// Deeper levels (smaller blocks) should have higher learned
+	// duplicate probability on the whole: compare level 1 vs level 3 of
+	// family X in their populated buckets.
+	k1 := levelKey{Family: 0, Level: 1}
+	k3 := levelKey{Family: 0, Level: 3}
+	p1, ok1 := m.Probs[k1]
+	p3, ok3 := m.Probs[k3]
+	if !ok1 || !ok3 {
+		t.Fatalf("missing level keys: %v", m.sortKeys())
+	}
+	avg := func(p [numBuckets]float64, seen [numBuckets]bool) float64 {
+		s, n := 0.0, 0
+		for i := range p {
+			if seen[i] {
+				s += p[i]
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return s / float64(n)
+	}
+	a1 := avg(p1, m.seen[k1])
+	a3 := avg(p3, m.seen[k3])
+	if a3 <= a1 {
+		t.Errorf("level-3 density %v should exceed level-1 density %v", a3, a1)
+	}
+	// All probabilities are valid.
+	for k, probs := range m.Probs {
+		for i, p := range probs {
+			if p < 0 || p > 1 {
+				t.Errorf("prob %v at %v bucket %d outside [0,1]", p, k, i)
+			}
+		}
+	}
+}
+
+func TestBucketModelFallsBack(t *testing.T) {
+	m := &BucketModel{
+		Probs: map[levelKey][numBuckets]float64{},
+		seen:  map[levelKey][numBuckets]bool{},
+	}
+	b := &blocking.Block{ID: blocking.BlockID{Family: 0, Level: 1}, Size: 50}
+	// Nothing trained → default model value.
+	got := m.D(b, entity.Pairs(50), 1000)
+	want := DefaultModel{}.D(b, entity.Pairs(50), 1000)
+	if got != want {
+		t.Errorf("untrained fallback = %v, want default %v", got, want)
+	}
+	// Global bucket present → used.
+	bucket := fracBucket(50.0 / 1000)
+	m.Global[bucket] = 0.25
+	m.gSeen[bucket] = true
+	if got := m.D(b, 100, 1000); got != 25 {
+		t.Errorf("global fallback = %v, want 25", got)
+	}
+	// Per-function value overrides global.
+	var probs [numBuckets]float64
+	var seen [numBuckets]bool
+	probs[bucket] = 0.5
+	seen[bucket] = true
+	m.Probs[levelKey{Family: 0, Level: 1}] = probs
+	m.seen[levelKey{Family: 0, Level: 1}] = seen
+	if got := m.D(b, 100, 1000); got != 50 {
+		t.Errorf("trained value = %v, want 50", got)
+	}
+}
+
+// buildTestTree makes a root (size 20) with two children (12, 8), one
+// grandchild under the first child (size 6).
+func buildTestTree() *blocking.Tree {
+	root := &blocking.Block{ID: blocking.BlockID{Family: 0, Level: 1, Key: "ro"}, Size: 20}
+	c1 := &blocking.Block{ID: blocking.BlockID{Family: 0, Level: 2, Key: "roa"}, Size: 12, Parent: root}
+	c2 := &blocking.Block{ID: blocking.BlockID{Family: 0, Level: 2, Key: "rob"}, Size: 8, Parent: root}
+	g := &blocking.Block{ID: blocking.BlockID{Family: 0, Level: 3, Key: "roax"}, Size: 6, Parent: c1}
+	c1.Children = []*blocking.Block{g}
+	root.Children = []*blocking.Block{c1, c2}
+	return &blocking.Tree{Root: root}
+}
+
+func TestEstimateTreeInvariants(t *testing.T) {
+	tree := buildTestTree()
+	e := NewEstimator(CiteSeerXPolicy(), costmodel.Default(), DefaultModel{}, 1000)
+	e.EstimateTree(tree)
+	for _, b := range tree.Blocks() {
+		if b.Cov != entity.Pairs(b.Size)-b.Uncov {
+			t.Errorf("%s: Cov %d ≠ Pairs−Uncov", b.ID, b.Cov)
+		}
+		if b.CostEst <= 0 {
+			t.Errorf("%s: non-positive cost %v", b.ID, b.CostEst)
+		}
+		if b.DupEst < 0 {
+			t.Errorf("%s: negative Dup %v", b.ID, b.DupEst)
+		}
+		if b.Util < 0 {
+			t.Errorf("%s: negative Util %v", b.ID, b.Util)
+		}
+		if math.IsNaN(b.Util) || math.IsInf(b.Util, 0) {
+			t.Errorf("%s: Util = %v", b.ID, b.Util)
+		}
+		if !b.IsRoot() && b.DisEst > float64(b.Th) {
+			t.Errorf("%s: Dis %v exceeds Th %d", b.ID, b.DisEst, b.Th)
+		}
+	}
+	if !tree.Root.FullResolve {
+		t.Error("root must be marked FullResolve")
+	}
+	// Eq. 2 telescopes: the sum of Dup over the whole tree should not
+	// exceed d(root) (all duplicates live in the root).
+	var sum float64
+	for _, b := range tree.Blocks() {
+		sum += b.DupEst
+	}
+	if sum > tree.Root.DSelf+1e-9 {
+		t.Errorf("ΣDup %v exceeds d(root) %v", sum, tree.Root.DSelf)
+	}
+}
+
+func TestEstimateChildrenCheaperAndDenser(t *testing.T) {
+	// The whole point of progressive blocking (§III-A): child blocks
+	// have lower cost and (with the default model) higher utility.
+	tree := buildTestTree()
+	e := NewEstimator(CiteSeerXPolicy(), costmodel.Default(), DefaultModel{}, 1000)
+	e.EstimateTree(tree)
+	root := tree.Root
+	for _, c := range root.Children {
+		if c.CostEst >= root.CostEst {
+			t.Errorf("child %s cost %v not below root cost %v", c.ID, c.CostEst, root.CostEst)
+		}
+	}
+	g := root.Children[0].Children[0]
+	if g.Util <= root.Util {
+		t.Errorf("leaf util %v should exceed root util %v", g.Util, root.Util)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	tree := buildTestTree()
+	// Add a singleton child to the root and a singleton tree.
+	single := &blocking.Block{ID: blocking.BlockID{Family: 0, Level: 2, Key: "roc"}, Size: 1, Parent: tree.Root}
+	tree.Root.Children = append(tree.Root.Children, single)
+	tiny := &blocking.Tree{Root: &blocking.Block{Size: 1}}
+	trees := Prune([]*blocking.Tree{tree, tiny})
+	if len(trees) != 1 {
+		t.Fatalf("surviving trees = %d, want 1", len(trees))
+	}
+	for _, b := range trees[0].Blocks() {
+		if b.Size < 2 {
+			t.Errorf("block %s with size %d survived pruning", b.ID, b.Size)
+		}
+	}
+	if len(trees[0].Root.Children) != 2 {
+		t.Errorf("root children = %d, want 2", len(trees[0].Root.Children))
+	}
+}
+
+func TestDetachChild(t *testing.T) {
+	tree := buildTestTree()
+	e := NewEstimator(CiteSeerXPolicy(), costmodel.Default(), DefaultModel{}, 1000)
+	e.EstimateTree(tree)
+	root := tree.Root
+	c1 := root.Children[0]
+	oldRootCov := root.Cov
+	oldRootDup := root.DupEst
+	oldRootCost := root.CostEst
+	c1Cov := c1.Cov
+
+	newTree := e.DetachChild(root, c1)
+
+	if newTree.Root != c1 || c1.Parent != nil {
+		t.Fatal("detach did not re-root the child")
+	}
+	if !c1.FullResolve || c1.Frac != 1 {
+		t.Error("detached child must be a full resolve with Frac 1")
+	}
+	if len(root.Children) != 1 || root.Children[0].ID.Key != "rob" {
+		t.Errorf("root children after detach: %v", root.Children)
+	}
+	if root.Cov != oldRootCov-c1Cov {
+		t.Errorf("root Cov = %d, want %d", root.Cov, oldRootCov-c1Cov)
+	}
+	// The paper predicts: splitting increases the child's cost (it is
+	// now resolved fully) and decreases its utility, and the root loses
+	// the duplicates the child will now find itself.
+	if root.DupEst > oldRootDup {
+		t.Errorf("root Dup rose from %v to %v", oldRootDup, root.DupEst)
+	}
+	if root.CostEst > oldRootCost {
+		t.Errorf("root cost rose from %v to %v after losing coverage", oldRootCost, root.CostEst)
+	}
+	if c1.CostEst <= 0 || c1.Util < 0 {
+		t.Errorf("child estimates invalid: cost %v util %v", c1.CostEst, c1.Util)
+	}
+}
+
+func TestDetachChildUtilityDrop(t *testing.T) {
+	// "splitting a sub-tree would likely cause a high reduction in the
+	// utility value of its root block" (§IV-C2).
+	tree := buildTestTree()
+	e := NewEstimator(CiteSeerXPolicy(), costmodel.Default(), DefaultModel{}, 1000)
+	e.EstimateTree(tree)
+	c1 := tree.Root.Children[0]
+	oldUtil := c1.Util
+	e.DetachChild(tree.Root, c1)
+	if c1.Util >= oldUtil {
+		t.Errorf("detached child utility %v should drop below %v", c1.Util, oldUtil)
+	}
+}
+
+func TestEstimateOnGeneratedData(t *testing.T) {
+	ds, gt := datagen.Publications(datagen.DefaultPublications(1200, 13))
+	fams := blocking.CiteSeerXFamilies(ds.Schema)
+	model := Train(ds, gt, fams)
+	e := NewEstimator(CiteSeerXPolicy(), costmodel.Default(), model, ds.Len())
+	var trees []*blocking.Tree
+	for famIdx, fam := range fams {
+		keys, groups := blocking.GroupByMainKey(ds, fam)
+		for _, k := range keys {
+			ents := groups[k]
+			tree := blocking.BuildTree(fam, famIdx, k, ents)
+			mainKeys := make([][]string, len(ents))
+			for i, e := range ents {
+				mainKeys[i] = fams.MainKeys(e)
+			}
+			blocking.ComputeUncov(fam, tree, ents, mainKeys)
+			trees = append(trees, tree)
+		}
+	}
+	trees = Prune(trees)
+	totalDup := 0.0
+	for _, tr := range trees {
+		e.EstimateTree(tr)
+		for _, b := range tr.Blocks() {
+			if b.DupEst < 0 || math.IsNaN(b.DupEst) {
+				t.Fatalf("bad Dup at %s: %v", b.ID, b.DupEst)
+			}
+			if b.CostEst <= 0 {
+				t.Fatalf("bad Cost at %s: %v", b.ID, b.CostEst)
+			}
+			totalDup += b.DupEst
+		}
+	}
+	// Total estimated duplicates should be within a factor of the
+	// ground truth (the estimator is a model, not an oracle).
+	gtDups := float64(gt.NumDupPairs())
+	if totalDup < gtDups*0.2 || totalDup > gtDups*5 {
+		t.Errorf("estimated %v duplicates vs ground truth %v — model badly calibrated", totalDup, gtDups)
+	}
+}
+
+func TestDetachAllChildrenSequentially(t *testing.T) {
+	// Detaching every child one by one must keep the parent's estimates
+	// finite and non-negative throughout.
+	tree := buildTestTree()
+	e := NewEstimator(CiteSeerXPolicy(), costmodel.Default(), DefaultModel{}, 1000)
+	e.EstimateTree(tree)
+	root := tree.Root
+	for len(root.Children) > 0 {
+		child := root.Children[0]
+		nt := e.DetachChild(root, child)
+		if nt.Root != child {
+			t.Fatal("detached tree root mismatch")
+		}
+		if root.CostEst < 0 || root.DupEst < 0 || math.IsNaN(root.Util) {
+			t.Fatalf("parent estimates degenerate: cost=%v dup=%v util=%v",
+				root.CostEst, root.DupEst, root.Util)
+		}
+	}
+	if root.Cov < 0 {
+		t.Errorf("Cov went negative: %d", root.Cov)
+	}
+	// A childless full-resolve root still prices above pure CostA.
+	if root.CostEst <= 0 {
+		t.Errorf("cost = %v", root.CostEst)
+	}
+}
+
+func TestEstimateSingleBlockTree(t *testing.T) {
+	b := &blocking.Block{ID: blocking.BlockID{Family: 0, Level: 1, Key: "zz"}, Size: 5}
+	tree := &blocking.Tree{Root: b}
+	e := NewEstimator(CiteSeerXPolicy(), costmodel.Default(), DefaultModel{}, 100)
+	e.EstimateTree(tree)
+	if b.Cov != entity.Pairs(5) {
+		t.Errorf("Cov = %d", b.Cov)
+	}
+	if !b.FullResolve || b.Frac != 1 {
+		t.Error("single root must be a full resolve")
+	}
+	if b.DisEst != 0 {
+		t.Errorf("root DisEst = %v", b.DisEst)
+	}
+}

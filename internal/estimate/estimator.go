@@ -1,0 +1,225 @@
+package estimate
+
+import (
+	"proger/internal/blocking"
+	"proger/internal/costmodel"
+	"proger/internal/entity"
+)
+
+// Estimator fills the per-block estimation fields (§IV-B) and provides
+// the split-update arithmetic used by SPLIT-TREE (§IV-C2).
+type Estimator struct {
+	Policy      Policy
+	Cost        costmodel.Model
+	Dup         DupModel
+	DatasetSize int
+}
+
+// NewEstimator builds an estimator. A nil model falls back to
+// DefaultModel.
+func NewEstimator(policy Policy, cost costmodel.Model, model DupModel, datasetSize int) *Estimator {
+	if model == nil {
+		model = DefaultModel{}
+	}
+	return &Estimator{Policy: policy, Cost: cost, Dup: model, DatasetSize: datasetSize}
+}
+
+// WindowPairs returns the number of pairs the SN/PSNM mechanism
+// examines on a block of n entities with window w:
+// Σ_{d=1}^{w−1}(n−d), which is all pairs when w ≥ n.
+func WindowPairs(n, w int) int64 {
+	if n < 2 {
+		return 0
+	}
+	if w > n {
+		w = n
+	}
+	if w < 2 {
+		w = 2
+	}
+	d := int64(w - 1)
+	return d*int64(n) - d*(d+1)/2
+}
+
+// EstimateTree computes Cov, d, Dup, Dis, Cost, and Util for every
+// block of the tree, bottom-up (children before parents, as required by
+// Eq. 2/4/5). The tree root is marked FullResolve.
+func (e *Estimator) EstimateTree(t *blocking.Tree) {
+	t.Root.FullResolve = true
+	e.estimateBlock(t.Root)
+}
+
+func (e *Estimator) estimateBlock(b *blocking.Block) {
+	for _, c := range b.Children {
+		e.estimateBlock(c)
+	}
+	e.fillBlock(b)
+}
+
+// fillBlock computes b's estimates assuming all descendants are done.
+func (e *Estimator) fillBlock(b *blocking.Block) {
+	b.Cov = entity.Pairs(b.Size) - b.Uncov
+	if b.Cov < 0 {
+		b.Cov = 0
+	}
+	b.DSelf = e.Dup.D(b, b.Cov, e.DatasetSize)
+	b.Frac = e.Policy.Frac(b)
+	b.Th = e.Policy.Th(b)
+
+	// Eq. 2: Dup(X) = Frac(X)·d(X) − Σ_child Frac(child)·d(child).
+	dup := b.Frac * b.DSelf
+	for _, c := range b.Children {
+		dup -= c.Frac * c.DSelf
+	}
+	if dup < 0 {
+		dup = 0
+	}
+	b.DupEst = dup
+
+	costA := e.Cost.HintCost(b.Size)
+	if b.FullResolve {
+		// Eq. 5: Cost = CostA + CostF − Σ_desc CostP.
+		cost := costA + e.costF(b)
+		for _, d := range b.Descendants() {
+			cost -= e.costP(d)
+		}
+		if cost < costA {
+			cost = costA
+		}
+		b.CostEst = cost
+		b.DisEst = 0
+	} else {
+		// Eq. 4: Remain = Cov − d − Σ_desc Dis.
+		remain := float64(b.Cov) - b.DSelf
+		for _, d := range b.Descendants() {
+			remain -= d.DisEst
+		}
+		if remain < 0 {
+			remain = 0
+		}
+		b.DisEst = remain
+		if th := float64(b.Th); th < b.DisEst {
+			b.DisEst = th
+		}
+		// Eq. 3: Cost = CostA + CostP.
+		b.CostEst = costA + e.costP(b)
+	}
+	if b.CostEst > 0 {
+		b.Util = b.DupEst / b.CostEst
+	} else {
+		b.Util = 0
+	}
+}
+
+// CostPartial exposes CostP(X) for the schedule generator's
+// hypothetical-cost evaluation during SPLIT-TREE.
+func (e *Estimator) CostPartial(b *blocking.Block) costmodel.Units { return e.costP(b) }
+
+// CostFull exposes CostF(X) for the schedule generator.
+func (e *Estimator) CostFull(b *blocking.Block) costmodel.Units { return e.costF(b) }
+
+// costP is CostP(X): the cost of resolving the Dup(X) duplicate pairs
+// and Dis(X) distinct pairs of a partial visit.
+func (e *Estimator) costP(b *blocking.Block) costmodel.Units {
+	return (b.DupEst + b.DisEst) * e.Cost.PairCompare
+}
+
+// costF is CostF(X): the cost of resolving X fully — the mechanism
+// examines WindowPairs(|X|, w_root) pairs, of which the covered
+// fraction pays a full comparison and the rest only a skip check
+// (they are another tree's responsibility).
+func (e *Estimator) costF(b *blocking.Block) costmodel.Units {
+	wp := float64(WindowPairs(b.Size, e.Policy.WindowRoot))
+	pairs := float64(entity.Pairs(b.Size))
+	covFrac := 1.0
+	if pairs > 0 {
+		covFrac = float64(b.Cov) / pairs
+	}
+	return wp*covFrac*e.Cost.PairCompare + wp*(1-covFrac)*e.Cost.SkipPair
+}
+
+// Prune applies block elimination: blocks with fewer than two entities
+// contain no pairs and are dropped from their trees (their cost —
+// generating a hint for nothing — would be pure overhead). Trees whose
+// root has fewer than two entities are removed entirely. Returns the
+// surviving trees. Must run before EstimateTree.
+func Prune(trees []*blocking.Tree) []*blocking.Tree {
+	out := trees[:0]
+	for _, t := range trees {
+		if t.Root.Size < 2 {
+			continue
+		}
+		pruneChildren(t.Root)
+		out = append(out, t)
+	}
+	return out
+}
+
+func pruneChildren(b *blocking.Block) {
+	kept := b.Children[:0]
+	for _, c := range b.Children {
+		if c.Size < 2 {
+			continue
+		}
+		pruneChildren(c)
+		kept = append(kept, c)
+	}
+	b.Children = kept
+}
+
+// DetachChild implements the split strategy of §IV-C2 on a tree root:
+// the child subtree is detached into a new tree whose root is resolved
+// fully. Both blocks' estimates are updated per the paper:
+//
+//   - child: Frac ← 1, Dup via Eq. 2, Cost via Eq. 5 (it is a root now);
+//   - parent (the old tree root): Cov decreases by Cov(child), Dup
+//     decreases by the *increase* in the child's duplicates, Desc
+//     shrinks, and Cost is recomputed via Eq. 5.
+//
+// Returns the new tree. The caller re-sorts its block lists afterwards.
+func (e *Estimator) DetachChild(parent, child *blocking.Block) *blocking.Tree {
+	// Unlink.
+	kept := parent.Children[:0]
+	for _, c := range parent.Children {
+		if c != child {
+			kept = append(kept, c)
+		}
+	}
+	parent.Children = kept
+	child.Parent = nil
+
+	oldChildDup := child.DupEst
+
+	// Child becomes a fully-resolved root.
+	child.FullResolve = true
+	e.fillBlock(child)
+
+	dupIncrease := child.DupEst - oldChildDup
+	parent.Cov -= child.Cov
+	if parent.Cov < 0 {
+		parent.Cov = 0
+	}
+	parent.DupEst -= dupIncrease
+	if parent.DupEst < 0 {
+		parent.DupEst = 0
+	}
+	// Recompute the parent's cost with the reduced Cov and descendant
+	// set (Eq. 5); keep the adjusted DupEst rather than re-deriving it
+	// from Eq. 2, exactly as the paper prescribes.
+	costA := e.Cost.HintCost(parent.Size)
+	cost := costA + e.costF(parent)
+	for _, d := range parent.Descendants() {
+		cost -= e.costP(d)
+	}
+	if cost < costA {
+		cost = costA
+	}
+	parent.CostEst = cost
+	if parent.CostEst > 0 {
+		parent.Util = parent.DupEst / parent.CostEst
+	} else {
+		parent.Util = 0
+	}
+
+	return &blocking.Tree{Root: child}
+}

@@ -1,0 +1,78 @@
+// Package estimate implements §IV-B of the paper: the duplicate and
+// cost models for blocks. It computes, bottom-up over each blocking
+// tree, the per-block values the schedule generator consumes —
+// Cov (covered pairs), d(X) (estimated covered duplicates), Dup(X)
+// (Eq. 2), Cost(X) (Eq. 3 for partial resolves, Eq. 5 for full
+// resolves), Dis(X)/Remain(X) (Eq. 4), and Util(X) = Dup/Cost — plus
+// the split-update arithmetic of §IV-C2 and the block-elimination pass.
+package estimate
+
+import (
+	"proger/internal/blocking"
+)
+
+// Policy sets the per-block resolution parameters of §VI-A5: the SN
+// window by tree level, the termination threshold Th(X), and the
+// expected-find fraction Frac(X), which must be set "in compliance
+// with" Th (a more aggressive Th means a smaller Frac).
+type Policy struct {
+	// WindowRoot/WindowMid/WindowLeaf are the SN window sizes w for
+	// root, middle, and leaf blocks (paper: 15 / 10 / 5).
+	WindowRoot, WindowMid, WindowLeaf int
+	// FracLeaf and FracMid are Frac(X) for leaf and middle blocks
+	// (paper: 0.8 / 0.9 for CiteSeerX, 0.85 / 0.95 for OL-Books).
+	// Root blocks always have Frac = 1.
+	FracLeaf, FracMid float64
+	// ThFactor scales the termination threshold: Th(X) = ThFactor·|X|
+	// (paper: Th(X) = |X|, so 1.0).
+	ThFactor float64
+}
+
+// CiteSeerXPolicy returns the §VI-A5 settings used for CiteSeerX.
+func CiteSeerXPolicy() Policy {
+	return Policy{WindowRoot: 15, WindowMid: 10, WindowLeaf: 5, FracLeaf: 0.80, FracMid: 0.90, ThFactor: 1}
+}
+
+// OLBooksPolicy returns the §VI-A5 settings used for OL-Books.
+func OLBooksPolicy() Policy {
+	return Policy{WindowRoot: 15, WindowMid: 10, WindowLeaf: 5, FracLeaf: 0.85, FracMid: 0.95, ThFactor: 1}
+}
+
+// Window returns the SN window for a block. Note that a *detached*
+// (split-off) subtree root is resolved fully and therefore uses the
+// root window.
+func (p Policy) Window(b *blocking.Block) int {
+	switch {
+	case b.IsRoot() || b.FullResolve:
+		return p.WindowRoot
+	case b.IsLeaf():
+		return p.WindowLeaf
+	default:
+		return p.WindowMid
+	}
+}
+
+// Frac returns Frac(X): the fraction of d(X) the mechanism is expected
+// to find under the block's termination threshold.
+func (p Policy) Frac(b *blocking.Block) float64 {
+	switch {
+	case b.IsRoot() || b.FullResolve:
+		return 1
+	case b.IsLeaf():
+		return p.FracLeaf
+	default:
+		return p.FracMid
+	}
+}
+
+// Th returns the termination threshold Th(X) — the partial resolve
+// stops after Th distinct pairs. The paper sets Th(X) = |X|, which
+// automatically makes every block's threshold smaller than its
+// parent's (children are never larger than parents).
+func (p Policy) Th(b *blocking.Block) int64 {
+	th := int64(p.ThFactor * float64(b.Size))
+	if th < 1 {
+		th = 1
+	}
+	return th
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"proger/internal/sched"
+)
+
+// Fig10Config scales the entities-per-machine experiment (§VI-B3): the
+// books workload with PSNM, fixed dataset size, machine counts
+// {20, 10, 5} — so θ = |D|/μ grows left to right, as in the paper
+// (30M/20, 30M/10, 30M/5).
+type Fig10Config struct {
+	Entities   int
+	Seed       int64
+	Machines   []int
+	Thresholds []float64
+	GridPoints int
+}
+
+func (c *Fig10Config) defaults() {
+	if c.Entities <= 0 {
+		c.Entities = 6000
+	}
+	if c.Seed == 0 {
+		c.Seed = 10
+	}
+	if len(c.Machines) == 0 {
+		c.Machines = []int{20, 10, 5}
+	}
+	if len(c.Thresholds) == 0 {
+		c.Thresholds = []float64{0.0005, 0.005, 0.05}
+	}
+	if c.GridPoints <= 0 {
+		c.GridPoints = 16
+	}
+}
+
+// Fig10Result holds one sub-figure per θ value.
+type Fig10Result struct {
+	SubFigures []*Figure
+}
+
+// Fig10 runs our approach vs Basic (three popcorn thresholds) on the
+// books workload at each machine count.
+func Fig10(cfg Fig10Config) (*Fig10Result, error) {
+	cfg.defaults()
+	w := BooksWorkload(cfg.Entities, cfg.Seed)
+	res := &Fig10Result{}
+	for _, mu := range cfg.Machines {
+		runs := []*Run{}
+		ours, err := w.RunOurs(mu, sched.Ours, "Our Approach")
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, ours)
+		for _, th := range cfg.Thresholds {
+			r, err := w.RunBasic(mu, 15, th, thresholdLabel(th))
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, r)
+		}
+		theta := cfg.Entities / mu
+		fig := NewFigure(
+			fmt.Sprintf("Fig10-theta%d", theta),
+			fmt.Sprintf("θ = %d entities / %d machines = %d", cfg.Entities, mu, theta),
+			cfg.GridPoints, runs...)
+		res.SubFigures = append(res.SubFigures, fig)
+	}
+	return res, nil
+}

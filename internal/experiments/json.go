@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// figureJSON is the stable JSON shape of a Figure, for external
+// plotting tools (gnuplot, matplotlib, vega).
+type figureJSON struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"xLabel"`
+	YLabel string       `json:"yLabel"`
+	Times  []float64    `json:"times"`
+	Series []seriesJSON `json:"series"`
+}
+
+type seriesJSON struct {
+	Label   string    `json:"label"`
+	Recalls []float64 `json:"recalls"`
+}
+
+// WriteJSON serializes the figure.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	out := figureJSON{
+		ID:     f.ID,
+		Title:  f.Title,
+		XLabel: f.XLabel,
+		YLabel: f.YLabel,
+		Times:  make([]float64, len(f.Times)),
+	}
+	for i, t := range f.Times {
+		out.Times[i] = float64(t)
+	}
+	for _, s := range f.Series {
+		out.Series = append(out.Series, seriesJSON{Label: s.Label, Recalls: s.Recalls})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadFigureJSON parses a figure written by WriteJSON.
+func ReadFigureJSON(r io.Reader) (*Figure, error) {
+	var in figureJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	f := &Figure{ID: in.ID, Title: in.Title, XLabel: in.XLabel, YLabel: in.YLabel}
+	for _, t := range in.Times {
+		f.Times = append(f.Times, t)
+	}
+	for _, s := range in.Series {
+		f.Series = append(f.Series, FigureSeries{Label: s.Label, Recalls: s.Recalls})
+	}
+	return f, nil
+}
+
+// tableJSON is the stable JSON shape of a Table.
+type tableJSON struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// WriteJSON serializes the table.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tableJSON{ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows})
+}
+
+// ReadTableJSON parses a table written by WriteJSON.
+func ReadTableJSON(r io.Reader) (*Table, error) {
+	var in tableJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	return &Table{ID: in.ID, Title: in.Title, Header: in.Header, Rows: in.Rows}, nil
+}

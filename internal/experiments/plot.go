@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// plotGlyphs mark the series in a text plot, in series order.
+var plotGlyphs = []byte{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Plot renders the figure as an ASCII chart (recall on the y axis, cost
+// on the x axis), the closest a terminal gets to the paper's figures.
+// Later series overdraw earlier ones at shared cells, so the paper's
+// approach (conventionally the last series) stays visible.
+func (f *Figure) Plot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	if len(f.Times) > 0 {
+		for s, series := range f.Series {
+			glyph := plotGlyphs[s%len(plotGlyphs)]
+			for i, recall := range series.Recalls {
+				col := i * (width - 1) / max(len(f.Times)-1, 1)
+				row := height - 1 - int(recall*float64(height-1)+0.5)
+				if row < 0 {
+					row = 0
+				}
+				if row >= height {
+					row = height - 1
+				}
+				grid[row][col] = glyph
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for r, line := range grid {
+		yVal := float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", yVal, string(line))
+	}
+	fmt.Fprintf(&b, "      +%s+\n", strings.Repeat("-", width))
+	if len(f.Times) > 0 {
+		fmt.Fprintf(&b, "      0%*s\n", width, fmt.Sprintf("%.0f %s", f.Times[len(f.Times)-1], f.XLabel))
+	}
+	for s, series := range f.Series {
+		fmt.Fprintf(&b, "      %c = %s\n", plotGlyphs[s%len(plotGlyphs)], series.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,11 @@
+package experiments
+
+import (
+	"fmt"
+
+	"proger/internal/entity"
+)
+
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func pair(a, b int32) entity.Pair { return entity.MakePair(entity.ID(a), entity.ID(b)) }

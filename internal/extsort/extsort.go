@@ -1,0 +1,306 @@
+// Package extsort implements a stable external merge sort for
+// key-value records: records accumulate in memory up to a budget, are
+// spilled as sorted runs to temporary files, and are merged with a
+// k-way heap on iteration. The MapReduce engine uses it for the
+// reduce-side shuffle when a task's input exceeds its memory budget,
+// mirroring Hadoop's spill-and-merge shuffle.
+//
+// Stability matters: the engine requires that records with equal keys
+// surface in insertion order (map-task order), so every record carries
+// a sequence number that breaks key ties during the merge.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Record is one key-value pair.
+type Record struct {
+	Key   string
+	Value []byte
+}
+
+// Sorter accumulates records and sorts them, spilling to dir when more
+// than memLimit records are buffered. A memLimit ≤ 0 never spills.
+type Sorter struct {
+	dir      string
+	memLimit int
+
+	buf    []seqRecord
+	seq    uint64
+	runs   []string
+	sorted bool
+}
+
+type seqRecord struct {
+	Record
+	seq uint64
+}
+
+// NewSorter creates a sorter spilling into dir (created if needed when
+// the first spill happens).
+func NewSorter(dir string, memLimit int) *Sorter {
+	return &Sorter{dir: dir, memLimit: memLimit}
+}
+
+// Add buffers one record, spilling a sorted run if the budget is full.
+func (s *Sorter) Add(key string, value []byte) error {
+	if s.sorted {
+		return fmt.Errorf("extsort: Add after Sort")
+	}
+	s.buf = append(s.buf, seqRecord{Record: Record{Key: key, Value: value}, seq: s.seq})
+	s.seq++
+	if s.memLimit > 0 && len(s.buf) >= s.memLimit {
+		return s.spill()
+	}
+	return nil
+}
+
+// Len returns the number of records added so far.
+func (s *Sorter) Len() int { return int(s.seq) }
+
+// Runs returns the number of on-disk runs spilled so far.
+func (s *Sorter) Runs() int { return len(s.runs) }
+
+func sortBuf(buf []seqRecord) {
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].Key != buf[j].Key {
+			return buf[i].Key < buf[j].Key
+		}
+		return buf[i].seq < buf[j].seq
+	})
+}
+
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("extsort: %w", err)
+	}
+	sortBuf(s.buf)
+	f, err := os.CreateTemp(s.dir, "run-*.spill")
+	if err != nil {
+		return fmt.Errorf("extsort: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range s.buf {
+		if err := writeRecord(w, r); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: flushing run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("extsort: closing run: %w", err)
+	}
+	s.runs = append(s.runs, f.Name())
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Sort finalizes the sorter and returns an iterator over all records in
+// (key, insertion) order. Call Close on the sorter afterwards to remove
+// spill files.
+func (s *Sorter) Sort() (*Iterator, error) {
+	if s.sorted {
+		return nil, fmt.Errorf("extsort: Sort called twice")
+	}
+	s.sorted = true
+	sortBuf(s.buf)
+	it := &Iterator{mem: s.buf}
+	for _, run := range s.runs {
+		f, err := os.Open(run)
+		if err != nil {
+			it.Close()
+			return nil, fmt.Errorf("extsort: %w", err)
+		}
+		it.files = append(it.files, f)
+		it.readers = append(it.readers, bufio.NewReaderSize(f, 1<<16))
+	}
+	if err := it.init(); err != nil {
+		it.Close()
+		return nil, err
+	}
+	return it, nil
+}
+
+// Close removes all spill files.
+func (s *Sorter) Close() error {
+	var first error
+	for _, run := range s.runs {
+		if err := os.Remove(run); err != nil && first == nil && !os.IsNotExist(err) {
+			first = err
+		}
+	}
+	s.runs = nil
+	return first
+}
+
+// writeRecord encodes seq, key length, key, value length, value.
+func writeRecord(w *bufio.Writer, r seqRecord) error {
+	var hdr [3 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], r.seq)
+	n += binary.PutUvarint(hdr[n:], uint64(len(r.Key)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("extsort: writing record: %w", err)
+	}
+	if _, err := w.WriteString(r.Key); err != nil {
+		return fmt.Errorf("extsort: writing key: %w", err)
+	}
+	n = binary.PutUvarint(hdr[:], uint64(len(r.Value)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("extsort: writing record: %w", err)
+	}
+	if _, err := w.Write(r.Value); err != nil {
+		return fmt.Errorf("extsort: writing value: %w", err)
+	}
+	return nil
+}
+
+func readRecord(r *bufio.Reader) (seqRecord, error) {
+	seq, err := binary.ReadUvarint(r)
+	if err != nil {
+		return seqRecord{}, err // io.EOF signals clean end of run
+	}
+	kl, err := binary.ReadUvarint(r)
+	if err != nil {
+		return seqRecord{}, fmt.Errorf("extsort: truncated run (key len): %w", err)
+	}
+	key := make([]byte, kl)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return seqRecord{}, fmt.Errorf("extsort: truncated run (key): %w", err)
+	}
+	vl, err := binary.ReadUvarint(r)
+	if err != nil {
+		return seqRecord{}, fmt.Errorf("extsort: truncated run (value len): %w", err)
+	}
+	value := make([]byte, vl)
+	if _, err := io.ReadFull(r, value); err != nil {
+		return seqRecord{}, fmt.Errorf("extsort: truncated run (value): %w", err)
+	}
+	return seqRecord{Record: Record{Key: string(key), Value: value}, seq: seq}, nil
+}
+
+// Iterator yields records in (key, insertion) order by merging the
+// in-memory tail with all on-disk runs.
+type Iterator struct {
+	mem     []seqRecord
+	memPos  int
+	files   []*os.File
+	readers []*bufio.Reader
+	h       mergeHeap
+	inited  bool
+}
+
+type mergeSource struct {
+	head seqRecord
+	run  int // -1 = memory
+}
+
+type mergeHeap []mergeSource
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].head.Key != h[j].head.Key {
+		return h[i].head.Key < h[j].head.Key
+	}
+	return h[i].head.seq < h[j].head.seq
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeSource)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (it *Iterator) init() error {
+	if it.inited {
+		return nil
+	}
+	it.inited = true
+	if it.memPos < len(it.mem) {
+		heap.Push(&it.h, mergeSource{head: it.mem[it.memPos], run: -1})
+		it.memPos++
+	}
+	for i, r := range it.readers {
+		rec, err := readRecord(r)
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		heap.Push(&it.h, mergeSource{head: rec, run: i})
+	}
+	return nil
+}
+
+// Next returns the next record; ok is false at the end.
+func (it *Iterator) Next() (rec Record, ok bool, err error) {
+	if it.h.Len() == 0 {
+		return Record{}, false, nil
+	}
+	src := heap.Pop(&it.h).(mergeSource)
+	out := src.head.Record
+	// Refill from the source the head came from.
+	if src.run < 0 {
+		if it.memPos < len(it.mem) {
+			heap.Push(&it.h, mergeSource{head: it.mem[it.memPos], run: -1})
+			it.memPos++
+		}
+	} else {
+		next, err := readRecord(it.readers[src.run])
+		if err == nil {
+			heap.Push(&it.h, mergeSource{head: next, run: src.run})
+		} else if err != io.EOF {
+			return Record{}, false, err
+		}
+	}
+	return out, true, nil
+}
+
+// Drain reads all remaining records into a slice.
+func (it *Iterator) Drain() ([]Record, error) {
+	var out []Record
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}
+
+// Close closes all run files (but does not remove them; Sorter.Close
+// does).
+func (it *Iterator) Close() error {
+	var first error
+	for _, f := range it.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	it.files = nil
+	return first
+}
+
+// SortDir returns a usable default spill directory under the system
+// temp dir.
+func SortDir() string { return filepath.Join(os.TempDir(), "proger-extsort") }

@@ -1,0 +1,218 @@
+package extsort
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func collect(t *testing.T, s *Sorter) []Record {
+	t.Helper()
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	defer it.Close()
+	out, err := it.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	return out
+}
+
+func TestInMemorySort(t *testing.T) {
+	s := NewSorter(t.TempDir(), 0)
+	for _, k := range []string{"b", "a", "c", "a"} {
+		if err := s.Add(k, []byte(k+"-v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := collect(t, s)
+	wantKeys := []string{"a", "a", "b", "c"}
+	if len(out) != len(wantKeys) {
+		t.Fatalf("got %d records", len(out))
+	}
+	for i, k := range wantKeys {
+		if out[i].Key != k {
+			t.Errorf("record %d key = %q, want %q", i, out[i].Key, k)
+		}
+	}
+	if s.Runs() != 0 {
+		t.Errorf("in-memory sort spilled %d runs", s.Runs())
+	}
+}
+
+func TestSpillingSortMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 5000
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%03d", rng.Intn(200))
+	}
+	mem := NewSorter(t.TempDir(), 0)
+	disk := NewSorter(t.TempDir(), 137) // force many spills
+	for i, k := range keys {
+		v := []byte(fmt.Sprintf("v%d", i))
+		if err := mem.Add(k, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := disk.Add(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if disk.Runs() < 10 {
+		t.Fatalf("expected many spill runs, got %d", disk.Runs())
+	}
+	a := collect(t, mem)
+	b := collect(t, disk)
+	if len(a) != n || len(b) != n {
+		t.Fatalf("lengths: %d, %d, want %d", len(a), len(b), n)
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || string(a[i].Value) != string(b[i].Value) {
+			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if err := disk.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestStabilityAcrossSpills(t *testing.T) {
+	// Equal keys must surface in insertion order even when they span
+	// multiple runs.
+	s := NewSorter(t.TempDir(), 3)
+	for i := 0; i < 20; i++ {
+		if err := s.Add("same", []byte(fmt.Sprintf("%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := collect(t, s)
+	for i, r := range out {
+		if want := fmt.Sprintf("%02d", i); string(r.Value) != want {
+			t.Fatalf("position %d has %q, want %q — stability broken", i, r.Value, want)
+		}
+	}
+}
+
+func TestSortedOrderProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		s := NewSorter(os.TempDir(), 7)
+		defer s.Close()
+		for _, k := range keys {
+			if err := s.Add(k, nil); err != nil {
+				return false
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			return false
+		}
+		defer it.Close()
+		out, err := it.Drain()
+		if err != nil || len(out) != len(keys) {
+			return false
+		}
+		got := make([]string, len(out))
+		for i, r := range out {
+			got[i] = r.Key
+		}
+		want := append([]string{}, keys...)
+		sort.Strings(want)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAfterSortFails(t *testing.T) {
+	s := NewSorter(t.TempDir(), 0)
+	if _, err := s.Sort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("k", nil); err == nil {
+		t.Error("Add after Sort should fail")
+	}
+	if _, err := s.Sort(); err == nil {
+		t.Error("second Sort should fail")
+	}
+}
+
+func TestCloseRemovesSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSorter(dir, 2)
+	for i := 0; i < 10; i++ {
+		if err := s.Add(fmt.Sprint(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Runs() == 0 {
+		t.Fatal("no spills happened")
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "*.spill"))
+	if len(left) != 0 {
+		t.Errorf("spill files left behind: %v", left)
+	}
+}
+
+func TestEmptySorter(t *testing.T) {
+	s := NewSorter(t.TempDir(), 4)
+	out := collect(t, s)
+	if len(out) != 0 {
+		t.Errorf("empty sorter yielded %v", out)
+	}
+}
+
+func TestBinaryValuesSurviveSpill(t *testing.T) {
+	s := NewSorter(t.TempDir(), 1)
+	payload := []byte{0, 1, 2, 255, 254, '\n', '\t'}
+	if err := s.Add("bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("aaa", nil); err != nil {
+		t.Fatal(err)
+	}
+	out := collect(t, s)
+	if len(out) != 2 || out[1].Key != "bin" {
+		t.Fatalf("out = %v", out)
+	}
+	if string(out[1].Value) != string(payload) {
+		t.Errorf("binary payload corrupted: %v", out[1].Value)
+	}
+	if len(out[0].Value) != 0 {
+		t.Errorf("nil value corrupted: %v", out[0].Value)
+	}
+}
+
+func TestLenCounts(t *testing.T) {
+	s := NewSorter(t.TempDir(), 2)
+	for i := 0; i < 7; i++ {
+		if err := s.Add("k", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 7 {
+		t.Errorf("Len = %d, want 7", s.Len())
+	}
+}

@@ -1,0 +1,56 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"proger/internal/costmodel"
+)
+
+// Stage is one job of a chain plus the glue deriving its input from the
+// previous stage's result.
+type Stage struct {
+	// Config is the job specification.
+	Config Config
+	// Input derives this stage's input records. For the first stage,
+	// prev is nil and prevResult is nil; later stages usually transform
+	// prevResult.Output. A nil Input for a later stage feeds the
+	// previous output records through unchanged.
+	Input func(prevResult *Result) ([]KeyValue, error)
+}
+
+// RunChain executes the stages sequentially on the simulated cluster,
+// starting each job when its predecessor finishes (the Hadoop job-chain
+// pattern this paper's two-job approach uses). It returns every stage's
+// result; the last result's End is the chain's completion time.
+func RunChain(stages []Stage, startAt costmodel.Units) ([]*Result, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("mapreduce: empty chain")
+	}
+	results := make([]*Result, 0, len(stages))
+	var prev *Result
+	at := startAt
+	for i, st := range stages {
+		var in []KeyValue
+		var err error
+		switch {
+		case st.Input != nil:
+			in, err = st.Input(prev)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce: chain stage %d input: %w", i, err)
+			}
+		case prev != nil:
+			in = make([]KeyValue, len(prev.Output))
+			for j, kv := range prev.Output {
+				in[j] = kv.KeyValue
+			}
+		}
+		res, err := Run(st.Config, in, at)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: chain stage %d: %w", i, err)
+		}
+		results = append(results, res)
+		prev = res
+		at = res.End
+	}
+	return results, nil
+}

@@ -1,0 +1,98 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+)
+
+// upperMapper emits (key, upper(value)).
+type upperMapper struct{ MapperBase }
+
+func (upperMapper) Map(ctx *TaskContext, rec KeyValue, emit Emitter) error {
+	emit.Emit(rec.Key, []byte(strings.ToUpper(string(rec.Value))))
+	return nil
+}
+
+// passReducer forwards each value.
+type passReducer struct{ ReducerBase }
+
+func (passReducer) Reduce(ctx *TaskContext, key string, values [][]byte, emit Emitter) error {
+	for _, v := range values {
+		emit.Emit(key, v)
+	}
+	return nil
+}
+
+func passConfig(name string) Config {
+	return Config{
+		Name:           name,
+		NewMapper:      func() Mapper { return upperMapper{} },
+		NewReducer:     func() Reducer { return passReducer{} },
+		NumMapTasks:    2,
+		NumReduceTasks: 2,
+		Cluster:        Cluster{Machines: 1, SlotsPerMachine: 2},
+	}
+}
+
+func TestRunChainFeedsOutputForward(t *testing.T) {
+	in := []KeyValue{{Key: "a", Value: []byte("x")}, {Key: "b", Value: []byte("y")}}
+	results, err := RunChain([]Stage{
+		{Config: passConfig("one"), Input: func(*Result) ([]KeyValue, error) { return in, nil }},
+		{Config: passConfig("two")}, // nil Input: feeds stage one's output
+	}, 0)
+	if err != nil {
+		t.Fatalf("RunChain: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Chained timing: stage two starts when stage one ends.
+	if results[1].Start != results[0].End {
+		t.Errorf("stage 2 starts at %v, stage 1 ends at %v", results[1].Start, results[0].End)
+	}
+	// Values passed through both stages (upper-cased once; the second
+	// stage upper-cases the already-upper value — idempotent).
+	got := map[string]string{}
+	for _, kv := range results[1].Output {
+		got[kv.Key] = string(kv.Value)
+	}
+	if got["a"] != "X" || got["b"] != "Y" {
+		t.Errorf("chained output = %v", got)
+	}
+}
+
+func TestRunChainCustomInput(t *testing.T) {
+	results, err := RunChain([]Stage{
+		{Config: passConfig("one"), Input: func(*Result) ([]KeyValue, error) {
+			return []KeyValue{{Key: "k", Value: []byte("v")}}, nil
+		}},
+		{Config: passConfig("two"), Input: func(prev *Result) ([]KeyValue, error) {
+			// Derive a different input from the previous result.
+			out := make([]KeyValue, 0, len(prev.Output))
+			for _, kv := range prev.Output {
+				out = append(out, KeyValue{Key: kv.Key + "2", Value: kv.Value})
+			}
+			return out, nil
+		}},
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Start != 100 {
+		t.Errorf("chain start = %v", results[0].Start)
+	}
+	if len(results[1].Output) != 1 || results[1].Output[0].Key != "k2" {
+		t.Errorf("derived input not used: %v", results[1].Output)
+	}
+}
+
+func TestRunChainErrors(t *testing.T) {
+	if _, err := RunChain(nil, 0); err == nil {
+		t.Error("empty chain: want error")
+	}
+	bad := passConfig("bad")
+	bad.NewMapper = nil
+	if _, err := RunChain([]Stage{{Config: bad}}, 0); err == nil {
+		t.Error("invalid stage config: want error")
+	}
+}

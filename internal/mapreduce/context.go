@@ -1,0 +1,86 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"proger/internal/costmodel"
+)
+
+// TaskType distinguishes map from reduce tasks in contexts and errors.
+type TaskType int
+
+// Task types.
+const (
+	MapTask TaskType = iota
+	ReduceTask
+)
+
+// String implements fmt.Stringer.
+func (t TaskType) String() string {
+	if t == MapTask {
+		return "map"
+	}
+	return "reduce"
+}
+
+// TaskContext is the per-task environment handed to Mapper and Reducer
+// methods: identity, side data, the cost clock, and counters. It is not
+// safe for concurrent use by multiple goroutines (a task is a single
+// logical thread, as in Hadoop).
+type TaskContext struct {
+	Job       string
+	Type      TaskType
+	Index     int
+	NumReduce int
+	// Side is Config.Side: read-only job-wide side data.
+	Side any
+	// Cost is the job's cost model, for tasks that price their own work.
+	Cost costmodel.Model
+
+	local    costmodel.Units
+	counters Counters
+}
+
+// Charge adds cost units to the task's local clock. All task work that
+// should take simulated time must be charged here.
+func (c *TaskContext) Charge(u costmodel.Units) {
+	if u < 0 {
+		panic(fmt.Sprintf("mapreduce: negative charge %v in %s task %d", u, c.Type, c.Index))
+	}
+	c.local += u
+}
+
+// Now returns the task-local elapsed cost.
+func (c *TaskContext) Now() costmodel.Units { return c.local }
+
+// Inc increments a named counter.
+func (c *TaskContext) Inc(name string, delta int64) {
+	if c.counters == nil {
+		c.counters = Counters{}
+	}
+	c.counters[name] += delta
+}
+
+// Counters is a named-counter aggregate, as in Hadoop job counters.
+type Counters map[string]int64
+
+// Merge adds all of other into c.
+func (c Counters) Merge(other Counters) {
+	for k, v := range other {
+		c[k] += v
+	}
+}
+
+// Get returns the counter value (0 if absent).
+func (c Counters) Get(name string) int64 { return c[name] }
+
+// Names returns the counter names in sorted order.
+func (c Counters) Names() []string {
+	names := make([]string, 0, len(c))
+	for k := range c {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

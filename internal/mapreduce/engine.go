@@ -1,0 +1,395 @@
+package mapreduce
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"proger/internal/costmodel"
+	"proger/internal/extsort"
+)
+
+// Run executes one MapReduce job. Input records are split contiguously
+// among map tasks. startAt is the global time at which the job is
+// submitted (chain jobs by passing the previous job's End).
+//
+// Execution is deterministic: identical inputs and config produce an
+// identical Result, including all timestamps, regardless of Workers.
+func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Partition == nil {
+		cfg.Partition = HashPartitioner
+	}
+	if cfg.Cost == (costmodel.Model{}) {
+		cfg.Cost = costmodel.Default()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// ---- Map phase ----
+	splits := splitInput(input, cfg.NumMapTasks)
+	mapOuts := make([][][]KeyValue, cfg.NumMapTasks) // [task][partition][]kv
+	mapCosts := make([]costmodel.Units, cfg.NumMapTasks)
+	mapCounters := make([]Counters, cfg.NumMapTasks)
+	err := runPool(workers, cfg.NumMapTasks, func(i int) error {
+		out, cost, counters, err := runMapTask(&cfg, i, splits[i])
+		if err != nil {
+			return err
+		}
+		mapOuts[i], mapCosts[i], mapCounters[i] = out, cost, counters
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	jobStart := startAt
+	mapPhaseStart := jobStart + cfg.Cost.JobSetup
+	_, mapEnd := scheduleTasks(mapCosts, cfg.Cluster.Slots(), mapPhaseStart)
+
+	// ---- Shuffle: gather each reduce task's input in map-task order
+	// (deterministic), then sort stably by key — in memory, or through
+	// the external spill-and-merge sorter when over the memory limit. ----
+	reduceIns := make([][]KeyValue, cfg.NumReduceTasks)
+	for r := 0; r < cfg.NumReduceTasks; r++ {
+		in, err := shuffleForTask(&cfg, mapOuts, r)
+		if err != nil {
+			return nil, err
+		}
+		reduceIns[r] = in
+	}
+
+	// ---- Reduce phase ----
+	reduceOuts := make([][]TimedKV, cfg.NumReduceTasks)
+	reduceCosts := make([]costmodel.Units, cfg.NumReduceTasks)
+	reduceCounters := make([]Counters, cfg.NumReduceTasks)
+	err = runPool(workers, cfg.NumReduceTasks, func(i int) error {
+		out, cost, counters, err := runReduceTask(&cfg, i, reduceIns[i])
+		if err != nil {
+			return err
+		}
+		reduceOuts[i], reduceCosts[i], reduceCounters[i] = out, cost, counters
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	reduceStarts, end := scheduleTasks(reduceCosts, cfg.Cluster.Slots(), mapEnd)
+
+	// Stamp global times and flatten output in (task, emission) order.
+	var total int
+	for _, out := range reduceOuts {
+		total += len(out)
+	}
+	output := make([]TimedKV, 0, total)
+	for r, out := range reduceOuts {
+		for _, kv := range out {
+			kv.Global = reduceStarts[r] + kv.Local
+			output = append(output, kv)
+		}
+	}
+
+	counters := Counters{}
+	for _, c := range mapCounters {
+		counters.Merge(c)
+	}
+	for _, c := range reduceCounters {
+		counters.Merge(c)
+	}
+
+	return &Result{
+		Output:          output,
+		Start:           jobStart,
+		End:             end,
+		MapEnd:          mapEnd,
+		Counters:        counters,
+		MapTaskCosts:    mapCosts,
+		ReduceTaskCosts: reduceCosts,
+		ReduceStarts:    reduceStarts,
+	}, nil
+}
+
+// shuffleForTask assembles reduce task r's sorted input from the map
+// outputs. With ShuffleMemLimit set, records stream through the
+// external sorter (spilling sorted runs to disk) instead of being
+// sorted in memory.
+func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) ([]KeyValue, error) {
+	var n int
+	for m := 0; m < cfg.NumMapTasks; m++ {
+		n += len(mapOuts[m][r])
+	}
+	if cfg.ShuffleMemLimit <= 0 || n <= cfg.ShuffleMemLimit {
+		in := make([]KeyValue, 0, n)
+		for m := 0; m < cfg.NumMapTasks; m++ {
+			in = append(in, mapOuts[m][r]...)
+		}
+		sort.SliceStable(in, func(a, b int) bool { return in[a].Key < in[b].Key })
+		return in, nil
+	}
+	dir := cfg.SpillDir
+	if dir == "" {
+		dir = extsort.SortDir()
+	}
+	sorter := extsort.NewSorter(dir, cfg.ShuffleMemLimit)
+	defer sorter.Close()
+	for m := 0; m < cfg.NumMapTasks; m++ {
+		for _, kv := range mapOuts[m][r] {
+			if err := sorter.Add(kv.Key, kv.Value); err != nil {
+				return nil, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
+			}
+		}
+	}
+	it, err := sorter.Sort()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
+	}
+	defer it.Close()
+	in := make([]KeyValue, 0, n)
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
+		}
+		if !ok {
+			break
+		}
+		in = append(in, KeyValue{Key: rec.Key, Value: rec.Value})
+	}
+	return in, nil
+}
+
+// splitInput divides input into n contiguous, near-equal splits.
+func splitInput(input []KeyValue, n int) [][]KeyValue {
+	splits := make([][]KeyValue, n)
+	total := len(input)
+	for i := 0; i < n; i++ {
+		lo := total * i / n
+		hi := total * (i + 1) / n
+		splits[i] = input[lo:hi]
+	}
+	return splits
+}
+
+// scheduleTasks assigns tasks (in index order) to the earliest-free of
+// `slots` slots, all free at phaseStart, returning each task's start
+// time and the phase end time. This mirrors Hadoop's slot scheduler
+// with speculative execution disabled (§VI-A1).
+func scheduleTasks(costs []costmodel.Units, slots int, phaseStart costmodel.Units) (starts []costmodel.Units, phaseEnd costmodel.Units) {
+	free := make([]costmodel.Units, slots)
+	for i := range free {
+		free[i] = phaseStart
+	}
+	starts = make([]costmodel.Units, len(costs))
+	phaseEnd = phaseStart
+	for t, c := range costs {
+		best := 0
+		for s := 1; s < slots; s++ {
+			if free[s] < free[best] {
+				best = s
+			}
+		}
+		starts[t] = free[best]
+		free[best] += c
+		if free[best] > phaseEnd {
+			phaseEnd = free[best]
+		}
+	}
+	return starts, phaseEnd
+}
+
+// mapEmitter buffers map output per partition, charging emission cost.
+type mapEmitter struct {
+	ctx       *TaskContext
+	cfg       *Config
+	partition Partitioner
+	out       [][]KeyValue
+}
+
+// Emit implements Emitter.
+func (e *mapEmitter) Emit(key string, value []byte) {
+	e.ctx.Charge(e.cfg.Cost.EmitRecord)
+	p := e.partition(key, e.cfg.NumReduceTasks)
+	if p < 0 || p >= e.cfg.NumReduceTasks {
+		panic(fmt.Sprintf("mapreduce: partitioner returned %d for %d reduce tasks", p, e.cfg.NumReduceTasks))
+	}
+	e.out[p] = append(e.out[p], KeyValue{Key: key, Value: value})
+}
+
+func runMapTask(cfg *Config, index int, split []KeyValue) ([][]KeyValue, costmodel.Units, Counters, error) {
+	ctx := &TaskContext{
+		Job:       cfg.Name,
+		Type:      MapTask,
+		Index:     index,
+		NumReduce: cfg.NumReduceTasks,
+		Side:      cfg.Side,
+		Cost:      cfg.Cost,
+		counters:  Counters{},
+	}
+	ctx.Charge(cfg.Cost.TaskStartup)
+	mapper := cfg.NewMapper()
+	emitter := &mapEmitter{ctx: ctx, cfg: cfg, partition: cfg.Partition, out: make([][]KeyValue, cfg.NumReduceTasks)}
+	if err := mapper.Setup(ctx); err != nil {
+		return nil, 0, nil, fmt.Errorf("mapreduce: %s map task %d setup: %w", cfg.Name, index, err)
+	}
+	for _, rec := range split {
+		ctx.Charge(cfg.Cost.ReadRecord)
+		if err := mapper.Map(ctx, rec, emitter); err != nil {
+			return nil, 0, nil, fmt.Errorf("mapreduce: %s map task %d: %w", cfg.Name, index, err)
+		}
+	}
+	if err := mapper.Cleanup(ctx, emitter); err != nil {
+		return nil, 0, nil, fmt.Errorf("mapreduce: %s map task %d cleanup: %w", cfg.Name, index, err)
+	}
+	if cfg.Combine != nil {
+		for p := range emitter.out {
+			emitter.out[p] = applyCombiner(ctx, cfg, emitter.out[p])
+		}
+	}
+	return emitter.out, ctx.Now(), ctx.counters, nil
+}
+
+// applyCombiner sorts one partition of a map task's output by key,
+// groups equal keys, and replaces each group's values with the
+// combiner's output, exactly as Hadoop's map-side combine does. Sorting
+// and re-emission are charged to the task.
+func applyCombiner(ctx *TaskContext, cfg *Config, out []KeyValue) []KeyValue {
+	if len(out) < 2 {
+		return out
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	ctx.Charge(cfg.Cost.ShuffleSortCost(len(out)))
+	combined := make([]KeyValue, 0, len(out))
+	for lo := 0; lo < len(out); {
+		hi := lo + 1
+		for hi < len(out) && out[hi].Key == out[lo].Key {
+			hi++
+		}
+		values := make([][]byte, hi-lo)
+		for i := lo; i < hi; i++ {
+			values[i-lo] = out[i].Value
+		}
+		for _, v := range cfg.Combine(out[lo].Key, values) {
+			ctx.Charge(cfg.Cost.EmitRecord)
+			combined = append(combined, KeyValue{Key: out[lo].Key, Value: v})
+		}
+		lo = hi
+	}
+	return combined
+}
+
+// reduceEmitter stamps each output record with the task-local clock.
+type reduceEmitter struct {
+	ctx *TaskContext
+	out []TimedKV
+}
+
+// Emit implements Emitter.
+func (e *reduceEmitter) Emit(key string, value []byte) {
+	e.out = append(e.out, TimedKV{
+		KeyValue: KeyValue{Key: key, Value: value},
+		Local:    e.ctx.Now(),
+		Task:     e.ctx.Index,
+	})
+}
+
+func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.Units, Counters, error) {
+	ctx := &TaskContext{
+		Job:       cfg.Name,
+		Type:      ReduceTask,
+		Index:     index,
+		NumReduce: cfg.NumReduceTasks,
+		Side:      cfg.Side,
+		Cost:      cfg.Cost,
+		counters:  Counters{},
+	}
+	ctx.Charge(cfg.Cost.TaskStartup)
+	// Framework shuffle cost: reading and merge-sorting this task's
+	// input. (The real sort already happened in Run; here we only
+	// account its simulated price.)
+	ctx.Charge(cfg.Cost.ReadRecord * costmodel.Units(len(in)))
+	ctx.Charge(cfg.Cost.ShuffleSortCost(len(in)))
+
+	reducer := cfg.NewReducer()
+	emitter := &reduceEmitter{ctx: ctx}
+	if err := reducer.Setup(ctx); err != nil {
+		return nil, 0, nil, fmt.Errorf("mapreduce: %s reduce task %d setup: %w", cfg.Name, index, err)
+	}
+	for lo := 0; lo < len(in); {
+		hi := lo + 1
+		for hi < len(in) && in[hi].Key == in[lo].Key {
+			hi++
+		}
+		values := make([][]byte, hi-lo)
+		for i := lo; i < hi; i++ {
+			values[i-lo] = in[i].Value
+		}
+		if err := reducer.Reduce(ctx, in[lo].Key, values, emitter); err != nil {
+			return nil, 0, nil, fmt.Errorf("mapreduce: %s reduce task %d key %q: %w", cfg.Name, index, in[lo].Key, err)
+		}
+		lo = hi
+	}
+	if err := reducer.Cleanup(ctx, emitter); err != nil {
+		return nil, 0, nil, fmt.Errorf("mapreduce: %s reduce task %d cleanup: %w", cfg.Name, index, err)
+	}
+	return emitter.out, ctx.Now(), ctx.counters, nil
+}
+
+// runPool runs fn(0..n-1) on up to `workers` goroutines and returns the
+// first error (all started tasks are allowed to finish). A panicking
+// task is converted into a task failure rather than crashing the whole
+// engine — the moral equivalent of a Hadoop task attempt dying without
+// taking the job tracker down.
+func runPool(workers, n int, fn func(i int) error) error {
+	safe := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("mapreduce: task %d panicked: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := safe(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := safe(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

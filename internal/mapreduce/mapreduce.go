@@ -1,0 +1,231 @@
+// Package mapreduce implements a from-scratch, in-process MapReduce
+// framework with the contract the paper's algorithms rely on:
+//
+//   - map tasks consume input splits and emit key-value pairs;
+//   - a pluggable partition function routes each pair to a reduce task;
+//   - each reduce task sorts its input by key, groups equal keys, and
+//     invokes the reduce function once per group, in key order;
+//   - tasks run on a simulated cluster of machines × slots-per-machine,
+//     and every task accounts its work in deterministic cost units
+//     (see internal/costmodel), producing a global timeline;
+//   - reduce output records are timestamped, which is what makes
+//     *progressive* result delivery observable (§III-B: "outputs the
+//     results to a different file every α units of cost").
+//
+// The engine executes tasks concurrently (bounded worker pool) but all
+// timing comes from the cost model, so results and timelines are
+// bit-for-bit reproducible regardless of real scheduling.
+package mapreduce
+
+import (
+	"fmt"
+
+	"proger/internal/costmodel"
+)
+
+// KeyValue is the unit of data flowing through a job.
+type KeyValue struct {
+	Key   string
+	Value []byte
+}
+
+// TimedKV is a reduce-output record stamped with when it was produced:
+// Local is cost units since its reduce task started working; Global is
+// cost units since the start of the whole run (job chain).
+type TimedKV struct {
+	KeyValue
+	Local  costmodel.Units
+	Global costmodel.Units
+	Task   int // producing reduce task index
+}
+
+// Emitter receives the pairs emitted by map and reduce functions.
+type Emitter interface {
+	Emit(key string, value []byte)
+}
+
+// Mapper is the user map function plus optional per-task lifecycle.
+// One Mapper instance is created per map task (via Config.NewMapper),
+// mirroring Hadoop's task-scoped Mapper objects, so implementations may
+// keep per-task state without locking.
+type Mapper interface {
+	// Setup runs once before the first Map call. Schedule generation in
+	// the paper's second job happens here (§III-B).
+	Setup(ctx *TaskContext) error
+	// Map processes one input record.
+	Map(ctx *TaskContext, rec KeyValue, emit Emitter) error
+	// Cleanup runs after the last Map call.
+	Cleanup(ctx *TaskContext, emit Emitter) error
+}
+
+// Reducer is the user reduce function plus optional per-task lifecycle.
+type Reducer interface {
+	Setup(ctx *TaskContext) error
+	// Reduce is called once per distinct key, with all values for that
+	// key in emission order.
+	Reduce(ctx *TaskContext, key string, values [][]byte, emit Emitter) error
+	Cleanup(ctx *TaskContext, emit Emitter) error
+}
+
+// MapperBase and ReducerBase provide no-op lifecycle methods so user
+// types only implement what they need.
+type MapperBase struct{}
+
+// Setup implements Mapper.
+func (MapperBase) Setup(*TaskContext) error { return nil }
+
+// Cleanup implements Mapper.
+func (MapperBase) Cleanup(*TaskContext, Emitter) error { return nil }
+
+// ReducerBase provides no-op lifecycle methods for Reducers.
+type ReducerBase struct{}
+
+// Setup implements Reducer.
+func (ReducerBase) Setup(*TaskContext) error { return nil }
+
+// Cleanup implements Reducer.
+func (ReducerBase) Cleanup(*TaskContext, Emitter) error { return nil }
+
+// Combiner merges the values of one key on the map side before the
+// shuffle, cutting shuffle volume — Hadoop's combiner contract: it must
+// be associative/commutative in effect, since the framework may apply
+// it zero or more times.
+type Combiner func(key string, values [][]byte) [][]byte
+
+// Partitioner routes a key to one of numReduce reduce tasks.
+type Partitioner func(key string, numReduce int) int
+
+// HashPartitioner is the default hash-based partition function (FNV-1a),
+// the behaviour of Hadoop's HashPartitioner.
+func HashPartitioner(key string, numReduce int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(numReduce))
+}
+
+// Cluster describes the simulated hardware: the paper runs at most two
+// concurrent map and two concurrent reduce tasks per machine (§VI-A1).
+type Cluster struct {
+	Machines        int
+	SlotsPerMachine int
+}
+
+// Slots returns the total number of concurrent task slots.
+func (c Cluster) Slots() int { return c.Machines * c.SlotsPerMachine }
+
+// Config specifies a job.
+type Config struct {
+	// Name labels the job in errors and counters.
+	Name string
+	// NewMapper and NewReducer create one task-scoped instance each.
+	NewMapper  func() Mapper
+	NewReducer func() Reducer
+	// Partition routes map-output keys; HashPartitioner if nil.
+	Partition Partitioner
+	// Combine, when non-nil, merges each map task's output values per
+	// key before the shuffle (charged at EmitRecord per surviving
+	// record).
+	Combine Combiner
+	// NumMapTasks and NumReduceTasks size the job. The paper sets map
+	// tasks = map slots and reduce tasks = reduce slots.
+	NumMapTasks    int
+	NumReduceTasks int
+	// Cluster is the simulated hardware.
+	Cluster Cluster
+	// Cost is the cost model; costmodel.Default() if zero.
+	Cost costmodel.Model
+	// Side is arbitrary read-only side data visible to all tasks
+	// (Hadoop's distributed cache); e.g. Job 1's block statistics.
+	Side any
+	// Workers bounds real concurrency of the in-process execution;
+	// defaults to GOMAXPROCS. Purely a host-machine knob: it cannot
+	// change results or simulated timing.
+	Workers int
+	// ShuffleMemLimit, when > 0, bounds the records a reduce task's
+	// shuffle may buffer in host memory; beyond it, sorted runs spill
+	// to SpillDir and are k-way merged (Hadoop's spill-and-merge
+	// shuffle). Purely a host-machine knob, like Workers.
+	ShuffleMemLimit int
+	// SpillDir receives shuffle spill files; os.TempDir()-based default.
+	SpillDir string
+}
+
+func (c *Config) validate() error {
+	if c.NewMapper == nil {
+		return fmt.Errorf("mapreduce: job %q: NewMapper is required", c.Name)
+	}
+	if c.NewReducer == nil {
+		return fmt.Errorf("mapreduce: job %q: NewReducer is required", c.Name)
+	}
+	if c.NumMapTasks <= 0 {
+		return fmt.Errorf("mapreduce: job %q: NumMapTasks must be positive", c.Name)
+	}
+	if c.NumReduceTasks <= 0 {
+		return fmt.Errorf("mapreduce: job %q: NumReduceTasks must be positive", c.Name)
+	}
+	if c.Cluster.Machines <= 0 || c.Cluster.SlotsPerMachine <= 0 {
+		return fmt.Errorf("mapreduce: job %q: cluster %+v invalid", c.Name, c.Cluster)
+	}
+	return nil
+}
+
+// Result is the outcome of a job run.
+type Result struct {
+	// Output is every reduce-output record with its timestamps, in
+	// (task, emission) order.
+	Output []TimedKV
+	// Start and End are the job's global start and end times in cost
+	// units (End = when the last reduce task finished).
+	Start, End costmodel.Units
+	// MapEnd is when the map phase barrier completed.
+	MapEnd costmodel.Units
+	// Counters aggregates all task counters.
+	Counters Counters
+	// TaskCosts records per-task total cost, map tasks then reduce
+	// tasks, for diagnostics and tests.
+	MapTaskCosts    []costmodel.Units
+	ReduceTaskCosts []costmodel.Units
+	// ReduceStarts records each reduce task's global start time.
+	ReduceStarts []costmodel.Units
+}
+
+// Segment is a contiguous α-interval of one reduce task's output — the
+// "file" of the paper's incremental result delivery.
+type Segment struct {
+	Task       int
+	Index      int             // segment number within the task
+	Start, End costmodel.Units // local cost bounds [Start, End)
+	Records    []TimedKV
+}
+
+// Segments splits one reduce task's output into α-cost-unit files, the
+// way the paper's reduce function rolls its output file every α units.
+// Results at time t are the union of all segments with End ≤ t.
+func (r *Result) Segments(task int, alpha costmodel.Units) []Segment {
+	if alpha <= 0 {
+		panic("mapreduce: alpha must be positive")
+	}
+	var segs []Segment
+	cur := Segment{Task: task, Index: 0, Start: 0, End: alpha}
+	for _, kv := range r.Output {
+		if kv.Task != task {
+			continue
+		}
+		for kv.Local >= cur.End {
+			segs = append(segs, cur)
+			cur = Segment{Task: task, Index: cur.Index + 1, Start: cur.End, End: cur.End + alpha}
+		}
+		cur.Records = append(cur.Records, kv)
+	}
+	if len(cur.Records) > 0 {
+		segs = append(segs, cur)
+	}
+	return segs
+}

@@ -1,0 +1,171 @@
+// Package match implements the resolve/match function: the
+// compute-intensive decision of whether two entities co-refer.
+//
+// Following §VI-A2 of the paper, a Matcher applies a similarity
+// function to each configured attribute and declares a pair duplicate
+// when the weighted sum of the attribute similarities reaches a
+// threshold. The Matcher also counts invocations so experiments can
+// report comparison totals.
+package match
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"proger/internal/entity"
+	"proger/internal/textsim"
+)
+
+// SimKind selects the similarity function applied to an attribute.
+type SimKind int
+
+const (
+	// EditDistance is normalized Levenshtein similarity (§VI-A2,
+	// "we measured the similarity ... using edit distance").
+	EditDistance SimKind = iota
+	// ExactMatch is 1 iff the values are equal (used for several
+	// OL-Books attributes).
+	ExactMatch
+	// JaroWinklerSim is Jaro-Winkler similarity, offered as an
+	// alternative for name-like attributes.
+	JaroWinklerSim
+	// JaccardQ2 is Jaccard similarity over 2-grams, robust to token
+	// reordering.
+	JaccardQ2
+	// TokenCosine is cosine similarity over whitespace-token frequency
+	// vectors — order-insensitive, suited to author lists and titles
+	// with swapped words.
+	TokenCosine
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k SimKind) String() string {
+	switch k {
+	case EditDistance:
+		return "edit"
+	case ExactMatch:
+		return "exact"
+	case JaroWinklerSim:
+		return "jaro-winkler"
+	case JaccardQ2:
+		return "jaccard-q2"
+	case TokenCosine:
+		return "token-cosine"
+	default:
+		return fmt.Sprintf("SimKind(%d)", int(k))
+	}
+}
+
+// Rule scores one attribute.
+type Rule struct {
+	// Attr is the attribute index in the dataset schema.
+	Attr int
+	// Weight is the rule's share of the weighted sum. Weights should
+	// sum to 1 across the Matcher's rules (Normalize enforces this).
+	Weight float64
+	// Kind selects the similarity function.
+	Kind SimKind
+	// MaxChars, when > 0, truncates both values before comparison.
+	// The paper compares only the first ≤350 characters of abstracts.
+	MaxChars int
+}
+
+// Matcher is a weighted multi-attribute resolve function.
+// It is safe for concurrent use.
+type Matcher struct {
+	Rules []Rule
+	// Threshold on the weighted similarity sum, in [0,1].
+	Threshold float64
+
+	comparisons atomic.Int64
+}
+
+// New builds a Matcher after validating and normalizing the rules so
+// their weights sum to 1.
+func New(threshold float64, rules ...Rule) (*Matcher, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("match: threshold %v outside (0,1]", threshold)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("match: at least one rule required")
+	}
+	total := 0.0
+	for i, r := range rules {
+		if r.Weight <= 0 {
+			return nil, fmt.Errorf("match: rule %d has non-positive weight %v", i, r.Weight)
+		}
+		if r.Attr < 0 {
+			return nil, fmt.Errorf("match: rule %d has negative attribute index", i)
+		}
+		total += r.Weight
+	}
+	normalized := make([]Rule, len(rules))
+	copy(normalized, rules)
+	for i := range normalized {
+		normalized[i].Weight /= total
+	}
+	return &Matcher{Rules: normalized, Threshold: threshold}, nil
+}
+
+// MustNew is New that panics on error, for configuration literals.
+func MustNew(threshold float64, rules ...Rule) *Matcher {
+	m, err := New(threshold, rules...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Score returns the weighted similarity of a and b in [0,1].
+func (m *Matcher) Score(a, b *entity.Entity) float64 {
+	score := 0.0
+	remaining := 0.0
+	for _, r := range m.Rules {
+		remaining += r.Weight
+	}
+	for _, r := range m.Rules {
+		va, vb := a.Attr(r.Attr), b.Attr(r.Attr)
+		if r.MaxChars > 0 {
+			if len(va) > r.MaxChars {
+				va = va[:r.MaxChars]
+			}
+			if len(vb) > r.MaxChars {
+				vb = vb[:r.MaxChars]
+			}
+		}
+		var sim float64
+		switch r.Kind {
+		case EditDistance:
+			sim = textsim.Similarity(va, vb)
+		case ExactMatch:
+			sim = textsim.Exact(va, vb)
+		case JaroWinklerSim:
+			sim = textsim.JaroWinkler(va, vb)
+		case JaccardQ2:
+			sim = textsim.JaccardQGram(va, vb, 2)
+		case TokenCosine:
+			sim = textsim.TokenCosine(va, vb)
+		}
+		score += r.Weight * sim
+		remaining -= r.Weight
+		// Early exit: even a perfect score on the remaining rules
+		// cannot reach the threshold.
+		if score+remaining < m.Threshold {
+			return score // partial score; below threshold by construction
+		}
+	}
+	return score
+}
+
+// Match applies the resolve function and reports whether the pair
+// co-refers. Every call counts one comparison.
+func (m *Matcher) Match(a, b *entity.Entity) bool {
+	m.comparisons.Add(1)
+	return m.Score(a, b) >= m.Threshold
+}
+
+// Comparisons returns the number of Match invocations so far.
+func (m *Matcher) Comparisons() int64 { return m.comparisons.Load() }
+
+// ResetComparisons zeroes the comparison counter (between experiments).
+func (m *Matcher) ResetComparisons() { m.comparisons.Store(0) }

@@ -1,0 +1,155 @@
+package match
+
+import (
+	"testing"
+
+	"proger/internal/entity"
+)
+
+func ent(attrs ...string) *entity.Entity { return &entity.Entity{ID: 0, Attrs: attrs} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Rule{Attr: 0, Weight: 1}); err == nil {
+		t.Error("threshold 0: want error")
+	}
+	if _, err := New(1.5, Rule{Attr: 0, Weight: 1}); err == nil {
+		t.Error("threshold >1: want error")
+	}
+	if _, err := New(0.8); err == nil {
+		t.Error("no rules: want error")
+	}
+	if _, err := New(0.8, Rule{Attr: 0, Weight: -1}); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := New(0.8, Rule{Attr: -2, Weight: 1}); err == nil {
+		t.Error("negative attr: want error")
+	}
+}
+
+func TestWeightNormalization(t *testing.T) {
+	m := MustNew(0.5,
+		Rule{Attr: 0, Weight: 2, Kind: ExactMatch},
+		Rule{Attr: 1, Weight: 2, Kind: ExactMatch},
+	)
+	sum := 0.0
+	for _, r := range m.Rules {
+		sum += r.Weight
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+}
+
+func TestMatchExact(t *testing.T) {
+	m := MustNew(0.99, Rule{Attr: 0, Weight: 1, Kind: ExactMatch})
+	if !m.Match(ent("x"), ent("x")) {
+		t.Error("identical should match")
+	}
+	if m.Match(ent("x"), ent("y")) {
+		t.Error("different should not match")
+	}
+	if m.Comparisons() != 2 {
+		t.Errorf("Comparisons = %d, want 2", m.Comparisons())
+	}
+	m.ResetComparisons()
+	if m.Comparisons() != 0 {
+		t.Error("ResetComparisons failed")
+	}
+}
+
+func TestMatchWeightedSum(t *testing.T) {
+	// Two attributes, equal weight; one identical, one completely
+	// different → score 0.5.
+	m := MustNew(0.6,
+		Rule{Attr: 0, Weight: 1, Kind: EditDistance},
+		Rule{Attr: 1, Weight: 1, Kind: EditDistance},
+	)
+	a := ent("same title", "aaaa")
+	b := ent("same title", "zzzz")
+	if got := m.Score(a, b); got > 0.51 {
+		t.Errorf("Score = %v, want ≈0.5", got)
+	}
+	if m.Match(a, b) {
+		t.Error("score 0.5 must not pass threshold 0.6")
+	}
+	m2 := MustNew(0.4,
+		Rule{Attr: 0, Weight: 1, Kind: EditDistance},
+		Rule{Attr: 1, Weight: 1, Kind: EditDistance},
+	)
+	if !m2.Match(a, b) {
+		t.Error("score 0.5 should pass threshold 0.4")
+	}
+}
+
+func TestMatchTypoTolerance(t *testing.T) {
+	m := MustNew(0.85, Rule{Attr: 0, Weight: 1, Kind: EditDistance})
+	if !m.Match(ent("Charles Andrews"), ent("Gharles Andrews")) {
+		t.Error("single-typo names should match at 0.85")
+	}
+	if m.Match(ent("Mary Gibson"), ent("Chloe Matthew")) {
+		t.Error("unrelated names should not match")
+	}
+}
+
+func TestMaxCharsTruncation(t *testing.T) {
+	m := MustNew(0.9, Rule{Attr: 0, Weight: 1, Kind: EditDistance, MaxChars: 4})
+	// Values agree in the first 4 chars, differ wildly after.
+	if !m.Match(ent("abcdXXXXXXXX"), ent("abcdYYYY")) {
+		t.Error("truncated comparison should match on shared prefix")
+	}
+}
+
+func TestScoreEarlyExit(t *testing.T) {
+	// First rule scores 0 with weight 0.9 → remaining 0.1 cannot reach
+	// threshold 0.5; Score returns early and must stay below threshold.
+	m := MustNew(0.5,
+		Rule{Attr: 0, Weight: 9, Kind: ExactMatch},
+		Rule{Attr: 1, Weight: 1, Kind: ExactMatch},
+	)
+	got := m.Score(ent("a", "same"), ent("b", "same"))
+	if got >= m.Threshold {
+		t.Errorf("early-exit score %v ≥ threshold", got)
+	}
+}
+
+func TestJaroAndJaccardKinds(t *testing.T) {
+	mj := MustNew(0.9, Rule{Attr: 0, Weight: 1, Kind: JaroWinklerSim})
+	if !mj.Match(ent("MARTHA"), ent("MARHTA")) {
+		t.Error("Jaro-Winkler should match MARTHA/MARHTA at 0.9")
+	}
+	mq := MustNew(0.5, Rule{Attr: 0, Weight: 1, Kind: JaccardQ2})
+	if !mq.Match(ent("entity resolution"), ent("entity resolution")) {
+		t.Error("identical strings should match under Jaccard")
+	}
+	if mq.Match(ent("abcdef"), ent("uvwxyz")) {
+		t.Error("disjoint strings should not match under Jaccard")
+	}
+}
+
+func TestSimKindString(t *testing.T) {
+	kinds := map[SimKind]string{
+		EditDistance:   "edit",
+		ExactMatch:     "exact",
+		JaroWinklerSim: "jaro-winkler",
+		JaccardQ2:      "jaccard-q2",
+		SimKind(99):    "SimKind(99)",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestTokenCosineKind(t *testing.T) {
+	m := MustNew(0.9, Rule{Attr: 0, Weight: 1, Kind: TokenCosine})
+	if !m.Match(ent("john lopez"), ent("lopez john")) {
+		t.Error("token cosine should match swapped words")
+	}
+	if m.Match(ent("alpha beta"), ent("gamma delta")) {
+		t.Error("disjoint tokens should not match")
+	}
+	if TokenCosine.String() != "token-cosine" {
+		t.Error("kind string")
+	}
+}

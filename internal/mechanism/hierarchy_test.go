@@ -1,0 +1,129 @@
+package mechanism
+
+import (
+	"fmt"
+	"testing"
+
+	"proger/internal/entity"
+)
+
+func TestHierarchyCoversLeafPairs(t *testing.T) {
+	te := newTestEnv(entity.PairSet{})
+	st := Hierarchy{LeafSize: 4}.ResolveBlock(te.env, block("a", "b", "c", "d"), 10)
+	// Block of 4 = one leaf: all 6 pairs.
+	if st.Compared != 6 {
+		t.Errorf("compared %d pairs, want 6", st.Compared)
+	}
+	seen := entity.PairSet{}
+	for _, p := range te.pairs {
+		if !seen.Add(p) {
+			t.Errorf("pair %v compared twice", p)
+		}
+	}
+}
+
+func TestHierarchyNoDuplicateComparisons(t *testing.T) {
+	labels := make([]string, 20)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%02d", i)
+	}
+	te := newTestEnv(entity.PairSet{})
+	Hierarchy{LeafSize: 3}.ResolveBlock(te.env, block(labels...), 20)
+	seen := entity.PairSet{}
+	for _, p := range te.pairs {
+		if !seen.Add(p) {
+			t.Fatalf("pair %v compared twice", p)
+		}
+	}
+	// Every within-window pair must be covered (window ≥ n → all pairs
+	// except those pruned by the cross-partition window rule; with
+	// window = n, all pairs must appear).
+	if int64(len(te.pairs)) != entity.Pairs(20) {
+		t.Errorf("covered %d pairs, want %d", len(te.pairs), entity.Pairs(20))
+	}
+}
+
+func TestHierarchyWindowLimitsCrossPairs(t *testing.T) {
+	labels := make([]string, 16)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%02d", i)
+	}
+	te := newTestEnv(entity.PairSet{})
+	Hierarchy{LeafSize: 2}.ResolveBlock(te.env, block(labels...), 3)
+	for _, p := range te.pairs {
+		// Leaf pairs have distance 1 (leaf size 2); cross pairs are
+		// capped at distance < 3.
+		if p.Hi-p.Lo > 2 {
+			t.Errorf("pair %v exceeds window distance", p)
+		}
+	}
+}
+
+func TestHierarchyDeepestFirst(t *testing.T) {
+	// With 8 entities and leaf size 2, the first comparisons must be
+	// the leaf pairs (distance-1 within each leaf), before any
+	// cross-partition pair.
+	labels := make([]string, 8)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%d", i)
+	}
+	te := newTestEnv(entity.PairSet{})
+	Hierarchy{LeafSize: 2}.ResolveBlock(te.env, block(labels...), 8)
+	if len(te.pairs) < 4 {
+		t.Fatalf("too few pairs: %v", te.pairs)
+	}
+	// First pair must come from the leftmost leaf.
+	if te.pairs[0] != entity.MakePair(0, 1) {
+		t.Errorf("first pair = %v, want <e0,e1>", te.pairs[0])
+	}
+	// The widest pair (0,7) — LCA at the root — must come last among
+	// pairs involving e0 within the window.
+	last := te.pairs[len(te.pairs)-1]
+	if last.Hi-last.Lo <= 2 {
+		t.Errorf("last pair %v should be a wide cross-root pair", last)
+	}
+}
+
+func TestHierarchyStops(t *testing.T) {
+	te := newTestEnv(entity.PairSet{})
+	te.env.Stop = DistinctThreshold(5)
+	labels := make([]string, 12)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%02d", i)
+	}
+	st := Hierarchy{}.ResolveBlock(te.env, block(labels...), 12)
+	if st.Distinct != 5 {
+		t.Errorf("stopped after %d distinct, want 5", st.Distinct)
+	}
+}
+
+func TestHierarchyTinyBlocks(t *testing.T) {
+	te := newTestEnv(entity.PairSet{})
+	if st := (Hierarchy{}).ResolveBlock(te.env, nil, 5); st.Compared != 0 {
+		t.Error("empty block")
+	}
+	if st := (Hierarchy{}).ResolveBlock(te.env, block("a"), 5); st.Compared != 0 {
+		t.Error("singleton block")
+	}
+	if st := (Hierarchy{}).ResolveBlock(te.env, block("a", "b"), 0); st.Compared != 1 {
+		t.Error("pair block with degenerate window")
+	}
+}
+
+func TestHierarchyFindsDuplicates(t *testing.T) {
+	dups := entity.PairSet{}
+	dups.Add(entity.MakePair(0, 1))
+	dups.Add(entity.MakePair(5, 6))
+	labels := make([]string, 10)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%d", i)
+	}
+	te := newTestEnv(dups)
+	st := Hierarchy{LeafSize: 2}.ResolveBlock(te.env, block(labels...), 10)
+	if st.Dups != 2 {
+		t.Errorf("found %d dups, want 2", st.Dups)
+	}
+	if (Hierarchy{}).Name() != "HierarchyHint" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,305 @@
+// Package sched implements §IV-C of the paper: generation of the
+// progressive schedule. Given the estimated blocking trees, the number
+// of reduce tasks r, a cost vector C, and a weighting function W, it
+//
+//  1. repeatedly identifies *overflowed* trees — trees whose
+//     high-utility blocks alone exceed a bucket of the cost vector —
+//     and greedily splits them (IDENTIFY-TREES / SPLIT-TREE, Fig. 6);
+//  2. partitions the trees among the reduce tasks by largest slack
+//     SK(R) (PARTITION-TREES);
+//  3. orders each task's blocks by non-increasing utility, subject to
+//     the bottom-up constraint (children before parents, §III-A);
+//  4. assigns each reduce task a range of sequence values and each
+//     block a unique SQ within its task's range (§III-B), and each
+//     tree a unique dominance value (§V).
+//
+// The LPT and NoSplit baseline schedulers of §VI-B2 are provided
+// through the same entry point.
+package sched
+
+import (
+	"fmt"
+
+	"proger/internal/blocking"
+	"proger/internal/costmodel"
+	"proger/internal/estimate"
+)
+
+// Kind selects the tree-scheduling algorithm.
+type Kind int
+
+const (
+	// Ours is the full algorithm of Fig. 6, with tree splitting.
+	Ours Kind = iota
+	// NoSplit is Ours without the tree-split mechanism (§VI-B2).
+	NoSplit
+	// LPT is Longest Processing Time load balancing [23]: trees sorted
+	// by cost, each assigned to the least-loaded task (§VI-B2).
+	LPT
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Ours:
+		return "ours"
+	case NoSplit:
+		return "nosplit"
+	case LPT:
+		return "lpt"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterizes schedule generation.
+type Config struct {
+	// R is the number of reduce tasks.
+	R int
+	// CostVector is C = {c₁ < c₂ < … < c_K}: the sampled cost points of
+	// the quality function (Eq. 1). Use AutoCostVector for a sensible
+	// default derived from the estimated total cost.
+	CostVector []costmodel.Units
+	// Weights is W(cᵢ) per bucket, non-increasing, in [0,1].
+	Weights []float64
+	// Batch is b: trees split per identify/split iteration (§IV-C2
+	// suggests a small value since few trees overflow).
+	Batch int
+	// Estimator supplies the split-update arithmetic of §IV-C2.
+	Estimator *estimate.Estimator
+	// Kind selects Ours / NoSplit / LPT.
+	Kind Kind
+	// MaxSplitRounds bounds the identify/split loop (safety valve; the
+	// loop also stops when no split makes progress).
+	MaxSplitRounds int
+}
+
+func (c *Config) validate() error {
+	if c.R < 1 {
+		return fmt.Errorf("sched: R must be ≥ 1, got %d", c.R)
+	}
+	if len(c.CostVector) == 0 {
+		return fmt.Errorf("sched: empty cost vector")
+	}
+	prev := costmodel.Units(0)
+	for i, cv := range c.CostVector {
+		if cv <= prev {
+			return fmt.Errorf("sched: cost vector must be strictly increasing (index %d)", i)
+		}
+		prev = cv
+	}
+	if len(c.Weights) != len(c.CostVector) {
+		return fmt.Errorf("sched: %d weights for %d cost points", len(c.Weights), len(c.CostVector))
+	}
+	for i := 1; i < len(c.Weights); i++ {
+		if c.Weights[i] > c.Weights[i-1] {
+			return fmt.Errorf("sched: weights must be non-increasing")
+		}
+	}
+	if c.Estimator == nil && c.Kind == Ours {
+		return fmt.Errorf("sched: Ours scheduler requires an estimator for splits")
+	}
+	return nil
+}
+
+// AutoCostVector derives a K-point cost vector from the estimated total
+// block cost. The points grow geometrically up to the per-task budget
+// (c_K = total/r, cᵢ = c_K/2^(K−i)): early sampling intervals are
+// narrow — so the splitter aggressively parallelizes the beneficial
+// high-utility work that defines progressiveness — while late intervals
+// are wide, leaving the low-utility tail alone.
+func AutoCostVector(trees []*blocking.Tree, r, k int) []costmodel.Units {
+	total := costmodel.Units(0)
+	for _, t := range trees {
+		for _, b := range t.Blocks() {
+			total += b.CostEst
+		}
+	}
+	if r < 1 {
+		r = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	perTask := total / costmodel.Units(r)
+	if perTask <= 0 {
+		perTask = 1
+	}
+	out := make([]costmodel.Units, k)
+	for i := range out {
+		out[i] = perTask / costmodel.Units(int64(1)<<uint(k-1-i))
+	}
+	return out
+}
+
+// LinearWeights returns the non-increasing weights W(cᵢ) = (K−i)/K for
+// i = 0..K−1 — early cost intervals matter most, the essence of
+// progressiveness.
+func LinearWeights(k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = float64(k-i) / float64(k)
+	}
+	return out
+}
+
+// ExponentialWeights returns W(cᵢ) = 2^−i: a sharper early emphasis
+// than LinearWeights, one of the alternative weighting functions the
+// paper's extended report discusses.
+func ExponentialWeights(k int) []float64 {
+	out := make([]float64, k)
+	w := 1.0
+	for i := range out {
+		out[i] = w
+		w /= 2
+	}
+	return out
+}
+
+// UniformWeights returns W(cᵢ) = 1 for all buckets: every unit of
+// progress counts equally — the weighting for the budget-constrained
+// objective below.
+func UniformWeights(k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// BudgetCostVector returns the cost vector for the extended report's
+// budget-constrained objective: maximize the quality achieved within a
+// total resolution budget B. The per-task share B/r is divided into k
+// equal sampling intervals; pair it with UniformWeights so the
+// scheduler cares about everything inside the budget and nothing
+// beyond it.
+func BudgetCostVector(budget costmodel.Units, r, k int) []costmodel.Units {
+	if r < 1 {
+		r = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	perTask := budget / costmodel.Units(r)
+	if perTask <= 0 {
+		perTask = 1
+	}
+	out := make([]costmodel.Units, k)
+	for i := range out {
+		out[i] = perTask * costmodel.Units(i+1) / costmodel.Units(k)
+	}
+	return out
+}
+
+// taskRange is the width of each reduce task's sequence-value range.
+const taskRange = int64(1_000_000_000)
+
+// SQFor composes a sequence value from a task index and a position in
+// that task's block schedule.
+func SQFor(task int, pos int) int64 { return int64(task)*taskRange + int64(pos) }
+
+// TaskOfSQ recovers the reduce task that owns a sequence value; this is
+// the job's partition function.
+func TaskOfSQ(sq int64) int { return int(sq / taskRange) }
+
+// SQKey renders a sequence value as a fixed-width decimal string so the
+// framework's lexicographic key sort equals numeric SQ order.
+func SQKey(sq int64) string { return fmt.Sprintf("%018d", sq) }
+
+// ParseSQKey inverts SQKey.
+func ParseSQKey(key string) (int64, error) {
+	var sq int64
+	if _, err := fmt.Sscanf(key, "%d", &sq); err != nil {
+		return 0, fmt.Errorf("sched: bad sequence key %q: %w", key, err)
+	}
+	return sq, nil
+}
+
+// Schedule is the progressive schedule: the final tree set (after
+// splitting), the tree partition, and the per-task block schedules with
+// sequence values assigned.
+type Schedule struct {
+	// Trees is every tree, in dominance-value order (Tree.Dom == index).
+	Trees []*blocking.Tree
+	// TaskOfTree maps each tree (by position in Trees) to its reduce task.
+	TaskOfTree []int
+	// TaskBlocks[task] is the task's block schedule, in resolution order.
+	TaskBlocks [][]*blocking.Block
+	// ByID indexes every scheduled block.
+	ByID map[blocking.BlockID]*blocking.Block
+	// TreeOf maps each block ID to its tree's position in Trees.
+	TreeOf map[blocking.BlockID]int
+	// R is the number of reduce tasks.
+	R int
+}
+
+// FirstSQOfTree returns, per tree index, the smallest sequence value of
+// the tree's blocks — the key under which the compact (footnote-5) map
+// emission ships the tree's entities, guaranteeing they arrive before
+// any of the tree's blocks are resolved.
+func (s *Schedule) FirstSQOfTree() []int64 {
+	out := make([]int64, len(s.Trees))
+	for i, t := range s.Trees {
+		first := int64(-1)
+		for _, b := range t.Blocks() {
+			if first < 0 || b.SQ < first {
+				first = b.SQ
+			}
+		}
+		out[i] = first
+	}
+	return out
+}
+
+// Block returns the scheduled block with the given sequence value, or
+// nil. Used by the reduce function to find the block a key refers to.
+func (s *Schedule) Block(sq int64) *blocking.Block {
+	task := TaskOfSQ(sq)
+	if task < 0 || task >= len(s.TaskBlocks) {
+		return nil
+	}
+	pos := int(sq % taskRange)
+	if pos < 0 || pos >= len(s.TaskBlocks[task]) {
+		return nil
+	}
+	return s.TaskBlocks[task][pos]
+}
+
+// NumBlocks returns the total number of scheduled blocks.
+func (s *Schedule) NumBlocks() int {
+	n := 0
+	for _, bs := range s.TaskBlocks {
+		n += len(bs)
+	}
+	return n
+}
+
+// Generate runs the configured scheduler over the estimated trees.
+// The input trees are mutated (splits detach subtrees, blocks receive
+// SQ values); pass a freshly built forest.
+func Generate(trees []*blocking.Tree, cfg Config) (*Schedule, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 4
+	}
+	if cfg.MaxSplitRounds <= 0 {
+		cfg.MaxSplitRounds = 64
+	}
+
+	g := &generator{cfg: cfg, trees: trees}
+	if cfg.Kind == Ours {
+		g.splitLoop()
+	}
+	switch cfg.Kind {
+	case LPT:
+		g.partitionLPT()
+	default:
+		g.partitionBySlack()
+	}
+	g.orderBlocks()
+	g.assignDomAndSQ()
+
+	return g.schedule(), nil
+}

@@ -1,0 +1,37 @@
+package textsim
+
+import (
+	"math"
+	"strings"
+)
+
+// TokenCosine returns the cosine similarity of the whitespace-token
+// frequency vectors of a and b, in [0, 1]. It is insensitive to token
+// order — the right similarity for multi-author strings or titles with
+// swapped words, complementing edit distance's character-level view.
+func TokenCosine(a, b string) float64 {
+	ta, tb := tokenCounts(a), tokenCounts(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for tok, ca := range ta {
+		dot += float64(ca) * float64(tb[tok])
+		na += float64(ca) * float64(ca)
+	}
+	for _, cb := range tb {
+		nb += float64(cb) * float64(cb)
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func tokenCounts(s string) map[string]int {
+	out := map[string]int{}
+	for _, tok := range strings.Fields(strings.ToLower(s)) {
+		out[tok]++
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Package textsim implements the string-similarity primitives used by
+// the resolve/match function: edit distance (full, banded, capped),
+// normalized edit similarity, Jaro-Winkler, q-gram Jaccard, and exact
+// matching. All functions operate on bytes (the generators emit ASCII),
+// which keeps cost accounting simple and deterministic.
+package textsim
+
+// Levenshtein returns the exact edit distance (insert/delete/substitute,
+// all unit cost) between a and b, in O(len(a)·len(b)) time and
+// O(min(len(a),len(b))) space.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	// Ensure b is the shorter string so the row buffer is minimal.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	row := make([]int, len(b)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0] // row[i-1][0]
+		row[0] = i
+		for j := 1; j <= len(b); j++ {
+			cur := row[j] // row[i-1][j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev + cost            // substitute
+			if d := row[j] + 1; d < m { // delete from a
+				m = d
+			}
+			if d := row[j-1] + 1; d < m { // insert into a
+				m = d
+			}
+			row[j] = m
+			prev = cur
+		}
+	}
+	return row[len(b)]
+}
+
+// LevenshteinCapped returns min(Levenshtein(a,b), cap+1) but abandons
+// the computation as soon as the distance provably exceeds cap, using
+// a banded dynamic program of width 2·cap+1. It is the workhorse for
+// thresholded matching: a return value > cap means "more than cap".
+func LevenshteinCapped(a, b string, cap int) int {
+	if cap < 0 {
+		cap = 0
+	}
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if abs(la-lb) > cap {
+		return cap + 1
+	}
+	if la < lb {
+		a, b, la, lb = b, a, lb, la
+	}
+	if lb == 0 {
+		if la > cap {
+			return cap + 1
+		}
+		return la
+	}
+	const inf = int(^uint(0) >> 2)
+	row := make([]int, lb+1)
+	for j := range row {
+		if j <= cap {
+			row[j] = j
+		} else {
+			row[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - cap
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + cap
+		if hi > lb {
+			hi = lb
+		}
+		prev := row[lo-1] // row[i-1][lo-1]
+		if lo == 1 {
+			if i <= cap {
+				row[0] = i
+			} else {
+				row[0] = inf
+			}
+		}
+		rowMin := inf
+		// Cells left of the band are unreachable within cap.
+		if lo > 1 {
+			// row[lo-1] belongs to the previous row's band edge; mark
+			// the out-of-band cell as infinite for this row.
+			prev = row[lo-1]
+			row[lo-1] = inf
+		}
+		for j := lo; j <= hi; j++ {
+			cur := row[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev + cost
+			if cur+1 < m {
+				m = cur + 1
+			}
+			if row[j-1]+1 < m {
+				m = row[j-1] + 1
+			}
+			row[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+			prev = cur
+		}
+		// Cells right of the band are unreachable; reset so the next
+		// row does not read stale values.
+		if hi < lb {
+			row[hi+1] = inf
+		}
+		if rowMin > cap {
+			return cap + 1
+		}
+	}
+	if row[lb] > cap {
+		return cap + 1
+	}
+	return row[lb]
+}
+
+// Similarity returns the normalized edit similarity
+// 1 − dist/max(len(a), len(b)) in [0, 1]. Two empty strings are
+// similarity 1.
+func Similarity(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	maxLen := len(a)
+	if len(b) > maxLen {
+		maxLen = len(b)
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// SimilarityCapped returns the normalized edit similarity when it is at
+// least minSim, and 0 otherwise, without computing the full distance.
+func SimilarityCapped(a, b string, minSim float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	maxLen := len(a)
+	if len(b) > maxLen {
+		maxLen = len(b)
+	}
+	// dist ≤ (1−minSim)·maxLen is required for sim ≥ minSim. The small
+	// epsilon guards against float truncation (e.g. (1−0.8)·5 → 0.999…).
+	capv := int((1-minSim)*float64(maxLen) + 1e-9)
+	d := LevenshteinCapped(a, b, capv)
+	if d > capv {
+		return 0
+	}
+	return 1 - float64(d)/float64(maxLen)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,65 @@
+package textsim
+
+// QGrams returns the multiset of q-grams of s as a count map. Strings
+// shorter than q yield a single gram equal to the whole string (so that
+// very short values still compare meaningfully).
+func QGrams(s string, q int) map[string]int {
+	grams := make(map[string]int)
+	if q <= 0 {
+		q = 2
+	}
+	if len(s) < q {
+		if len(s) > 0 {
+			grams[s]++
+		}
+		return grams
+	}
+	for i := 0; i+q <= len(s); i++ {
+		grams[s[i:i+q]]++
+	}
+	return grams
+}
+
+// JaccardQGram returns the Jaccard coefficient of the q-gram multisets
+// of a and b: |A ∩ B| / |A ∪ B| with multiset semantics.
+func JaccardQGram(a, b string, q int) float64 {
+	if a == b {
+		if len(a) == 0 {
+			return 1
+		}
+		return 1
+	}
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	inter, union := 0, 0
+	for g, ca := range ga {
+		cb := gb[g]
+		inter += min2(ca, cb)
+		union += max2(ca, cb)
+	}
+	for g, cb := range gb {
+		if _, seen := ga[g]; !seen {
+			union += cb
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Exact returns 1 if a == b and 0 otherwise; the "exact matching"
+// similarity used on categorical attributes (§VI-A2 uses it for some
+// OL-Books attributes).
+func Exact(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package textsim
+
+import "testing"
+
+func TestSoundexClassicExamples(t *testing.T) {
+	cases := map[string]string{
+		"Robert":     "R163",
+		"Rupert":     "R163",
+		"Ashcraft":   "A261", // H transparent: s,c merge through h
+		"Ashcroft":   "A261",
+		"Tymczak":    "T522",
+		"Pfister":    "P236",
+		"Honeyman":   "H555",
+		"Jackson":    "J250",
+		"Washington": "W252",
+		"Lee":        "L000",
+		"Gutierrez":  "G362",
+	}
+	for in, want := range cases {
+		if got := Soundex(in); got != want {
+			t.Errorf("Soundex(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSoundexCaseInsensitive(t *testing.T) {
+	if Soundex("robert") != Soundex("ROBERT") {
+		t.Error("case sensitivity")
+	}
+}
+
+func TestSoundexDegenerate(t *testing.T) {
+	if got := Soundex(""); got != "0000" {
+		t.Errorf("empty = %q", got)
+	}
+	if got := Soundex("123!?"); got != "0000" {
+		t.Errorf("letterless = %q", got)
+	}
+	if got := Soundex("A"); got != "A000" {
+		t.Errorf("single letter = %q", got)
+	}
+}
+
+func TestSoundexNonLetterResetsGroups(t *testing.T) {
+	// A non-letter breaks the adjacency rule: "B-B" codes both Bs.
+	if got := Soundex("B-B"); got != "B100" {
+		t.Errorf("Soundex(B-B) = %q, want B100", got)
+	}
+}
+
+func TestSoundexTypoRobustness(t *testing.T) {
+	// The point of phonetic blocking: common misspellings share codes.
+	pairs := [][2]string{
+		{"Smith", "Smyth"},
+		{"Allricht", "Allright"},
+	}
+	for _, p := range pairs {
+		if Soundex(p[0]) != Soundex(p[1]) {
+			t.Errorf("Soundex(%q)=%q ≠ Soundex(%q)=%q", p[0], Soundex(p[0]), p[1], Soundex(p[1]))
+		}
+	}
+}
+
+func TestSoundexOfFirstWord(t *testing.T) {
+	if got := SoundexOfFirstWord("Robert Johnson"); got != "R163" {
+		t.Errorf("first word = %q", got)
+	}
+	if got := SoundexOfFirstWord("  Lee "); got != "L000" {
+		t.Errorf("trimmed = %q", got)
+	}
+	if got := SoundexOfFirstWord(""); got != "0000" {
+		t.Errorf("empty = %q", got)
+	}
+}

@@ -1,0 +1,297 @@
+// Package proger is a parallel progressive entity-resolution library —
+// a from-scratch Go reproduction of Altowim & Mehrotra, "Parallel
+// Progressive Approach to Entity Resolution Using MapReduce" (ICDE
+// 2017).
+//
+// Progressive ER resolves a dataset so that the rate at which data
+// quality improves is maximized: the most duplicate pairs found for the
+// least resolution cost, with usable results delivered incrementally
+// while the job runs. This package exposes the paper's full pipeline:
+//
+//   - Job 1 performs progressive blocking (hierarchical block trees per
+//     blocking-function family) and gathers block statistics;
+//   - a schedule generator estimates per-block duplicate counts and
+//     costs, splits overflowed trees, and partitions trees among reduce
+//     tasks to maximize the early duplicate-detection rate;
+//   - Job 2 resolves the blocks bottom-up with a pluggable progressive
+//     mechanism (Sorted Neighbor with the Whang et al. hint, or the
+//     Progressive Sorted Neighborhood Method), with redundancy-free
+//     pair ownership across overlapping blocks.
+//
+// Everything runs on an embedded, in-process MapReduce engine with a
+// simulated cluster and a deterministic cost clock, so runs are
+// reproducible bit-for-bit and "time" means resolution cost units.
+//
+// # Quick start
+//
+//	ds, gt := proger.GeneratePublications(10000, 1)
+//	opts := proger.Options{
+//	    Families:        proger.CiteSeerXFamilies(ds.Schema),
+//	    Matcher:         proger.MustMatcher(0.75, proger.Rule{Attr: 0, Weight: 1, Kind: proger.EditDistance}),
+//	    Mechanism:       proger.SN,
+//	    Policy:          proger.CiteSeerXPolicy(),
+//	    Machines:        10,
+//	    SlotsPerMachine: 2,
+//	}
+//	res, err := proger.Resolve(ds, opts)
+//	// res.Events carries every duplicate discovery with its simulated
+//	// timestamp; res.Duplicates is the final pair set.
+//
+// See the examples directory for complete programs and internal/
+// experiments for the harnesses that regenerate every table and figure
+// of the paper.
+package proger
+
+import (
+	"io"
+
+	"proger/internal/blocking"
+	"proger/internal/clustering"
+	"proger/internal/core"
+	"proger/internal/costmodel"
+	"proger/internal/datagen"
+	"proger/internal/entity"
+	"proger/internal/estimate"
+	"proger/internal/match"
+	"proger/internal/mechanism"
+	"proger/internal/progress"
+	"proger/internal/sched"
+)
+
+// ---- Data model ----
+
+// Entity is a record: a dense ID plus one string per schema attribute.
+type Entity = entity.Entity
+
+// ID is an entity identifier.
+type ID = entity.ID
+
+// Pair is a canonical (Lo < Hi) unordered entity pair.
+type Pair = entity.Pair
+
+// PairSet is a set of pairs.
+type PairSet = entity.PairSet
+
+// Schema names a dataset's attributes.
+type Schema = entity.Schema
+
+// Dataset is an in-memory entity collection.
+type Dataset = entity.Dataset
+
+// NewSchema builds a schema from unique attribute names.
+var NewSchema = entity.NewSchema
+
+// MustSchema is NewSchema that panics on error.
+var MustSchema = entity.MustSchema
+
+// NewDataset creates an empty dataset.
+var NewDataset = entity.NewDataset
+
+// MakePair canonicalizes an entity pair.
+var MakePair = entity.MakePair
+
+// ReadTSV parses a dataset from tab-separated text with a "#id" header.
+func ReadTSV(r io.Reader) (*Dataset, error) { return entity.ReadTSV(r) }
+
+// WriteTSV writes a dataset as tab-separated text.
+func WriteTSV(w io.Writer, d *Dataset) error { return entity.WriteTSV(w, d) }
+
+// ---- Blocking ----
+
+// Family is one blocking-function family: a main function plus its
+// sub-blocking functions, all prefix keys on one attribute.
+type Family = blocking.Family
+
+// Families is the ordered (by dominance) set of families.
+type Families = blocking.Families
+
+// KeyKind selects how a family derives blocking keys.
+type KeyKind = blocking.KeyKind
+
+// Blocking key kinds: lower-cased character prefixes (the paper's
+// Table II) or prefixes of the first word's Soundex code (phonetic
+// blocking à la merge/purge [3]).
+const (
+	KeyPrefix  = blocking.KeyPrefix
+	KeySoundex = blocking.KeySoundex
+)
+
+// CiteSeerXFamilies returns the Table-II blocking configuration for
+// publication-like schemas (title/abstract/venue prefixes).
+var CiteSeerXFamilies = blocking.CiteSeerXFamilies
+
+// OLBooksFamilies returns the Table-II blocking configuration for
+// book-like schemas (title/authors/publisher prefixes).
+var OLBooksFamilies = blocking.OLBooksFamilies
+
+// FamilyQuality reports a candidate blocking family's duplicate
+// density and coverage on a training dataset.
+type FamilyQuality = blocking.FamilyQuality
+
+// SuggestFamilies evaluates candidate blocking families on a training
+// dataset and orders them into a dominance order by duplicate density,
+// the §IV-A criterion ("set X ≻ Y if its estimated number of duplicate
+// pairs divided by its total number of pairs is greater").
+var SuggestFamilies = blocking.SuggestFamilies
+
+// ---- Matching ----
+
+// Rule scores one attribute inside a Matcher.
+type Rule = match.Rule
+
+// Matcher is the weighted multi-attribute resolve/match function.
+type Matcher = match.Matcher
+
+// SimKind selects a similarity function for a Rule.
+type SimKind = match.SimKind
+
+// Similarity kinds for Rule.Kind.
+const (
+	EditDistance   = match.EditDistance
+	ExactMatch     = match.ExactMatch
+	JaroWinklerSim = match.JaroWinklerSim
+	JaccardQ2      = match.JaccardQ2
+	TokenCosine    = match.TokenCosine
+)
+
+// NewMatcher validates and builds a matcher (weights are normalized).
+var NewMatcher = match.New
+
+// MustMatcher is NewMatcher that panics on error.
+var MustMatcher = match.MustNew
+
+// ---- Mechanisms and policies ----
+
+// Mechanism is a progressive per-block resolution algorithm.
+type Mechanism = mechanism.Mechanism
+
+// SN is the Sorted Neighbor algorithm with the hint of Whang et
+// al. [5]; PSNM is the Progressive Sorted Neighborhood Method of
+// Papenbrock et al. [6]; HierarchyHint uses the hierarchical
+// partitioning hint of [5] directly as the mechanism.
+var (
+	SN            Mechanism = mechanism.SN{}
+	PSNM          Mechanism = mechanism.PSNM{}
+	HierarchyHint Mechanism = mechanism.Hierarchy{}
+	// RSwoosh is the traditional (exhaustive, merge-based) in-block ER
+	// algorithm of Benjelloun et al. [1] — a non-progressive reference
+	// mechanism.
+	RSwoosh Mechanism = mechanism.RSwoosh{}
+)
+
+// Policy sets per-level window/termination/fraction parameters.
+type Policy = estimate.Policy
+
+// CiteSeerXPolicy and OLBooksPolicy are the §VI-A5 parameter sets.
+var (
+	CiteSeerXPolicy = estimate.CiteSeerXPolicy
+	OLBooksPolicy   = estimate.OLBooksPolicy
+)
+
+// DupModel estimates per-block duplicate counts; train one with
+// TrainDupModel or leave Options.DupModel nil for the analytic default.
+type DupModel = estimate.DupModel
+
+// TrainDupModel learns the §VI-A4 bucketed duplicate-probability model
+// from a training dataset with ground truth.
+func TrainDupModel(ds *Dataset, gt *GroundTruth, fams Families) DupModel {
+	return estimate.Train(ds, gt, fams)
+}
+
+// ---- Scheduling ----
+
+// SchedulerKind selects the tree scheduler.
+type SchedulerKind = sched.Kind
+
+// Tree schedulers: the paper's algorithm, the NoSplit ablation, and the
+// LPT load-balancing baseline.
+const (
+	SchedulerOurs    = sched.Ours
+	SchedulerNoSplit = sched.NoSplit
+	SchedulerLPT     = sched.LPT
+)
+
+// ---- Pipeline ----
+
+// Options configures the full two-job pipeline.
+type Options = core.Options
+
+// BasicOptions configures the Basic single-job baseline.
+type BasicOptions = core.BasicOptions
+
+// Result is a pipeline run's outcome: duplicates, timestamped events,
+// and diagnostics.
+type Result = core.Result
+
+// CostUnits is the simulated resolution-cost unit (≈ one pair match).
+type CostUnits = costmodel.Units
+
+// Resolve runs the parallel progressive ER pipeline (two MapReduce
+// jobs) on the dataset.
+func Resolve(ds *Dataset, opts Options) (*Result, error) { return core.Resolve(ds, opts) }
+
+// ResolveBasic runs the Basic baseline (§II-C).
+func ResolveBasic(ds *Dataset, opts BasicOptions) (*Result, error) {
+	return core.ResolveBasic(ds, opts)
+}
+
+// ---- Evaluation ----
+
+// Event is a timestamped duplicate discovery.
+type Event = progress.Event
+
+// Curve is duplicate recall as a step function of cost.
+type Curve = progress.Curve
+
+// GroundTruth records the true clustering of a synthetic dataset.
+type GroundTruth = datagen.GroundTruth
+
+// BuildCurve builds the recall-vs-cost curve from resolution events.
+var BuildCurve = progress.BuildCurve
+
+// Qty is the discrete sampling quality function of Eq. 1.
+var Qty = progress.Qty
+
+// Speedup compares how fast two curves reach a recall level.
+var Speedup = progress.Speedup
+
+// ---- Clustering ----
+
+// PairMetrics is a pairs-level precision/recall/F1 report.
+type PairMetrics = clustering.PairMetrics
+
+// TransitiveClosure groups n entities into disjoint clusters given the
+// identified duplicate pairs (the §II-A final clustering step; also
+// available as Result.Clusters).
+var TransitiveClosure = clustering.TransitiveClosure
+
+// EvaluatePairs scores identified pairs against a ground-truth oracle.
+var EvaluatePairs = clustering.EvaluatePairs
+
+// ---- Synthetic workloads ----
+
+// GeneratePublications builds a CiteSeerX-like synthetic dataset with
+// ground truth (n entities, deterministic in seed).
+func GeneratePublications(n int, seed int64) (*Dataset, *GroundTruth) {
+	return datagen.Publications(datagen.DefaultPublications(n, seed))
+}
+
+// GenerateBooks builds an OL-Books-like synthetic dataset with ground
+// truth.
+func GenerateBooks(n int, seed int64) (*Dataset, *GroundTruth) {
+	return datagen.Books(datagen.DefaultBooks(n, seed))
+}
+
+// GeneratePeople returns the paper's Table-I toy dataset.
+var GeneratePeople = datagen.People
+
+// GeneratePersons builds a scalable people dataset (name, city, state,
+// phone) suited to phonetic blocking demonstrations.
+func GeneratePersons(n int, seed int64) (*Dataset, *GroundTruth) {
+	return datagen.PersonRecords(datagen.DefaultPeople(n, seed))
+}
+
+// CorrelationClustering is the CC-Pivot alternative to transitive
+// closure ([22] in the paper): one false-positive pair cannot glue two
+// large clusters together.
+var CorrelationClustering = clustering.CorrelationClustering

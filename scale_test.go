@@ -1,0 +1,58 @@
+package proger_test
+
+import (
+	"testing"
+
+	"proger"
+)
+
+// TestScalePipeline runs the full pipeline at a scale an order of
+// magnitude beyond the unit tests (skipped with -short). It guards
+// against quadratic blowups in the schedule generator, degenerate
+// splitting loops, and memory growth in the shuffle, and asserts the
+// quality invariants still hold.
+func TestScalePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	const n = 20000
+	ds, gt := proger.GeneratePublications(n, 77)
+	fams := proger.CiteSeerXFamilies(ds.Schema)
+	trainDS, trainGT := proger.GeneratePublications(n/8, 770077)
+	model := proger.TrainDupModel(trainDS, trainGT, proger.CiteSeerXFamilies(trainDS.Schema))
+	matcher := proger.MustMatcher(0.75,
+		proger.Rule{Attr: 0, Weight: 0.5, Kind: proger.EditDistance},
+		proger.Rule{Attr: 1, Weight: 0.3, Kind: proger.EditDistance, MaxChars: 350},
+		proger.Rule{Attr: 2, Weight: 0.2, Kind: proger.EditDistance},
+	)
+	res, err := proger.Resolve(ds, proger.Options{
+		Families:        fams,
+		Matcher:         matcher,
+		Mechanism:       proger.SN,
+		Policy:          proger.CiteSeerXPolicy(),
+		DupModel:        model,
+		Machines:        25, // the paper's full cluster
+		SlotsPerMachine: 2,
+	})
+	if err != nil {
+		t.Fatalf("Resolve at scale: %v", err)
+	}
+	curve := proger.BuildCurve(res.EventsAgainst(gt.IsDup), gt.NumDupPairs(), res.TotalTime)
+	if fr := curve.FinalRecall(); fr < 0.6 {
+		t.Errorf("final recall %.3f at scale", fr)
+	}
+	// Redundancy-free resolution must hold at scale.
+	seen := proger.PairSet{}
+	for _, ev := range res.Events {
+		if !seen.Add(ev.Pair) {
+			t.Fatalf("pair %v emitted twice at scale", ev.Pair)
+		}
+	}
+	// The recall curve must rise well before the end (progressiveness).
+	half := curve.RecallAt(res.TotalTime / 2)
+	if half < curve.FinalRecall()*0.6 {
+		t.Errorf("only %.3f of %.3f recall by half time — not progressive", half, curve.FinalRecall())
+	}
+	t.Logf("scale run: %d entities, %d true pairs, final recall %.3f, total %.0f units",
+		ds.Len(), gt.NumDupPairs(), curve.FinalRecall(), res.TotalTime)
+}
