@@ -1,0 +1,31 @@
+# Standard gate for every change: `make check` must pass before a PR.
+# Individual targets are available for quicker iteration.
+
+GO ?= go
+
+.PHONY: check vet build test race fmt bench
+
+check: fmt vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# bench regenerates the numbers recorded in BENCH_*.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkShuffle|BenchmarkLevenshtein$$|BenchmarkJaccardQ2|BenchmarkTokenCosine|BenchmarkJob2Map' -benchmem ./...

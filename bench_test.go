@@ -137,6 +137,24 @@ func BenchmarkLevenshteinCapped(b *testing.B) {
 	}
 }
 
+func BenchmarkJaccardQ2(b *testing.B) {
+	x := "parallel progressive approach to entity resolution"
+	y := "a parallel and progressive approach for entity resolution"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		textsim.JaccardQGram(x, y, 2)
+	}
+}
+
+func BenchmarkTokenCosine(b *testing.B) {
+	x := "J Smith and A Doe and M Garcia-Lopez"
+	y := "A Doe and J Smith and M Garcia Lopez"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		textsim.TokenCosine(x, y)
+	}
+}
+
 func BenchmarkMatcher(b *testing.B) {
 	ds, _ := proger.GeneratePublications(100, 1)
 	m := proger.MustMatcher(0.75,

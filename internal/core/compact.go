@@ -96,6 +96,10 @@ func (m *CompactJob2Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyVal
 	return nil
 }
 
+// triggerValue is the shared payload of every trigger record; values
+// are read-only downstream, so one backing array serves all emissions.
+var triggerValue = []byte{compactTagTrigger}
+
 // Cleanup has map task 0 emit the per-block triggers.
 func (m *CompactJob2Mapper) Cleanup(ctx *mapreduce.TaskContext, emit mapreduce.Emitter) error {
 	if ctx.Index != 0 {
@@ -103,7 +107,7 @@ func (m *CompactJob2Mapper) Cleanup(ctx *mapreduce.TaskContext, emit mapreduce.E
 	}
 	for _, blocks := range m.side.schedule.TaskBlocks {
 		for _, b := range blocks {
-			emit.Emit(sched.SQKey(b.SQ), []byte{compactTagTrigger})
+			emit.Emit(sched.SQKey(b.SQ), triggerValue)
 			ctx.Inc("job2.triggers", 1)
 		}
 	}

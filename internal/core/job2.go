@@ -70,11 +70,14 @@ func (m *Job2Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyValue, emi
 	ctx.Charge(ctx.Cost.ReadRecord * costmodel.Units(totalLevels))
 
 	// Enumerate the entity's block path per family and emit per block.
+	// The emitted value (entity ⊕ List) only changes when the path
+	// crosses into a different tree, so one buffer is built per tree and
+	// shared by every emission for that tree's blocks — the engine and
+	// all reducers treat values as read-only, so aliasing is safe.
 	entBuf := entity.EncodeBinary(nil, e)
 	for j, f := range fams {
-		// listByTree caches the list per tree along this family's path.
 		var lastTree = -1
-		var lastList []byte
+		var lastVal []byte
 		for l := 1; l <= f.Levels(); l++ {
 			id := blocking.BlockID{Family: int8(j), Level: int8(l), Key: f.Key(e, l)}
 			b, ok := s.ByID[id]
@@ -84,12 +87,12 @@ func (m *Job2Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyValue, emi
 			ti := s.TreeOf[id]
 			if ti != lastTree {
 				lastTree = ti
-				lastList = m.buildList(e, j, l, ti)
+				list := m.buildList(e, j, l, ti)
+				lastVal = make([]byte, 0, len(entBuf)+len(list))
+				lastVal = append(lastVal, entBuf...)
+				lastVal = append(lastVal, list...)
 			}
-			value := make([]byte, 0, len(entBuf)+len(lastList))
-			value = append(value, entBuf...)
-			value = append(value, lastList...)
-			emit.Emit(sched.SQKey(b.SQ), value)
+			emit.Emit(sched.SQKey(b.SQ), lastVal)
 			ctx.Inc("job2.emitted", 1)
 		}
 	}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"proger/internal/blocking"
+	"proger/internal/costmodel"
+	"proger/internal/datagen"
+	"proger/internal/estimate"
+	"proger/internal/mapreduce"
+	"proger/internal/mechanism"
+	"proger/internal/sched"
+)
+
+// discardEmitter swallows emissions so the benchmark isolates map-side
+// work (key computation, list building, value assembly).
+type discardEmitter struct{ n int }
+
+func (e *discardEmitter) Emit(key string, value []byte) { e.n++ }
+
+// BenchmarkJob2Map runs the expanded Job-2 map function over a full
+// dataset against a real generated schedule — the per-entity hot path
+// of the resolve pipeline's second job.
+func BenchmarkJob2Map(b *testing.B) {
+	ds, gt := datagen.Publications(datagen.DefaultPublications(1500, 5))
+	opts := pubOptions(ds, gt, 5)
+	opts = opts.withDefaults()
+	cluster := mapreduce.Cluster{Machines: opts.Machines, SlotsPerMachine: opts.SlotsPerMachine}
+	stats, job1Res, err := blocking.RunJob1(ds, opts.Families, cluster, opts.Cost, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = job1Res
+	trees, err := stats.BuildForests(opts.Families)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trees = estimate.Prune(trees)
+	est := estimate.NewEstimator(opts.Policy, opts.Cost, opts.DupModel, ds.Len())
+	for _, t := range trees {
+		est.EstimateTree(t)
+	}
+	r := cluster.Slots()
+	cv := sched.AutoCostVector(trees, r, opts.CostVectorK)
+	schedule, err := sched.Generate(trees, sched.Config{
+		R: r, CostVector: cv, Weights: sched.LinearWeights(len(cv)), Estimator: est,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := &job2Side{
+		schedule: schedule,
+		families: opts.Families,
+		matcher:  opts.Matcher,
+		mech:     mechanism.SN{},
+		policy:   opts.Policy,
+	}
+	input := blocking.MakeJob1Input(ds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &Job2Mapper{side: side}
+		ctx := &mapreduce.TaskContext{Job: "bench", Type: mapreduce.MapTask, Cost: costmodel.Default()}
+		emit := &discardEmitter{}
+		for _, rec := range input {
+			if err := m.Map(ctx, rec, emit); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if emit.n == 0 {
+			b.Fatal("mapper emitted nothing")
+		}
+	}
+}

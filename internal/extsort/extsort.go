@@ -12,7 +12,6 @@ package extsort
 
 import (
 	"bufio"
-	"container/heap"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -60,6 +59,53 @@ func (s *Sorter) Add(key string, value []byte) error {
 	if s.memLimit > 0 && len(s.buf) >= s.memLimit {
 		return s.spill()
 	}
+	return nil
+}
+
+// AddSortedRun ingests a whole pre-sorted run at once: recs must
+// already be in (key, insertion) order — e.g. a map task's partition
+// output, sorted stably by key. The run is never re-sorted: with a
+// spill budget it goes straight to disk as one run; without one it is
+// buffered (and merged with everything else on Sort). Relative order
+// against records from other Add/AddSortedRun calls follows call
+// order, exactly as if each record had been Added individually.
+func (s *Sorter) AddSortedRun(recs []Record) error {
+	if s.sorted {
+		return fmt.Errorf("extsort: AddSortedRun after Sort")
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	if s.memLimit <= 0 {
+		for _, r := range recs {
+			s.buf = append(s.buf, seqRecord{Record: r, seq: s.seq})
+			s.seq++
+		}
+		return nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("extsort: %w", err)
+	}
+	f, err := os.CreateTemp(s.dir, "run-*.spill")
+	if err != nil {
+		return fmt.Errorf("extsort: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range recs {
+		if err := writeRecord(w, seqRecord{Record: r, seq: s.seq}); err != nil {
+			f.Close()
+			return err
+		}
+		s.seq++
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: flushing run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("extsort: closing run: %w", err)
+	}
+	s.runs = append(s.runs, f.Name())
 	return nil
 }
 
@@ -193,38 +239,16 @@ func readRecord(r *bufio.Reader) (seqRecord, error) {
 }
 
 // Iterator yields records in (key, insertion) order by merging the
-// in-memory tail with all on-disk runs.
+// in-memory tail with all on-disk runs through a loser tree (the same
+// Merger the MapReduce engine uses for its in-memory shuffle).
 type Iterator struct {
 	mem     []seqRecord
 	memPos  int
 	files   []*os.File
 	readers []*bufio.Reader
-	h       mergeHeap
+	merger  *Merger[seqRecord]
+	err     error
 	inited  bool
-}
-
-type mergeSource struct {
-	head seqRecord
-	run  int // -1 = memory
-}
-
-type mergeHeap []mergeSource
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	if h[i].head.Key != h[j].head.Key {
-		return h[i].head.Key < h[j].head.Key
-	}
-	return h[i].head.seq < h[j].head.seq
-}
-func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeSource)) }
-func (h *mergeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }
 
 func (it *Iterator) init() error {
@@ -232,45 +256,62 @@ func (it *Iterator) init() error {
 		return nil
 	}
 	it.inited = true
-	if it.memPos < len(it.mem) {
-		heap.Push(&it.h, mergeSource{head: it.mem[it.memPos], run: -1})
+	pulls := make([]func() (seqRecord, bool), 0, len(it.readers)+1)
+	pulls = append(pulls, func() (seqRecord, bool) {
+		if it.memPos >= len(it.mem) {
+			return seqRecord{}, false
+		}
+		rec := it.mem[it.memPos]
 		it.memPos++
+		return rec, true
+	})
+	for _, r := range it.readers {
+		r := r
+		pulls = append(pulls, func() (seqRecord, bool) {
+			rec, err := readRecord(r)
+			if err == io.EOF {
+				return seqRecord{}, false
+			}
+			if err != nil {
+				if it.err == nil {
+					it.err = err
+				}
+				return seqRecord{}, false
+			}
+			return rec, true
+		})
 	}
-	for i, r := range it.readers {
-		rec, err := readRecord(r)
-		if err == io.EOF {
-			continue
+	it.merger = NewMerger(pulls, func(a, b seqRecord) int {
+		if a.Key != b.Key {
+			if a.Key < b.Key {
+				return -1
+			}
+			return 1
 		}
-		if err != nil {
-			return err
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
 		}
-		heap.Push(&it.h, mergeSource{head: rec, run: i})
-	}
-	return nil
+		return 0
+	})
+	return it.err
 }
 
 // Next returns the next record; ok is false at the end.
 func (it *Iterator) Next() (rec Record, ok bool, err error) {
-	if it.h.Len() == 0 {
+	if it.err != nil {
+		return Record{}, false, it.err
+	}
+	sr, ok := it.merger.Next()
+	if it.err != nil {
+		return Record{}, false, it.err
+	}
+	if !ok {
 		return Record{}, false, nil
 	}
-	src := heap.Pop(&it.h).(mergeSource)
-	out := src.head.Record
-	// Refill from the source the head came from.
-	if src.run < 0 {
-		if it.memPos < len(it.mem) {
-			heap.Push(&it.h, mergeSource{head: it.mem[it.memPos], run: -1})
-			it.memPos++
-		}
-	} else {
-		next, err := readRecord(it.readers[src.run])
-		if err == nil {
-			heap.Push(&it.h, mergeSource{head: next, run: src.run})
-		} else if err != io.EOF {
-			return Record{}, false, err
-		}
-	}
-	return out, true, nil
+	return sr.Record, true, nil
 }
 
 // Drain reads all remaining records into a slice.

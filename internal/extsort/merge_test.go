@@ -1,0 +1,234 @@
+package extsort
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sliceSource(xs []int) func() (int, bool) {
+	i := 0
+	return func() (int, bool) {
+		if i >= len(xs) {
+			return 0, false
+		}
+		v := xs[i]
+		i++
+		return v, true
+	}
+}
+
+func intCmp(a, b int) int { return a - b }
+
+func TestMergerEmptyAndSingle(t *testing.T) {
+	m := NewMerger(nil, intCmp)
+	if _, ok := m.Next(); ok {
+		t.Error("empty merger yielded a value")
+	}
+	m = NewMerger([]func() (int, bool){sliceSource([]int{1, 2, 3})}, intCmp)
+	for want := 1; want <= 3; want++ {
+		v, ok := m.Next()
+		if !ok || v != want {
+			t.Fatalf("got (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := m.Next(); ok {
+		t.Error("exhausted merger yielded a value")
+	}
+}
+
+func TestMergerMergesSortedSourcesProperty(t *testing.T) {
+	f := func(seed int64, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(k%7) + 1
+		var all []int
+		pulls := make([]func() (int, bool), n)
+		for s := 0; s < n; s++ {
+			m := rng.Intn(20)
+			xs := make([]int, m)
+			for i := range xs {
+				xs[i] = rng.Intn(10) // duplicates across and within sources
+			}
+			sort.Ints(xs)
+			all = append(all, xs...)
+			pulls[s] = sliceSource(xs)
+		}
+		sort.Ints(all)
+		m := NewMerger(pulls, intCmp)
+		for i, want := range all {
+			v, ok := m.Next()
+			if !ok || v != want {
+				t.Logf("position %d: got (%d,%v), want %d", i, v, ok, want)
+				return false
+			}
+		}
+		_, ok := m.Next()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+type tagged struct {
+	key string
+	src int
+}
+
+func TestMergerStableAcrossSources(t *testing.T) {
+	// Every source holds the same keys; ties must surface in source
+	// order, which is what the engine's map-task ordering relies on.
+	const k = 5
+	pulls := make([]func() (tagged, bool), k)
+	for s := 0; s < k; s++ {
+		xs := []tagged{{"a", s}, {"a", s}, {"b", s}}
+		i := 0
+		pulls[s] = func() (tagged, bool) {
+			if i >= len(xs) {
+				return tagged{}, false
+			}
+			v := xs[i]
+			i++
+			return v, true
+		}
+	}
+	m := NewMerger(pulls, func(a, b tagged) int {
+		if a.key < b.key {
+			return -1
+		}
+		if a.key > b.key {
+			return 1
+		}
+		return 0
+	})
+	var got []tagged
+	for {
+		v, ok := m.Next()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 3*k {
+		t.Fatalf("merged %d records, want %d", len(got), 3*k)
+	}
+	// Within each key, source indices must be non-decreasing.
+	for i := 1; i < len(got); i++ {
+		if got[i].key == got[i-1].key && got[i].src < got[i-1].src {
+			t.Fatalf("tie broken out of source order at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestAddSortedRunMatchesAdd(t *testing.T) {
+	// Feeding pre-sorted runs must produce the identical stream the
+	// record-at-a-time path produces for the same insertion order.
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(42))
+	var runs [][]Record
+	for r := 0; r < 6; r++ {
+		n := rng.Intn(40)
+		run := make([]Record, n)
+		for i := range run {
+			run[i] = Record{
+				Key:   fmt.Sprintf("k%02d", rng.Intn(15)),
+				Value: []byte(fmt.Sprintf("r%d-i%d", r, i)),
+			}
+		}
+		sort.SliceStable(run, func(a, b int) bool { return run[a].Key < run[b].Key })
+		runs = append(runs, run)
+	}
+
+	drain := func(s *Sorter) []Record {
+		it, err := s.Sort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		out, err := it.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	ref := NewSorter(dir, 16)
+	for _, run := range runs {
+		for _, rec := range run {
+			if err := ref.Add(rec.Key, rec.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	defer ref.Close()
+	want := drain(ref)
+
+	fast := NewSorter(dir, 16)
+	for _, run := range runs {
+		if err := fast.AddSortedRun(run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer fast.Close()
+	got := drain(fast)
+
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || string(got[i].Value) != string(want[i].Value) {
+			t.Fatalf("record %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if fast.Runs() != 6 {
+		t.Errorf("AddSortedRun spilled %d runs, want 6 (one per run)", fast.Runs())
+	}
+}
+
+func TestAddSortedRunInMemory(t *testing.T) {
+	s := NewSorter(t.TempDir(), 0) // no spill budget: buffered
+	if err := s.AddSortedRun([]Record{{Key: "b"}, {Key: "c"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSortedRun([]Record{{Key: "a"}, {Key: "b", Value: []byte("2")}}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	out, err := it.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := []string{"a", "b", "b", "c"}
+	if len(out) != len(wantKeys) {
+		t.Fatalf("got %d records", len(out))
+	}
+	for i, k := range wantKeys {
+		if out[i].Key != k {
+			t.Fatalf("key %d = %q, want %q", i, out[i].Key, k)
+		}
+	}
+	// Stability: the run-1 "b" (inserted first) precedes run-2's.
+	if string(out[1].Value) != "" || string(out[2].Value) != "2" {
+		t.Error("equal keys surfaced out of insertion order")
+	}
+	if s.Runs() != 0 {
+		t.Errorf("in-memory path spilled %d runs", s.Runs())
+	}
+}
+
+func TestAddSortedRunAfterSortFails(t *testing.T) {
+	s := NewSorter(t.TempDir(), 0)
+	if _, err := s.Sort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSortedRun([]Record{{Key: "x"}}); err == nil {
+		t.Error("AddSortedRun after Sort should fail")
+	}
+}

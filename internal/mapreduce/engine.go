@@ -3,8 +3,10 @@ package mapreduce
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"proger/internal/costmodel"
 	"proger/internal/extsort"
@@ -52,16 +54,23 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	mapPhaseStart := jobStart + cfg.Cost.JobSetup
 	_, mapEnd := scheduleTasks(mapCosts, cfg.Cluster.Slots(), mapPhaseStart)
 
-	// ---- Shuffle: gather each reduce task's input in map-task order
-	// (deterministic), then sort stably by key — in memory, or through
-	// the external spill-and-merge sorter when over the memory limit. ----
+	// ---- Shuffle: each map task pre-sorted its per-partition output,
+	// so a reduce task's input is a stable k-way merge of its map runs
+	// (ties broken by map-task index, reproducing the order a stable
+	// sort of the map-order concatenation would give). Partitions merge
+	// in parallel on the worker pool — in memory, or through the
+	// external spill-and-merge sorter when over the memory limit. ----
 	reduceIns := make([][]KeyValue, cfg.NumReduceTasks)
-	for r := 0; r < cfg.NumReduceTasks; r++ {
+	err = runPool(workers, cfg.NumReduceTasks, func(r int) error {
 		in, err := shuffleForTask(&cfg, mapOuts, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		reduceIns[r] = in
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// ---- Reduce phase ----
@@ -115,22 +124,22 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	}, nil
 }
 
-// shuffleForTask assembles reduce task r's sorted input from the map
-// outputs. With ShuffleMemLimit set, records stream through the
-// external sorter (spilling sorted runs to disk) instead of being
-// sorted in memory.
+// shuffleForTask assembles reduce task r's sorted input by merging the
+// pre-sorted per-partition runs the map tasks produced. With
+// ShuffleMemLimit set, the runs stream through the external sorter
+// (spilled to disk as-is, never re-sorted) instead of merging in
+// memory.
 func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) ([]KeyValue, error) {
 	var n int
+	runs := make([][]KeyValue, 0, cfg.NumMapTasks)
 	for m := 0; m < cfg.NumMapTasks; m++ {
-		n += len(mapOuts[m][r])
+		if len(mapOuts[m][r]) > 0 {
+			runs = append(runs, mapOuts[m][r])
+			n += len(mapOuts[m][r])
+		}
 	}
 	if cfg.ShuffleMemLimit <= 0 || n <= cfg.ShuffleMemLimit {
-		in := make([]KeyValue, 0, n)
-		for m := 0; m < cfg.NumMapTasks; m++ {
-			in = append(in, mapOuts[m][r]...)
-		}
-		sort.SliceStable(in, func(a, b int) bool { return in[a].Key < in[b].Key })
-		return in, nil
+		return mergeSortedRuns(runs, n), nil
 	}
 	dir := cfg.SpillDir
 	if dir == "" {
@@ -138,11 +147,13 @@ func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) ([]KeyValue, err
 	}
 	sorter := extsort.NewSorter(dir, cfg.ShuffleMemLimit)
 	defer sorter.Close()
-	for m := 0; m < cfg.NumMapTasks; m++ {
-		for _, kv := range mapOuts[m][r] {
-			if err := sorter.Add(kv.Key, kv.Value); err != nil {
-				return nil, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
-			}
+	for _, run := range runs {
+		recs := make([]extsort.Record, len(run))
+		for i, kv := range run {
+			recs[i] = extsort.Record{Key: kv.Key, Value: kv.Value}
+		}
+		if err := sorter.AddSortedRun(recs); err != nil {
+			return nil, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
 		}
 	}
 	it, err := sorter.Sort()
@@ -162,6 +173,90 @@ func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) ([]KeyValue, err
 		in = append(in, KeyValue{Key: rec.Key, Value: rec.Value})
 	}
 	return in, nil
+}
+
+// mergeSortedRuns stably merges key-sorted runs given in priority
+// (map-task) order; total is the combined length. Equal keys surface in
+// run order, then in within-run order — byte-identical to stably
+// sorting the concatenation of the runs.
+func mergeSortedRuns(runs [][]KeyValue, total int) []KeyValue {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
+	case 2:
+		// Two-way fast path: the common small-job shape.
+		a, b := runs[0], runs[1]
+		out := make([]KeyValue, 0, total)
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i].Key <= b[j].Key { // ties go to the earlier map task
+				out = append(out, a[i])
+				i++
+			} else {
+				out = append(out, b[j])
+				j++
+			}
+		}
+		out = append(out, a[i:]...)
+		return append(out, b[j:]...)
+	}
+	// Index-based loser tree over the run cursors: the same tournament
+	// extsort.Merger plays, specialized to slice sources so the hot loop
+	// avoids pull closures and record copies. Leaf s sits at node k+s;
+	// tree[1..k-1] store match losers, tree[0] the winner.
+	k := len(runs)
+	cursors := make([]int, k)
+	heads := make([]string, k) // current key per run; done runs hold ""
+	done := make([]bool, k)
+	for s, run := range runs {
+		heads[s] = run[0].Key // runs are non-empty by construction
+	}
+	beats := func(a, b int) bool {
+		if done[a] || done[b] {
+			return !done[a]
+		}
+		if heads[a] != heads[b] {
+			return heads[a] < heads[b]
+		}
+		return a < b // ties go to the earlier map task
+	}
+	tree := make([]int, k)
+	winners := make([]int, 2*k)
+	for s := 0; s < k; s++ {
+		winners[k+s] = s
+	}
+	for n := k - 1; n >= 1; n-- {
+		a, b := winners[2*n], winners[2*n+1]
+		if beats(a, b) {
+			winners[n], tree[n] = a, b
+		} else {
+			winners[n], tree[n] = b, a
+		}
+	}
+	tree[0] = winners[1]
+
+	out := make([]KeyValue, 0, total)
+	for len(out) < total {
+		s := tree[0]
+		out = append(out, runs[s][cursors[s]])
+		cursors[s]++
+		if cursors[s] < len(runs[s]) {
+			heads[s] = runs[s][cursors[s]].Key
+		} else {
+			heads[s] = ""
+			done[s] = true
+		}
+		winner := s
+		for n := (k + s) / 2; n >= 1; n /= 2 {
+			if beats(tree[n], winner) {
+				winner, tree[n] = tree[n], winner
+			}
+		}
+		tree[0] = winner
+	}
+	return out
 }
 
 // splitInput divides input into n contiguous, near-equal splits.
@@ -246,12 +341,33 @@ func runMapTask(cfg *Config, index int, split []KeyValue) ([][]KeyValue, costmod
 	if err := mapper.Cleanup(ctx, emitter); err != nil {
 		return nil, 0, nil, fmt.Errorf("mapreduce: %s map task %d cleanup: %w", cfg.Name, index, err)
 	}
+	// Map-side sort: leave every partition stably key-sorted so the
+	// shuffle can merge runs instead of re-sorting concatenations. The
+	// sort is real-machine work the simulation prices on the reduce side
+	// (ShuffleSortCost), so no extra Charge happens here — moving the
+	// work cannot alter the simulated timeline.
 	if cfg.Combine != nil {
 		for p := range emitter.out {
+			// applyCombiner leaves its output key-sorted.
 			emitter.out[p] = applyCombiner(ctx, cfg, emitter.out[p])
+		}
+	} else {
+		for p := range emitter.out {
+			sortByKeyStable(emitter.out[p])
 		}
 	}
 	return emitter.out, ctx.Now(), ctx.counters, nil
+}
+
+// sortByKeyStable stably sorts one partition of map output by key,
+// preserving emission order within equal keys.
+func sortByKeyStable(out []KeyValue) {
+	if len(out) < 2 {
+		return
+	}
+	slices.SortStableFunc(out, func(a, b KeyValue) int {
+		return strings.Compare(a.Key, b.Key)
+	})
 }
 
 // applyCombiner sorts one partition of a map task's output by key,
@@ -262,17 +378,18 @@ func applyCombiner(ctx *TaskContext, cfg *Config, out []KeyValue) []KeyValue {
 	if len(out) < 2 {
 		return out
 	}
-	sort.SliceStable(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	sortByKeyStable(out)
 	ctx.Charge(cfg.Cost.ShuffleSortCost(len(out)))
 	combined := make([]KeyValue, 0, len(out))
+	var values [][]byte // scratch, reused across groups
 	for lo := 0; lo < len(out); {
 		hi := lo + 1
 		for hi < len(out) && out[hi].Key == out[lo].Key {
 			hi++
 		}
-		values := make([][]byte, hi-lo)
+		values = values[:0]
 		for i := lo; i < hi; i++ {
-			values[i-lo] = out[i].Value
+			values = append(values, out[i].Value)
 		}
 		for _, v := range cfg.Combine(out[lo].Key, values) {
 			ctx.Charge(cfg.Cost.EmitRecord)
@@ -320,14 +437,15 @@ func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.
 	if err := reducer.Setup(ctx); err != nil {
 		return nil, 0, nil, fmt.Errorf("mapreduce: %s reduce task %d setup: %w", cfg.Name, index, err)
 	}
+	var values [][]byte // scratch, reused across groups (see Reducer contract)
 	for lo := 0; lo < len(in); {
 		hi := lo + 1
 		for hi < len(in) && in[hi].Key == in[lo].Key {
 			hi++
 		}
-		values := make([][]byte, hi-lo)
+		values = values[:0]
 		for i := lo; i < hi; i++ {
-			values[i-lo] = in[i].Value
+			values = append(values, in[i].Value)
 		}
 		if err := reducer.Reduce(ctx, in[lo].Key, values, emitter); err != nil {
 			return nil, 0, nil, fmt.Errorf("mapreduce: %s reduce task %d key %q: %w", cfg.Name, index, in[lo].Key, err)
@@ -341,10 +459,12 @@ func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.
 }
 
 // runPool runs fn(0..n-1) on up to `workers` goroutines and returns the
-// first error (all started tasks are allowed to finish). A panicking
-// task is converted into a task failure rather than crashing the whole
-// engine — the moral equivalent of a Hadoop task attempt dying without
-// taking the job tracker down.
+// first error. Already-started tasks are allowed to finish, but no new
+// task index is dispatched after the first failure — the phase
+// short-circuits instead of draining all n tasks. A panicking task is
+// converted into a task failure rather than crashing the whole engine —
+// the moral equivalent of a Hadoop task attempt dying without taking
+// the job tracker down.
 func runPool(workers, n int, fn func(i int) error) error {
 	safe := func(i int) (err error) {
 		defer func() {
@@ -369,6 +489,7 @@ func runPool(workers, n int, fn func(i int) error) error {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		failed   atomic.Bool
 	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -382,11 +503,12 @@ func runPool(workers, n int, fn func(i int) error) error {
 						firstErr = err
 					}
 					mu.Unlock()
+					failed.Store(true)
 				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !failed.Load(); i++ {
 		next <- i
 	}
 	close(next)

@@ -62,7 +62,10 @@ type Mapper interface {
 type Reducer interface {
 	Setup(ctx *TaskContext) error
 	// Reduce is called once per distinct key, with all values for that
-	// key in emission order.
+	// key in emission order. The values slice is scratch owned by the
+	// framework and reused for the next key group: implementations may
+	// keep the []byte elements, but must not retain the slice itself
+	// past the call.
 	Reduce(ctx *TaskContext, key string, values [][]byte, emit Emitter) error
 	Cleanup(ctx *TaskContext, emit Emitter) error
 }
@@ -89,7 +92,9 @@ func (ReducerBase) Cleanup(*TaskContext, Emitter) error { return nil }
 // Combiner merges the values of one key on the map side before the
 // shuffle, cutting shuffle volume — Hadoop's combiner contract: it must
 // be associative/commutative in effect, since the framework may apply
-// it zero or more times.
+// it zero or more times. Like Reducer.Reduce, the values slice is
+// framework-owned scratch reused between key groups; return a fresh
+// slice rather than the input slice itself.
 type Combiner func(key string, values [][]byte) [][]byte
 
 // Partitioner routes a key to one of numReduce reduce tasks.

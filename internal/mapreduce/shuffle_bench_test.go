@@ -1,0 +1,89 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// benchRuns builds one reduce partition's worth of map-task runs:
+// mapTasks runs of perRun records each, unsorted, with duplicate keys.
+func benchRuns(mapTasks, perRun int) [][]KeyValue {
+	rng := rand.New(rand.NewSource(7))
+	runs := make([][]KeyValue, mapTasks)
+	for m := range runs {
+		run := make([]KeyValue, perRun)
+		for i := range run {
+			run[i] = KeyValue{
+				Key:   fmt.Sprintf("key-%05d", rng.Intn(perRun)),
+				Value: []byte("payload-payload-payload"),
+			}
+		}
+		runs[m] = run
+	}
+	return runs
+}
+
+// BenchmarkShuffle compares the engine's two in-memory shuffle
+// generations end to end (map-side ordering work included in both):
+//
+//	legacy  — concatenate raw runs, sort.SliceStable the concatenation
+//	          (the pre-merge engine's shuffle);
+//	merge   — stably sort each run (as map tasks now do in the map
+//	          phase), then stable k-way loser-tree merge.
+func BenchmarkShuffle(b *testing.B) {
+	const mapTasks, perRun = 16, 2000
+	runs := benchRuns(mapTasks, perRun)
+	total := mapTasks * perRun
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := make([]KeyValue, 0, total)
+			for _, run := range runs {
+				in = append(in, run...)
+			}
+			sort.SliceStable(in, func(a, c int) bool { return in[a].Key < in[c].Key })
+		}
+	})
+	b.Run("merge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sorted := make([][]KeyValue, len(runs))
+			for s, run := range runs {
+				cp := append([]KeyValue(nil), run...)
+				sortByKeyStable(cp)
+				sorted[s] = cp
+			}
+			mergeSortedRuns(sorted, total)
+		}
+	})
+}
+
+// BenchmarkShuffleEngine runs a whole job dominated by shuffle volume,
+// so the number tracks end-to-end engine throughput.
+func BenchmarkShuffleEngine(b *testing.B) {
+	var in []KeyValue
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		in = append(in, KeyValue{
+			Key:   fmt.Sprint(i),
+			Value: []byte(fmt.Sprintf("w%03d w%03d w%03d w%03d", rng.Intn(300), rng.Intn(300), rng.Intn(300), rng.Intn(300))),
+		})
+	}
+	cfg := Config{
+		Name:           "shuffle-engine-bench",
+		NewMapper:      func() Mapper { return wordCountMapper{} },
+		NewReducer:     func() Reducer { return wordCountReducer{} },
+		NumMapTasks:    8,
+		NumReduceTasks: 4,
+		Cluster:        Cluster{Machines: 4, SlotsPerMachine: 2},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, in, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

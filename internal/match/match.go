@@ -10,6 +10,7 @@ package match
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"proger/internal/entity"
@@ -77,6 +78,12 @@ type Matcher struct {
 	// Threshold on the weighted similarity sum, in [0,1].
 	Threshold float64
 
+	// suffixWeight[i] is the total weight of Rules[i:], precomputed by
+	// New so the early-exit check in Score costs an index instead of a
+	// per-call summation loop. Invariant: suffixWeight[0] == 1 (weights
+	// are normalized at construction).
+	suffixWeight []float64
+
 	comparisons atomic.Int64
 }
 
@@ -104,7 +111,16 @@ func New(threshold float64, rules ...Rule) (*Matcher, error) {
 	for i := range normalized {
 		normalized[i].Weight /= total
 	}
-	return &Matcher{Rules: normalized, Threshold: threshold}, nil
+	// suffixWeight[i] = Σ weights of normalized[i:]; one extra slot so
+	// Score can index past the last rule.
+	suffix := make([]float64, len(normalized)+1)
+	for i := len(normalized) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + normalized[i].Weight
+	}
+	if math.Abs(suffix[0]-1) > 1e-9 {
+		return nil, fmt.Errorf("match: internal error: normalized weights sum to %v, want 1", suffix[0])
+	}
+	return &Matcher{Rules: normalized, Threshold: threshold, suffixWeight: suffix}, nil
 }
 
 // MustNew is New that panics on error, for configuration literals.
@@ -118,12 +134,17 @@ func MustNew(threshold float64, rules ...Rule) *Matcher {
 
 // Score returns the weighted similarity of a and b in [0,1].
 func (m *Matcher) Score(a, b *entity.Entity) float64 {
-	score := 0.0
-	remaining := 0.0
-	for _, r := range m.Rules {
-		remaining += r.Weight
+	suffix := m.suffixWeight
+	if suffix == nil {
+		// Matcher built without New (struct literal): fall back to
+		// computing the suffix sums once here.
+		suffix = make([]float64, len(m.Rules)+1)
+		for i := len(m.Rules) - 1; i >= 0; i-- {
+			suffix[i] = suffix[i+1] + m.Rules[i].Weight
+		}
 	}
-	for _, r := range m.Rules {
+	score := 0.0
+	for i, r := range m.Rules {
 		va, vb := a.Attr(r.Attr), b.Attr(r.Attr)
 		if r.MaxChars > 0 {
 			if len(va) > r.MaxChars {
@@ -147,10 +168,9 @@ func (m *Matcher) Score(a, b *entity.Entity) float64 {
 			sim = textsim.TokenCosine(va, vb)
 		}
 		score += r.Weight * sim
-		remaining -= r.Weight
 		// Early exit: even a perfect score on the remaining rules
 		// cannot reach the threshold.
-		if score+remaining < m.Threshold {
+		if score+suffix[i+1] < m.Threshold {
 			return score // partial score; below threshold by construction
 		}
 	}

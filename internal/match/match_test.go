@@ -153,3 +153,53 @@ func TestTokenCosineKind(t *testing.T) {
 		t.Error("kind string")
 	}
 }
+
+func TestSuffixWeightInvariant(t *testing.T) {
+	m := MustNew(0.5,
+		Rule{Attr: 0, Weight: 3, Kind: ExactMatch},
+		Rule{Attr: 1, Weight: 2, Kind: ExactMatch},
+		Rule{Attr: 2, Weight: 5, Kind: ExactMatch},
+	)
+	if len(m.suffixWeight) != len(m.Rules)+1 {
+		t.Fatalf("suffixWeight has %d entries, want %d", len(m.suffixWeight), len(m.Rules)+1)
+	}
+	if s := m.suffixWeight[0]; s < 0.999999999 || s > 1.000000001 {
+		t.Errorf("suffixWeight[0] = %v, want 1 (normalized)", s)
+	}
+	if m.suffixWeight[len(m.Rules)] != 0 {
+		t.Errorf("suffixWeight[last] = %v, want 0", m.suffixWeight[len(m.Rules)])
+	}
+	for i, r := range m.Rules {
+		got := m.suffixWeight[i] - m.suffixWeight[i+1]
+		if got < r.Weight-1e-12 || got > r.Weight+1e-12 {
+			t.Errorf("suffixWeight[%d]-suffixWeight[%d] = %v, want rule weight %v", i, i+1, got, r.Weight)
+		}
+	}
+}
+
+func TestScoreWithoutNewFallsBack(t *testing.T) {
+	// A Matcher assembled by hand (no New, no suffix table) must still
+	// score correctly via the fallback path.
+	m := &Matcher{
+		Threshold: 0.5,
+		Rules: []Rule{
+			{Attr: 0, Weight: 0.5, Kind: ExactMatch},
+			{Attr: 1, Weight: 0.5, Kind: ExactMatch},
+		},
+	}
+	if got := m.Score(ent("x", "y"), ent("x", "y")); got < 0.999 {
+		t.Errorf("Score = %v, want 1", got)
+	}
+}
+
+func TestScoreEarlyExitStillBelowThreshold(t *testing.T) {
+	// First rule mismatch on a 0.9-threshold two-rule matcher: early
+	// exit must return a partial score strictly below the threshold.
+	m := MustNew(0.9,
+		Rule{Attr: 0, Weight: 0.5, Kind: ExactMatch},
+		Rule{Attr: 1, Weight: 0.5, Kind: ExactMatch},
+	)
+	if got := m.Score(ent("x", "same"), ent("y", "same")); got >= m.Threshold {
+		t.Errorf("early-exit score %v not below threshold", got)
+	}
+}

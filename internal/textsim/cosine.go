@@ -1,15 +1,149 @@
 package textsim
 
 import (
+	"bytes"
 	"math"
+	"slices"
 	"strings"
+	"sync"
 )
 
 // TokenCosine returns the cosine similarity of the whitespace-token
 // frequency vectors of a and b, in [0, 1]. It is insensitive to token
 // order — the right similarity for multi-author strings or titles with
 // swapped words, complementing edit distance's character-level view.
+//
+// ASCII inputs (the generators emit ASCII) run through an
+// allocation-free kernel: both strings are lowercased into pooled byte
+// buffers, tokens become index spans into those buffers, and the
+// frequency vectors are run-length counts over the span lists sorted by
+// token bytes. Non-ASCII inputs fall back to the map-based path with
+// full Unicode case folding.
 func TokenCosine(a, b string) float64 {
+	if isASCII(a) && isASCII(b) {
+		return tokenCosineASCII(a, b)
+	}
+	return tokenCosineMaps(a, b)
+}
+
+// span is one token's [lo, hi) byte range in a scratch buffer.
+type span struct{ lo, hi int32 }
+
+// cosScratch is the reusable state of one tokenCosineASCII call.
+type cosScratch struct {
+	bufA, bufB []byte
+	ta, tb     []span
+}
+
+var cosPool = sync.Pool{New: func() any { return new(cosScratch) }}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendLowerTokens lowercases s into buf and appends one span per
+// whitespace-separated token, returning the grown buffer and span list.
+func appendLowerTokens(buf []byte, spans []span, s string) ([]byte, []span) {
+	inTok := false
+	var start int32
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case ' ', '\t', '\n', '\v', '\f', '\r':
+			if inTok {
+				spans = append(spans, span{start, int32(len(buf))})
+				inTok = false
+			}
+		default:
+			if !inTok {
+				start = int32(len(buf))
+				inTok = true
+			}
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf = append(buf, c)
+		}
+	}
+	if inTok {
+		spans = append(spans, span{start, int32(len(buf))})
+	}
+	return buf, spans
+}
+
+func tokenCosineASCII(a, b string) float64 {
+	sc := cosPool.Get().(*cosScratch)
+	defer cosPool.Put(sc)
+	sc.bufA, sc.ta = appendLowerTokens(sc.bufA[:0], sc.ta[:0], a)
+	sc.bufB, sc.tb = appendLowerTokens(sc.bufB[:0], sc.tb[:0], b)
+	bufA, bufB, ta, tb := sc.bufA, sc.bufB, sc.ta, sc.tb
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	slices.SortFunc(ta, func(x, y span) int {
+		return bytes.Compare(bufA[x.lo:x.hi], bufA[y.lo:y.hi])
+	})
+	slices.SortFunc(tb, func(x, y span) int {
+		return bytes.Compare(bufB[x.lo:x.hi], bufB[y.lo:y.hi])
+	})
+	var dot, na, nb float64
+	i, j := 0, 0
+	for i < len(ta) && j < len(tb) {
+		tokA := bufA[ta[i].lo:ta[i].hi]
+		tokB := bufB[tb[j].lo:tb[j].hi]
+		switch bytes.Compare(tokA, tokB) {
+		case -1:
+			ca := runLen(bufA, ta, i)
+			na += float64(ca) * float64(ca)
+			i += ca
+		case 1:
+			cb := runLen(bufB, tb, j)
+			nb += float64(cb) * float64(cb)
+			j += cb
+		default:
+			ca := runLen(bufA, ta, i)
+			cb := runLen(bufB, tb, j)
+			dot += float64(ca) * float64(cb)
+			na += float64(ca) * float64(ca)
+			nb += float64(cb) * float64(cb)
+			i += ca
+			j += cb
+		}
+	}
+	for i < len(ta) {
+		ca := runLen(bufA, ta, i)
+		na += float64(ca) * float64(ca)
+		i += ca
+	}
+	for j < len(tb) {
+		cb := runLen(bufB, tb, j)
+		nb += float64(cb) * float64(cb)
+		j += cb
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// runLen counts how many consecutive spans starting at i spell the same
+// token.
+func runLen(buf []byte, spans []span, i int) int {
+	tok := buf[spans[i].lo:spans[i].hi]
+	n := 1
+	for i+n < len(spans) && bytes.Equal(buf[spans[i+n].lo:spans[i+n].hi], tok) {
+		n++
+	}
+	return n
+}
+
+// tokenCosineMaps is the general-Unicode reference path.
+func tokenCosineMaps(a, b string) float64 {
 	ta, tb := tokenCounts(a), tokenCounts(b)
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1

@@ -5,6 +5,27 @@
 // which keeps cost accounting simple and deterministic.
 package textsim
 
+import "sync"
+
+// rowPool recycles the dynamic-program row buffers of Levenshtein and
+// LevenshteinCapped, making the hot resolve path allocation-free in
+// steady state. Pooled buffers keep the kernels safe for concurrent use
+// (each call takes its own row).
+var rowPool = sync.Pool{New: func() any { return new([]int) }}
+
+// getRow returns a length-n int slice from the pool; release it with
+// putRow when the computation is done.
+func getRow(n int) *[]int {
+	p := rowPool.Get().(*[]int)
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putRow(p *[]int) { rowPool.Put(p) }
+
 // Levenshtein returns the exact edit distance (insert/delete/substitute,
 // all unit cost) between a and b, in O(len(a)·len(b)) time and
 // O(min(len(a),len(b))) space.
@@ -19,7 +40,9 @@ func Levenshtein(a, b string) int {
 	if len(b) == 0 {
 		return len(a)
 	}
-	row := make([]int, len(b)+1)
+	rowp := getRow(len(b) + 1)
+	defer putRow(rowp)
+	row := *rowp
 	for j := range row {
 		row[j] = j
 	}
@@ -71,7 +94,9 @@ func LevenshteinCapped(a, b string, cap int) int {
 		return la
 	}
 	const inf = int(^uint(0) >> 2)
-	row := make([]int, lb+1)
+	rowp := getRow(lb + 1)
+	defer putRow(rowp)
+	row := *rowp
 	for j := range row {
 		if j <= cap {
 			row[j] = j

@@ -1,5 +1,10 @@
 package textsim
 
+import (
+	"slices"
+	"sync"
+)
+
 // QGrams returns the multiset of q-grams of s as a count map. Strings
 // shorter than q yield a single gram equal to the whole string (so that
 // very short values still compare meaningfully).
@@ -20,27 +25,81 @@ func QGrams(s string, q int) map[string]int {
 	return grams
 }
 
+// gramScratch holds the two sorted-gram buffers one JaccardQGram call
+// needs; pooled so the hot path allocates nothing in steady state. The
+// string headers are views into the caller's inputs (substringing
+// allocates nothing) and are overwritten on next use.
+type gramScratch struct {
+	a, b []string
+}
+
+var gramPool = sync.Pool{New: func() any { return new(gramScratch) }}
+
+// appendGrams appends the q-grams of s (or s itself when shorter than
+// q) to dst and returns it.
+func appendGrams(dst []string, s string, q int) []string {
+	if len(s) < q {
+		if len(s) > 0 {
+			dst = append(dst, s)
+		}
+		return dst
+	}
+	for i := 0; i+q <= len(s); i++ {
+		dst = append(dst, s[i:i+q])
+	}
+	return dst
+}
+
 // JaccardQGram returns the Jaccard coefficient of the q-gram multisets
-// of a and b: |A ∩ B| / |A ∪ B| with multiset semantics.
+// of a and b: |A ∩ B| / |A ∪ B| with multiset semantics. The kernel
+// sorts the two gram lists into pooled scratch and counts matching runs
+// — no maps, no per-call allocation.
 func JaccardQGram(a, b string, q int) float64 {
 	if a == b {
-		if len(a) == 0 {
-			return 1
-		}
 		return 1
 	}
-	ga, gb := QGrams(a, q), QGrams(b, q)
-	inter, union := 0, 0
-	for g, ca := range ga {
-		cb := gb[g]
-		inter += min2(ca, cb)
-		union += max2(ca, cb)
+	if q <= 0 {
+		q = 2
 	}
-	for g, cb := range gb {
-		if _, seen := ga[g]; !seen {
-			union += cb
+	sc := gramPool.Get().(*gramScratch)
+	defer gramPool.Put(sc)
+	ga := appendGrams(sc.a[:0], a, q)
+	gb := appendGrams(sc.b[:0], b, q)
+	sc.a, sc.b = ga, gb // keep grown capacity pooled
+	slices.Sort(ga)
+	slices.Sort(gb)
+	inter, union := 0, 0
+	i, j := 0, 0
+	for i < len(ga) && j < len(gb) {
+		switch {
+		case ga[i] < gb[j]:
+			g := ga[i]
+			for i < len(ga) && ga[i] == g {
+				i++
+				union++
+			}
+		case ga[i] > gb[j]:
+			g := gb[j]
+			for j < len(gb) && gb[j] == g {
+				j++
+				union++
+			}
+		default:
+			g := ga[i]
+			ca, cb := 0, 0
+			for i < len(ga) && ga[i] == g {
+				i++
+				ca++
+			}
+			for j < len(gb) && gb[j] == g {
+				j++
+				cb++
+			}
+			inter += min2(ca, cb)
+			union += max2(ca, cb)
 		}
 	}
+	union += len(ga) - i + len(gb) - j
 	if union == 0 {
 		return 1
 	}

@@ -1,6 +1,7 @@
 package textsim
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -308,5 +309,67 @@ func TestTokenCosine(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestJaccardQGramMatchesMapReferenceProperty(t *testing.T) {
+	// The sorted-scratch kernel must agree with the map-based definition
+	// (QGrams + multiset intersection/union) on arbitrary inputs.
+	ref := func(a, b string, q int) float64 {
+		if a == b {
+			return 1
+		}
+		ga, gb := QGrams(a, q), QGrams(b, q)
+		inter, union := 0, 0
+		for g, ca := range ga {
+			cb := gb[g]
+			inter += min2(ca, cb)
+			union += max2(ca, cb)
+		}
+		for g, cb := range gb {
+			if _, seen := ga[g]; !seen {
+				union += cb
+			}
+		}
+		if union == 0 {
+			return 1
+		}
+		return float64(inter) / float64(union)
+	}
+	f := func(a, b string, q uint8) bool {
+		qq := int(q%4) + 1
+		return JaccardQGram(a, b, qq) == ref(a, b, qq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenCosineASCIIMatchesMapPath(t *testing.T) {
+	words := []string{"Smith", "DOE", "and", "garcia", "J", "M", "lopez", ""}
+	rng := rand.New(rand.NewSource(33))
+	join := func() string {
+		n := rng.Intn(8)
+		out := ""
+		for i := 0; i < n; i++ {
+			out += words[rng.Intn(len(words))] + "  \t"[0:1+rng.Intn(2)]
+		}
+		return out
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := join(), join()
+		fast := tokenCosineASCII(a, b)
+		slow := tokenCosineMaps(a, b)
+		if math.Abs(fast-slow) > 1e-12 {
+			t.Fatalf("ASCII kernel diverges on (%q, %q): %v vs %v", a, b, fast, slow)
+		}
+	}
+}
+
+func TestTokenCosineUnicodeFallback(t *testing.T) {
+	// Non-ASCII input must take the Unicode path, with full case
+	// folding.
+	if got := TokenCosine("MÜLLER weber", "müller WEBER"); got < 0.999 {
+		t.Errorf("unicode cosine = %v, want 1", got)
 	}
 }

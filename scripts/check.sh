@@ -1,0 +1,26 @@
+#!/bin/sh
+# The repo's standard verification gate, equivalent to `make check`:
+# gofmt cleanliness, go vet, full build, and the race-enabled test
+# suite. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+    echo "gofmt needed on:"
+    echo "$out"
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check: OK"
