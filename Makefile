@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt bench
+.PHONY: check vet build test race fmt bench trace-demo
 
 check: fmt vet build race
 
@@ -29,3 +29,12 @@ fmt:
 # bench regenerates the numbers recorded in BENCH_*.json.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkShuffle|BenchmarkLevenshtein$$|BenchmarkJaccardQ2|BenchmarkTokenCosine|BenchmarkJob2Map' -benchmem ./...
+
+# trace-demo runs the quickstart example with tracing + metrics enabled
+# and sanity-checks the exported Chrome trace JSON with tracecheck.
+trace-demo:
+	@tmp="$$(mktemp -d)"; \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./examples/quickstart -trace "$$tmp/trace.json" -metrics-out "$$tmp/metrics.prom" >/dev/null && \
+	$(GO) run ./scripts/tracecheck "$$tmp/trace.json" && \
+	head -n 4 "$$tmp/metrics.prom"

@@ -20,7 +20,10 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
 	"os"
 	"strconv"
 	"strings"
@@ -64,7 +67,24 @@ func main() {
 	segmentsDir := flag.String("segments", "", "write α-interval incremental result files to this directory")
 	alpha := flag.Float64("alpha", 500, "segment interval in cost units for -segments")
 	curvePoints := flag.Int("curve", 12, "recall-curve points to print when -truth is given")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path (load in Perfetto / chrome://tracing)")
+	metricsPath := flag.String("metrics-out", "", "write run metrics in Prometheus text format to this path")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
+	var (
+		tracer  *proger.Tracer
+		metrics *proger.MetricsRegistry
+	)
+	if *tracePath != "" {
+		tracer = proger.NewTracer()
+	}
+	if *metricsPath != "" || *showReport {
+		metrics = proger.NewMetricsRegistry()
+	}
 
 	ds, gt := loadDataset(*input, *generate, *n, *seed, *truthPath)
 	fams := buildFamilies(ds, blocks, *generate)
@@ -84,6 +104,8 @@ func main() {
 			PopcornThreshold: *popcorn,
 			Machines:         *machines,
 			SlotsPerMachine:  *slots,
+			Trace:            tracer,
+			Metrics:          metrics,
 		})
 	} else {
 		opts := proger.Options{
@@ -94,6 +116,8 @@ func main() {
 			Machines:        *machines,
 			SlotsPerMachine: *slots,
 			Scheduler:       pickScheduler(*scheduler),
+			Trace:           tracer,
+			Metrics:         metrics,
 		}
 		if gt != nil {
 			// Train the duplicate model on a disjoint sample when the
@@ -116,6 +140,17 @@ func main() {
 		len(res.Duplicates), res.TotalTime)
 	if *showReport {
 		printReport(res)
+		if err := report.WriteRunSummary(os.Stderr, tracer, metrics); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *tracePath != "" {
+		writeFileWith(*tracePath, tracer.WriteChromeTrace)
+		fmt.Fprintf(os.Stderr, "proger: wrote %d trace spans to %s\n", tracer.Len(), *tracePath)
+	}
+	if *metricsPath != "" {
+		writeFileWith(*metricsPath, metrics.WritePrometheus)
+		fmt.Fprintf(os.Stderr, "proger: wrote metrics to %s\n", *metricsPath)
 	}
 	if *segmentsDir != "" {
 		nFiles, err := report.WriteSegments(res.Job2, *alpha, *segmentsDir)
@@ -394,6 +429,33 @@ func printReport(res *proger.Result) {
 		}
 		fmt.Fprintln(os.Stderr, "most expensive blocks:")
 		fmt.Fprint(os.Stderr, report.TopBlocks(costs, 8))
+	}
+}
+
+// writeFileWith creates path and streams write(f) into it.
+func writeFileWith(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		log.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// servePprof exposes the standard net/http/pprof handlers for profiling
+// the host-side execution (goroutines, heap, CPU) of a run.
+func servePprof(addr string) {
+	fmt.Fprintf(os.Stderr, "proger: pprof listening on http://%s/debug/pprof/\n", addr)
+	if err := http.ListenAndServe(addr, nil); err != nil {
+		log.Printf("pprof server: %v", err)
 	}
 }
 

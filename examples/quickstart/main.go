@@ -5,13 +5,31 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"proger"
 )
 
 func main() {
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
+	metricsPath := flag.String("metrics-out", "", "write run metrics in Prometheus text format to this path")
+	flag.Parse()
+
+	var (
+		tracer  *proger.Tracer
+		metrics *proger.MetricsRegistry
+	)
+	if *tracePath != "" {
+		tracer = proger.NewTracer()
+	}
+	if *metricsPath != "" {
+		metrics = proger.NewMetricsRegistry()
+	}
+
 	// The Table-I dataset: nine people records, six real-world people.
 	ds, gt := proger.GeneratePeople()
 	fmt.Println("Input entities:")
@@ -42,6 +60,8 @@ func main() {
 		Machines:        2,
 		SlotsPerMachine: 2,
 		Scheduler:       proger.SchedulerOurs,
+		Trace:           tracer,
+		Metrics:         metrics,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -61,4 +81,26 @@ func main() {
 		curve.FinalRecall(), len(res.Duplicates), gt.NumDupPairs())
 	fmt.Printf("Total simulated time: %.0f cost units (job 1: %.0f, job 2: %.0f)\n",
 		res.TotalTime, res.Job1.End, res.TotalTime-res.Job1.End)
+
+	if *tracePath != "" {
+		writeExport(*tracePath, tracer.WriteChromeTrace)
+		fmt.Printf("Wrote %d trace spans to %s\n", tracer.Len(), *tracePath)
+	}
+	if *metricsPath != "" {
+		writeExport(*metricsPath, metrics.WritePrometheus)
+		fmt.Printf("Wrote metrics to %s\n", *metricsPath)
+	}
+}
+
+func writeExport(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

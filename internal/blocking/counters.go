@@ -1,0 +1,12 @@
+package blocking
+
+// Job 1 counter keys (exported constants so call sites cannot silently
+// typo a name; see the counter-key lint in scripts/check.sh).
+const (
+	// CounterJob1Entities counts dataset entities seen by the map phase.
+	CounterJob1Entities = "job1.entities"
+	// CounterJob1Blocks counts blocks whose statistics were emitted.
+	CounterJob1Blocks = "job1.blocks"
+	// CounterJob1Trees counts blocking trees built by the reduce phase.
+	CounterJob1Trees = "job1.trees"
+)

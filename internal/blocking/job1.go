@@ -55,7 +55,7 @@ func (m *Job1Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyValue, emi
 	for famIdx := range m.Families {
 		emit.Emit(Job1KeyOf(famIdx, ann.MainKeys[famIdx]), buf)
 	}
-	ctx.Inc("job1.entities", 1)
+	ctx.Inc(CounterJob1Entities, 1)
 	return nil
 }
 
@@ -98,9 +98,9 @@ func (r *Job1Reducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][]
 	ComputeUncov(fam, tree, ents, mainKeys)
 	for _, s := range StatsFromTree(tree) {
 		emit.Emit(s.ID.String(), EncodeStat(nil, s))
-		ctx.Inc("job1.blocks", 1)
+		ctx.Inc(CounterJob1Blocks, 1)
 	}
-	ctx.Inc("job1.trees", 1)
+	ctx.Inc(CounterJob1Trees, 1)
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"proger/internal/mapreduce"
 	"proger/internal/match"
 	"proger/internal/mechanism"
+	"proger/internal/obs"
 	"proger/internal/progress"
 )
 
@@ -61,6 +62,7 @@ type BasicReducer struct {
 
 // Reduce implements mapreduce.Reducer.
 func (r *BasicReducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
+	start := ctx.Now()
 	famIdx, blockKey, err := blocking.ParseJob1Key(key)
 	if err != nil {
 		return err
@@ -106,10 +108,18 @@ func (r *BasicReducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][
 		Cost:     ctx.Cost,
 	}
 	st := r.side.mech.ResolveBlock(env, ents, r.side.window)
-	ctx.Inc("basic.blocks_resolved", 1)
-	ctx.Inc("basic.compared", int64(st.Compared))
-	ctx.Inc("basic.dups", int64(st.Dups))
-	ctx.Inc("basic.skipped", int64(st.Skipped))
+	ctx.Inc(CounterBasicBlocksResolved, 1)
+	ctx.Inc(CounterBasicCompared, int64(st.Compared))
+	ctx.Inc(CounterBasicDups, int64(st.Dups))
+	ctx.Inc(CounterBasicSkipped, int64(st.Skipped))
+	if ctx.Tracing() {
+		ctx.Span("resolve", "block "+key, start, ctx.Now(),
+			obs.A("size", len(ents)),
+			obs.A("window", r.side.window),
+			obs.A("compared", st.Compared),
+			obs.A("dups", st.Dups),
+			obs.A("skipped", st.Skipped))
+	}
 	return nil
 }
 
@@ -137,10 +147,15 @@ func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
 		Cluster:        cluster,
 		Cost:           opts.Cost,
 		Workers:        opts.Workers,
+		Trace:          opts.Trace,
+		Metrics:        opts.Metrics,
 	}
 	jobRes, err := mapreduce.Run(cfg, blocking.MakeJob1Input(ds), 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: basic job: %w", err)
+	}
+	if m := opts.Metrics; m != nil {
+		m.Gauge("pipeline.total_time_units").Set(float64(jobRes.End))
 	}
 	res := &Result{
 		Duplicates: entity.PairSet{},

@@ -9,6 +9,7 @@ import (
 	"proger/internal/entity"
 	"proger/internal/mapreduce"
 	"proger/internal/mechanism"
+	"proger/internal/obs"
 	"proger/internal/sched"
 )
 
@@ -90,7 +91,7 @@ func (m *CompactJob2Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyVal
 			value = append(value, entBuf...)
 			value = append(value, list...)
 			emit.Emit(sched.SQKey(m.firstSQ[ti]), value)
-			ctx.Inc("job2.emitted", 1)
+			ctx.Inc(CounterJob2Emitted, 1)
 		}
 	}
 	return nil
@@ -108,7 +109,7 @@ func (m *CompactJob2Mapper) Cleanup(ctx *mapreduce.TaskContext, emit mapreduce.E
 	for _, blocks := range m.side.schedule.TaskBlocks {
 		for _, b := range blocks {
 			emit.Emit(sched.SQKey(b.SQ), triggerValue)
-			ctx.Inc("job2.triggers", 1)
+			ctx.Inc(CounterJob2Triggers, 1)
 		}
 	}
 	return nil
@@ -131,6 +132,7 @@ type treeCache struct {
 
 // Reduce implements mapreduce.Reducer: one call per scheduled block key.
 func (r *CompactJob2Reducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
+	start := ctx.Now()
 	if r.trees == nil {
 		r.trees = map[int]*treeCache{}
 		r.resolved = map[int]entity.PairSet{}
@@ -226,10 +228,26 @@ func (r *CompactJob2Reducer) Reduce(ctx *mapreduce.TaskContext, key string, valu
 		Stop:   stop,
 		Cost:   ctx.Cost,
 	}
-	st := r.side.mech.ResolveBlock(env, members, r.side.policy.Window(b))
-	ctx.Inc("job2.blocks_resolved", 1)
-	ctx.Inc("job2.compared", int64(st.Compared))
-	ctx.Inc("job2.dups", int64(st.Dups))
-	ctx.Inc("job2.skipped", int64(st.Skipped))
+	window := r.side.policy.Window(b)
+	st := r.side.mech.ResolveBlock(env, members, window)
+	ctx.Inc(CounterJob2BlocksResolved, 1)
+	ctx.Inc(CounterJob2Compared, int64(st.Compared))
+	ctx.Inc(CounterJob2Dups, int64(st.Dups))
+	ctx.Inc(CounterJob2Skipped, int64(st.Skipped))
+	if b.FullResolve {
+		ctx.Inc(CounterJob2FullResolves, 1)
+	}
+	if ctx.Tracing() {
+		ctx.Span("resolve", "block "+b.ID.String(), start, ctx.Now(),
+			obs.A("sq", sq),
+			obs.A("size", len(members)),
+			obs.A("window", window),
+			obs.A("th", b.Th),
+			obs.A("full", b.FullResolve),
+			obs.A("hint_cost", float64(ctx.Cost.HintCost(len(members)))),
+			obs.A("compared", st.Compared),
+			obs.A("dups", st.Dups),
+			obs.A("skipped", st.Skipped))
+	}
 	return nil
 }

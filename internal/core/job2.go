@@ -11,6 +11,7 @@ import (
 	"proger/internal/mapreduce"
 	"proger/internal/match"
 	"proger/internal/mechanism"
+	"proger/internal/obs"
 	"proger/internal/sched"
 )
 
@@ -48,9 +49,14 @@ func (m *Job2Mapper) Setup(ctx *mapreduce.TaskContext) error {
 	for n := nBlocks; n > 1; n >>= 1 {
 		logB++
 	}
+	start := ctx.Now()
 	genCost := ctx.Cost.ReadRecord * costmodel.Units(nBlocks) * (6 + logB)
 	ctx.Charge(genCost)
-	ctx.Inc("job2.schedule_gen", 1)
+	ctx.Inc(CounterJob2ScheduleGen, 1)
+	if ctx.Tracing() {
+		ctx.Span("schedule", "schedule gen (map setup)", start, ctx.Now(),
+			obs.A("blocks", nBlocks))
+	}
 	return nil
 }
 
@@ -93,7 +99,7 @@ func (m *Job2Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyValue, emi
 				lastVal = append(lastVal, list...)
 			}
 			emit.Emit(sched.SQKey(b.SQ), lastVal)
-			ctx.Inc("job2.emitted", 1)
+			ctx.Inc(CounterJob2Emitted, 1)
 		}
 	}
 	return nil
@@ -166,6 +172,7 @@ type Job2Reducer struct {
 
 // Reduce implements mapreduce.Reducer: one call per scheduled block.
 func (r *Job2Reducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
+	start := ctx.Now()
 	if r.resolved == nil {
 		r.resolved = map[int]entity.PairSet{}
 	}
@@ -234,12 +241,24 @@ func (r *Job2Reducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][]
 	}
 	window := r.side.policy.Window(b)
 	st := r.side.mech.ResolveBlock(env, ents, window)
-	ctx.Inc("job2.blocks_resolved", 1)
-	ctx.Inc("job2.compared", int64(st.Compared))
-	ctx.Inc("job2.dups", int64(st.Dups))
-	ctx.Inc("job2.skipped", int64(st.Skipped))
+	ctx.Inc(CounterJob2BlocksResolved, 1)
+	ctx.Inc(CounterJob2Compared, int64(st.Compared))
+	ctx.Inc(CounterJob2Dups, int64(st.Dups))
+	ctx.Inc(CounterJob2Skipped, int64(st.Skipped))
 	if b.FullResolve {
-		ctx.Inc("job2.full_resolves", 1)
+		ctx.Inc(CounterJob2FullResolves, 1)
+	}
+	if ctx.Tracing() {
+		ctx.Span("resolve", "block "+b.ID.String(), start, ctx.Now(),
+			obs.A("sq", sq),
+			obs.A("size", len(ents)),
+			obs.A("window", window),
+			obs.A("th", b.Th),
+			obs.A("full", b.FullResolve),
+			obs.A("hint_cost", float64(ctx.Cost.HintCost(len(ents)))),
+			obs.A("compared", st.Compared),
+			obs.A("dups", st.Dups),
+			obs.A("skipped", st.Skipped))
 	}
 	return nil
 }

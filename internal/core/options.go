@@ -14,6 +14,7 @@ import (
 	"proger/internal/estimate"
 	"proger/internal/match"
 	"proger/internal/mechanism"
+	"proger/internal/obs"
 	"proger/internal/sched"
 )
 
@@ -65,6 +66,13 @@ type Options struct {
 	// only — no progressive blocking, each tree a single root block.
 	// Ablation knob: quantifies what the §III-A block hierarchy buys.
 	DisableSubBlocking bool
+	// Trace, when non-nil, collects spans from both jobs, schedule
+	// generation, and per-block resolution. Nil disables at zero cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, absorbs both jobs' counters and task-cost
+	// distributions plus pipeline-level gauges. Nil disables at zero
+	// cost.
+	Metrics *obs.Registry
 }
 
 func (o *Options) validate() error {
@@ -122,6 +130,9 @@ type BasicOptions struct {
 	SlotsPerMachine int
 	Cost            costmodel.Model
 	Workers         int
+	// Trace and Metrics mirror Options.Trace / Options.Metrics.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 }
 
 func (o *BasicOptions) validate() error {

@@ -66,7 +66,15 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 	cluster := mapreduce.Cluster{Machines: opts.Machines, SlotsPerMachine: opts.SlotsPerMachine}
 
 	// ---- Job 1: progressive blocking + statistics ----
-	stats, job1Res, err := blocking.RunJob1(ds, opts.Families, cluster, opts.Cost, 0)
+	job1Cfg := blocking.Job1Config(opts.Families, cluster, opts.Cost)
+	job1Cfg.Workers = opts.Workers
+	job1Cfg.Trace = opts.Trace
+	job1Cfg.Metrics = opts.Metrics
+	job1Res, err := mapreduce.Run(job1Cfg, blocking.MakeJob1Input(ds), 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: job 1: %w", err)
+	}
+	stats, err := blocking.ParseJob1Output(job1Res)
 	if err != nil {
 		return nil, fmt.Errorf("core: job 1: %w", err)
 	}
@@ -102,6 +110,8 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 		Batch:      opts.SplitBatch,
 		Estimator:  est,
 		Kind:       opts.Scheduler,
+		Trace:      opts.Trace,
+		TraceBase:  job1Res.End,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: schedule generation: %w", err)
@@ -132,10 +142,15 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 		Cluster:        cluster,
 		Cost:           opts.Cost,
 		Workers:        opts.Workers,
+		Trace:          opts.Trace,
+		Metrics:        opts.Metrics,
 	}
 	job2Res, err := mapreduce.Run(job2Cfg, blocking.MakeJob1Input(ds), job1Res.End)
 	if err != nil {
 		return nil, fmt.Errorf("core: job 2: %w", err)
+	}
+	if m := opts.Metrics; m != nil {
+		m.Gauge("pipeline.total_time_units").Set(float64(job2Res.End))
 	}
 
 	res := &Result{

@@ -79,7 +79,7 @@ func Ablation(cfg AblationConfig) (*AblationResult, error) {
 		}
 		curve := progress.BuildCurve(res.EventsAgainst(w.GT.IsDup), w.GT.NumDupPairs(), res.TotalTime)
 		return &Run{Label: v.label, Curve: curve, Total: res.TotalTime},
-			res.Counters.Get("job2.compared"), nil
+			res.Counters.Get(core.CounterJob2Compared), nil
 	}
 
 	out := &AblationResult{}

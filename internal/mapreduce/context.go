@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"proger/internal/costmodel"
+	"proger/internal/obs"
 )
 
 // TaskType distinguishes map from reduce tasks in contexts and errors.
@@ -40,6 +41,11 @@ type TaskContext struct {
 
 	local    costmodel.Units
 	counters Counters
+	// tracing is set by the engine when Config.Trace is non-nil; spans
+	// collects the task's local-clock spans for the engine to rebase
+	// onto the global timeline once the task's start time is known.
+	tracing bool
+	spans   []obs.Span
 }
 
 // Charge adds cost units to the task's local clock. All task work that
@@ -62,14 +68,59 @@ func (c *TaskContext) Inc(name string, delta int64) {
 	c.counters[name] += delta
 }
 
+// Tracing reports whether the job is collecting trace spans. Guard
+// span-argument construction behind it so tracing costs nothing when
+// disabled:
+//
+//	if ctx.Tracing() {
+//	    ctx.Span("resolve", name, start, ctx.Now(), obs.A("pairs", n))
+//	}
+func (c *TaskContext) Tracing() bool { return c.tracing }
+
+// Span records a completed span [start, end) on the task's *local*
+// simulated clock (ctx.Now() values). The engine rebases it onto the
+// global timeline — and assigns its process/slot lanes — once the
+// task's scheduled start is known. No-op when tracing is disabled.
+func (c *TaskContext) Span(cat, name string, start, end costmodel.Units, args ...obs.Arg) {
+	if !c.tracing {
+		return
+	}
+	c.spans = append(c.spans, obs.Span{
+		Cat:   cat,
+		Name:  name,
+		Start: start,
+		Dur:   end - start,
+		Args:  args,
+	})
+}
+
 // Counters is a named-counter aggregate, as in Hadoop job counters.
 type Counters map[string]int64
 
-// Merge adds all of other into c.
-func (c Counters) Merge(other Counters) {
-	for k, v := range other {
-		c[k] += v
+// Merge adds all of other into c, allocating the receiver's map if it
+// is nil (so a zero-valued Counters field can absorb merges directly).
+func (c *Counters) Merge(other Counters) {
+	if len(other) == 0 {
+		return
 	}
+	if *c == nil {
+		*c = make(Counters, len(other))
+	}
+	for k, v := range other {
+		(*c)[k] += v
+	}
+}
+
+// Clone returns an independent copy of the counters (nil for nil).
+func (c Counters) Clone() Counters {
+	if c == nil {
+		return nil
+	}
+	out := make(Counters, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
 }
 
 // Get returns the counter value (0 if absent).

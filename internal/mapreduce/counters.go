@@ -1,0 +1,32 @@
+package mapreduce
+
+// Engine counter keys. The engine maintains these itself for every
+// job (bulk-incremented per task, so they cost nothing on per-record
+// hot paths); user map/reduce functions add their own keys via
+// TaskContext.Inc. Keys are exported constants rather than inline
+// string literals so call sites cannot silently typo a name — the
+// counter-key lint in scripts/check.sh rejects literal keys outside
+// tests.
+const (
+	// CounterMapInRecords counts records read by map tasks.
+	CounterMapInRecords = "mr.map.in_records"
+	// CounterMapOutRecords counts records emitted by map functions,
+	// before any combiner runs.
+	CounterMapOutRecords = "mr.map.out_records"
+	// CounterCombineInRecords and CounterCombineOutRecords count the
+	// map-side combiner's input and surviving output records.
+	CounterCombineInRecords  = "mr.combine.in_records"
+	CounterCombineOutRecords = "mr.combine.out_records"
+	// CounterShuffleSpilledRuns counts sorted runs routed through the
+	// external spill-and-merge sorter (0 unless ShuffleMemLimit forced
+	// spilling). Spilling is a host-machine knob, so this counter is
+	// reported only through Config.Metrics — never Result.Counters,
+	// which must stay bit-for-bit identical across host configurations.
+	CounterShuffleSpilledRuns = "mr.shuffle.spilled_runs"
+	// CounterReduceInRecords and CounterReduceInGroups count reduce-task
+	// input records and distinct key groups.
+	CounterReduceInRecords = "mr.reduce.in_records"
+	CounterReduceInGroups  = "mr.reduce.in_groups"
+	// CounterReduceOutRecords counts records emitted by reduce functions.
+	CounterReduceOutRecords = "mr.reduce.out_records"
+)

@@ -7,9 +7,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"proger/internal/costmodel"
 	"proger/internal/extsort"
+	"proger/internal/obs"
 )
 
 // Run executes one MapReduce job. Input records are split contiguously
@@ -33,17 +35,33 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	tracing := cfg.Trace != nil
+
 	// ---- Map phase ----
 	splits := splitInput(input, cfg.NumMapTasks)
 	mapOuts := make([][][]KeyValue, cfg.NumMapTasks) // [task][partition][]kv
 	mapCosts := make([]costmodel.Units, cfg.NumMapTasks)
 	mapCounters := make([]Counters, cfg.NumMapTasks)
+	mapSpans := make([][]obs.Span, cfg.NumMapTasks)
+	var mapWall, shufWall, reduceWall []wallSpan
+	if tracing {
+		mapWall = make([]wallSpan, cfg.NumMapTasks)
+		shufWall = make([]wallSpan, cfg.NumReduceTasks)
+		reduceWall = make([]wallSpan, cfg.NumReduceTasks)
+	}
 	err := runPool(workers, cfg.NumMapTasks, func(i int) error {
-		out, cost, counters, err := runMapTask(&cfg, i, splits[i])
+		var w0 time.Time
+		if tracing {
+			w0 = time.Now()
+		}
+		out, cost, counters, spans, err := runMapTask(&cfg, i, splits[i])
 		if err != nil {
 			return err
 		}
-		mapOuts[i], mapCosts[i], mapCounters[i] = out, cost, counters
+		mapOuts[i], mapCosts[i], mapCounters[i], mapSpans[i] = out, cost, counters, spans
+		if tracing {
+			mapWall[i] = wallSpan{w0, time.Since(w0)}
+		}
 		return nil
 	})
 	if err != nil {
@@ -52,7 +70,7 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 
 	jobStart := startAt
 	mapPhaseStart := jobStart + cfg.Cost.JobSetup
-	_, mapEnd := scheduleTasks(mapCosts, cfg.Cluster.Slots(), mapPhaseStart)
+	mapStarts, mapSlots, mapEnd := scheduleTasks(mapCosts, cfg.Cluster.Slots(), mapPhaseStart)
 
 	// ---- Shuffle: each map task pre-sorted its per-partition output,
 	// so a reduce task's input is a stable k-way merge of its map runs
@@ -61,12 +79,20 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	// in parallel on the worker pool — in memory, or through the
 	// external spill-and-merge sorter when over the memory limit. ----
 	reduceIns := make([][]KeyValue, cfg.NumReduceTasks)
+	spilledRuns := make([]int64, cfg.NumReduceTasks)
 	err = runPool(workers, cfg.NumReduceTasks, func(r int) error {
-		in, err := shuffleForTask(&cfg, mapOuts, r)
+		var w0 time.Time
+		if tracing {
+			w0 = time.Now()
+		}
+		in, spilled, err := shuffleForTask(&cfg, mapOuts, r)
 		if err != nil {
 			return err
 		}
-		reduceIns[r] = in
+		reduceIns[r], spilledRuns[r] = in, spilled
+		if tracing {
+			shufWall[r] = wallSpan{w0, time.Since(w0)}
+		}
 		return nil
 	})
 	if err != nil {
@@ -77,19 +103,27 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	reduceOuts := make([][]TimedKV, cfg.NumReduceTasks)
 	reduceCosts := make([]costmodel.Units, cfg.NumReduceTasks)
 	reduceCounters := make([]Counters, cfg.NumReduceTasks)
+	reduceSpans := make([][]obs.Span, cfg.NumReduceTasks)
 	err = runPool(workers, cfg.NumReduceTasks, func(i int) error {
-		out, cost, counters, err := runReduceTask(&cfg, i, reduceIns[i])
+		var w0 time.Time
+		if tracing {
+			w0 = time.Now()
+		}
+		out, cost, counters, spans, err := runReduceTask(&cfg, i, reduceIns[i])
 		if err != nil {
 			return err
 		}
-		reduceOuts[i], reduceCosts[i], reduceCounters[i] = out, cost, counters
+		reduceOuts[i], reduceCosts[i], reduceCounters[i], reduceSpans[i] = out, cost, counters, spans
+		if tracing {
+			reduceWall[i] = wallSpan{w0, time.Since(w0)}
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	reduceStarts, end := scheduleTasks(reduceCosts, cfg.Cluster.Slots(), mapEnd)
+	reduceStarts, reduceSlots, end := scheduleTasks(reduceCosts, cfg.Cluster.Slots(), mapEnd)
 
 	// Stamp global times and flatten output in (task, emission) order.
 	var total int
@@ -111,8 +145,7 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	for _, c := range reduceCounters {
 		counters.Merge(c)
 	}
-
-	return &Result{
+	res := &Result{
 		Output:          output,
 		Start:           jobStart,
 		End:             end,
@@ -120,16 +153,98 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 		Counters:        counters,
 		MapTaskCosts:    mapCosts,
 		ReduceTaskCosts: reduceCosts,
+		MapStarts:       mapStarts,
 		ReduceStarts:    reduceStarts,
-	}, nil
+		MapSlots:        mapSlots,
+		ReduceSlots:     reduceSlots,
+	}
+
+	if tracing {
+		emitJobSpans(&cfg, res, splits, reduceIns, spilledRuns,
+			mapSpans, reduceSpans, mapWall, shufWall, reduceWall)
+	}
+	if m := cfg.Metrics; m != nil {
+		m.AddCounters(counters)
+		// Spill counts depend on host knobs (ShuffleMemLimit), so they
+		// live in the metrics registry, not in the deterministic
+		// Result.Counters.
+		var spilledTotal int64
+		for _, n := range spilledRuns {
+			spilledTotal += n
+		}
+		m.Counter(CounterShuffleSpilledRuns).Add(spilledTotal)
+		h := m.Histogram("mr_task_cost_units")
+		for _, c := range mapCosts {
+			h.Observe(float64(c))
+		}
+		for _, c := range reduceCosts {
+			h.Observe(float64(c))
+		}
+	}
+	return res, nil
+}
+
+// wallSpan is a host wall-clock measurement of one engine stage.
+type wallSpan struct {
+	start time.Time
+	dur   time.Duration
+}
+
+// emitJobSpans publishes the job's timeline to the tracer: one span
+// per map/reduce task and per shuffle merge, plus every task-local
+// span recorded through TaskContext.Span, rebased from the task-local
+// clock onto the global simulated timeline. The shuffle-merge spans
+// carry the host wall time of the real merge; their simulated position
+// is the map barrier (the reduce tasks separately account shuffle cost
+// on the simulated clock as task-local "shuffle" spans).
+func emitJobSpans(cfg *Config, res *Result, splits, reduceIns [][]KeyValue, spilledRuns []int64,
+	mapSpans, reduceSpans [][]obs.Span, mapWall, shufWall, reduceWall []wallSpan) {
+	tr := cfg.Trace
+	pid := tr.PID(cfg.Name)
+	rebase := func(spans []obs.Span, tid int, start costmodel.Units) {
+		for _, s := range spans {
+			s.PID, s.TID = pid, tid
+			s.Start += start
+			tr.Add(s)
+		}
+	}
+	for i, cost := range res.MapTaskCosts {
+		tr.Add(obs.Span{
+			Cat: "map", Name: fmt.Sprintf("map %d", i),
+			PID: pid, TID: res.MapSlots[i],
+			Start: res.MapStarts[i], Dur: cost,
+			WallStart: mapWall[i].start, WallDur: mapWall[i].dur,
+			Args: []obs.Arg{obs.A("records", len(splits[i]))},
+		})
+		rebase(mapSpans[i], res.MapSlots[i], res.MapStarts[i])
+	}
+	for r := range reduceIns {
+		tr.Add(obs.Span{
+			Cat: "shuffle", Name: fmt.Sprintf("shuffle merge r%d (host)", r),
+			PID: pid, TID: res.ReduceSlots[r],
+			Start: res.MapEnd, Dur: 0,
+			WallStart: shufWall[r].start, WallDur: shufWall[r].dur,
+			Args: []obs.Arg{obs.A("records", len(reduceIns[r])), obs.A("spilled_runs", spilledRuns[r])},
+		})
+	}
+	for i, cost := range res.ReduceTaskCosts {
+		tr.Add(obs.Span{
+			Cat: "reduce", Name: fmt.Sprintf("reduce %d", i),
+			PID: pid, TID: res.ReduceSlots[i],
+			Start: res.ReduceStarts[i], Dur: cost,
+			WallStart: reduceWall[i].start, WallDur: reduceWall[i].dur,
+			Args: []obs.Arg{obs.A("records", len(reduceIns[i]))},
+		})
+		rebase(reduceSpans[i], res.ReduceSlots[i], res.ReduceStarts[i])
+	}
 }
 
 // shuffleForTask assembles reduce task r's sorted input by merging the
-// pre-sorted per-partition runs the map tasks produced. With
-// ShuffleMemLimit set, the runs stream through the external sorter
-// (spilled to disk as-is, never re-sorted) instead of merging in
-// memory.
-func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) ([]KeyValue, error) {
+// pre-sorted per-partition runs the map tasks produced, also reporting
+// how many runs went through the external spiller. With ShuffleMemLimit
+// set, the runs stream through the external sorter (spilled to disk
+// as-is, never re-sorted) instead of merging in memory.
+func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) ([]KeyValue, int64, error) {
 	var n int
 	runs := make([][]KeyValue, 0, cfg.NumMapTasks)
 	for m := 0; m < cfg.NumMapTasks; m++ {
@@ -139,7 +254,7 @@ func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) ([]KeyValue, err
 		}
 	}
 	if cfg.ShuffleMemLimit <= 0 || n <= cfg.ShuffleMemLimit {
-		return mergeSortedRuns(runs, n), nil
+		return mergeSortedRuns(runs, n), 0, nil
 	}
 	dir := cfg.SpillDir
 	if dir == "" {
@@ -153,26 +268,26 @@ func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) ([]KeyValue, err
 			recs[i] = extsort.Record{Key: kv.Key, Value: kv.Value}
 		}
 		if err := sorter.AddSortedRun(recs); err != nil {
-			return nil, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
+			return nil, 0, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
 		}
 	}
 	it, err := sorter.Sort()
 	if err != nil {
-		return nil, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
+		return nil, 0, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
 	}
 	defer it.Close()
 	in := make([]KeyValue, 0, n)
 	for {
 		rec, ok, err := it.Next()
 		if err != nil {
-			return nil, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
+			return nil, 0, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
 		}
 		if !ok {
 			break
 		}
 		in = append(in, KeyValue{Key: rec.Key, Value: rec.Value})
 	}
-	return in, nil
+	return in, int64(len(runs)), nil
 }
 
 // mergeSortedRuns stably merges key-sorted runs given in priority
@@ -273,14 +388,15 @@ func splitInput(input []KeyValue, n int) [][]KeyValue {
 
 // scheduleTasks assigns tasks (in index order) to the earliest-free of
 // `slots` slots, all free at phaseStart, returning each task's start
-// time and the phase end time. This mirrors Hadoop's slot scheduler
-// with speculative execution disabled (§VI-A1).
-func scheduleTasks(costs []costmodel.Units, slots int, phaseStart costmodel.Units) (starts []costmodel.Units, phaseEnd costmodel.Units) {
+// time, the slot it ran on, and the phase end time. This mirrors
+// Hadoop's slot scheduler with speculative execution disabled (§VI-A1).
+func scheduleTasks(costs []costmodel.Units, slots int, phaseStart costmodel.Units) (starts []costmodel.Units, slotOf []int, phaseEnd costmodel.Units) {
 	free := make([]costmodel.Units, slots)
 	for i := range free {
 		free[i] = phaseStart
 	}
 	starts = make([]costmodel.Units, len(costs))
+	slotOf = make([]int, len(costs))
 	phaseEnd = phaseStart
 	for t, c := range costs {
 		best := 0
@@ -290,12 +406,13 @@ func scheduleTasks(costs []costmodel.Units, slots int, phaseStart costmodel.Unit
 			}
 		}
 		starts[t] = free[best]
+		slotOf[t] = best
 		free[best] += c
 		if free[best] > phaseEnd {
 			phaseEnd = free[best]
 		}
 	}
-	return starts, phaseEnd
+	return starts, slotOf, phaseEnd
 }
 
 // mapEmitter buffers map output per partition, charging emission cost.
@@ -316,7 +433,7 @@ func (e *mapEmitter) Emit(key string, value []byte) {
 	e.out[p] = append(e.out[p], KeyValue{Key: key, Value: value})
 }
 
-func runMapTask(cfg *Config, index int, split []KeyValue) ([][]KeyValue, costmodel.Units, Counters, error) {
+func runMapTask(cfg *Config, index int, split []KeyValue) ([][]KeyValue, costmodel.Units, Counters, []obs.Span, error) {
 	ctx := &TaskContext{
 		Job:       cfg.Name,
 		Type:      MapTask,
@@ -325,22 +442,29 @@ func runMapTask(cfg *Config, index int, split []KeyValue) ([][]KeyValue, costmod
 		Side:      cfg.Side,
 		Cost:      cfg.Cost,
 		counters:  Counters{},
+		tracing:   cfg.Trace != nil,
 	}
 	ctx.Charge(cfg.Cost.TaskStartup)
 	mapper := cfg.NewMapper()
 	emitter := &mapEmitter{ctx: ctx, cfg: cfg, partition: cfg.Partition, out: make([][]KeyValue, cfg.NumReduceTasks)}
 	if err := mapper.Setup(ctx); err != nil {
-		return nil, 0, nil, fmt.Errorf("mapreduce: %s map task %d setup: %w", cfg.Name, index, err)
+		return nil, 0, nil, nil, fmt.Errorf("mapreduce: %s map task %d setup: %w", cfg.Name, index, err)
 	}
 	for _, rec := range split {
 		ctx.Charge(cfg.Cost.ReadRecord)
 		if err := mapper.Map(ctx, rec, emitter); err != nil {
-			return nil, 0, nil, fmt.Errorf("mapreduce: %s map task %d: %w", cfg.Name, index, err)
+			return nil, 0, nil, nil, fmt.Errorf("mapreduce: %s map task %d: %w", cfg.Name, index, err)
 		}
 	}
 	if err := mapper.Cleanup(ctx, emitter); err != nil {
-		return nil, 0, nil, fmt.Errorf("mapreduce: %s map task %d cleanup: %w", cfg.Name, index, err)
+		return nil, 0, nil, nil, fmt.Errorf("mapreduce: %s map task %d cleanup: %w", cfg.Name, index, err)
 	}
+	var outRecs int
+	for _, p := range emitter.out {
+		outRecs += len(p)
+	}
+	ctx.Inc(CounterMapInRecords, int64(len(split)))
+	ctx.Inc(CounterMapOutRecords, int64(outRecs))
 	// Map-side sort: leave every partition stably key-sorted so the
 	// shuffle can merge runs instead of re-sorting concatenations. The
 	// sort is real-machine work the simulation prices on the reduce side
@@ -351,12 +475,18 @@ func runMapTask(cfg *Config, index int, split []KeyValue) ([][]KeyValue, costmod
 			// applyCombiner leaves its output key-sorted.
 			emitter.out[p] = applyCombiner(ctx, cfg, emitter.out[p])
 		}
+		var combined int
+		for _, p := range emitter.out {
+			combined += len(p)
+		}
+		ctx.Inc(CounterCombineInRecords, int64(outRecs))
+		ctx.Inc(CounterCombineOutRecords, int64(combined))
 	} else {
 		for p := range emitter.out {
 			sortByKeyStable(emitter.out[p])
 		}
 	}
-	return emitter.out, ctx.Now(), ctx.counters, nil
+	return emitter.out, ctx.Now(), ctx.counters, ctx.spans, nil
 }
 
 // sortByKeyStable stably sorts one partition of map output by key,
@@ -415,7 +545,7 @@ func (e *reduceEmitter) Emit(key string, value []byte) {
 	})
 }
 
-func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.Units, Counters, error) {
+func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.Units, Counters, []obs.Span, error) {
 	ctx := &TaskContext{
 		Job:       cfg.Name,
 		Type:      ReduceTask,
@@ -424,20 +554,27 @@ func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.
 		Side:      cfg.Side,
 		Cost:      cfg.Cost,
 		counters:  Counters{},
+		tracing:   cfg.Trace != nil,
 	}
 	ctx.Charge(cfg.Cost.TaskStartup)
 	// Framework shuffle cost: reading and merge-sorting this task's
 	// input. (The real sort already happened in Run; here we only
 	// account its simulated price.)
+	shufStart := ctx.Now()
 	ctx.Charge(cfg.Cost.ReadRecord * costmodel.Units(len(in)))
 	ctx.Charge(cfg.Cost.ShuffleSortCost(len(in)))
+	if ctx.Tracing() {
+		ctx.Span("shuffle", fmt.Sprintf("shuffle r%d", index), shufStart, ctx.Now(),
+			obs.A("records", len(in)))
+	}
 
 	reducer := cfg.NewReducer()
 	emitter := &reduceEmitter{ctx: ctx}
 	if err := reducer.Setup(ctx); err != nil {
-		return nil, 0, nil, fmt.Errorf("mapreduce: %s reduce task %d setup: %w", cfg.Name, index, err)
+		return nil, 0, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d setup: %w", cfg.Name, index, err)
 	}
 	var values [][]byte // scratch, reused across groups (see Reducer contract)
+	groups := 0
 	for lo := 0; lo < len(in); {
 		hi := lo + 1
 		for hi < len(in) && in[hi].Key == in[lo].Key {
@@ -448,14 +585,18 @@ func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.
 			values = append(values, in[i].Value)
 		}
 		if err := reducer.Reduce(ctx, in[lo].Key, values, emitter); err != nil {
-			return nil, 0, nil, fmt.Errorf("mapreduce: %s reduce task %d key %q: %w", cfg.Name, index, in[lo].Key, err)
+			return nil, 0, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d key %q: %w", cfg.Name, index, in[lo].Key, err)
 		}
+		groups++
 		lo = hi
 	}
 	if err := reducer.Cleanup(ctx, emitter); err != nil {
-		return nil, 0, nil, fmt.Errorf("mapreduce: %s reduce task %d cleanup: %w", cfg.Name, index, err)
+		return nil, 0, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d cleanup: %w", cfg.Name, index, err)
 	}
-	return emitter.out, ctx.Now(), ctx.counters, nil
+	ctx.Inc(CounterReduceInRecords, int64(len(in)))
+	ctx.Inc(CounterReduceInGroups, int64(groups))
+	ctx.Inc(CounterReduceOutRecords, int64(len(emitter.out)))
+	return emitter.out, ctx.Now(), ctx.counters, ctx.spans, nil
 }
 
 // runPool runs fn(0..n-1) on up to `workers` goroutines and returns the

@@ -179,12 +179,16 @@ func TestLocalTimesNonDecreasingPerTask(t *testing.T) {
 
 func TestScheduleTasksGreedy(t *testing.T) {
 	costs := []costmodel.Units{10, 20, 5, 5}
-	starts, end := scheduleTasks(costs, 2, 100)
+	starts, slots, end := scheduleTasks(costs, 2, 100)
 	// slot0: t0 [100,110), then t2 [110,115), then t3 [115,120)
 	// slot1: t1 [100,120)
 	wantStarts := []costmodel.Units{100, 100, 110, 115}
 	if !reflect.DeepEqual(starts, wantStarts) {
 		t.Errorf("starts = %v, want %v", starts, wantStarts)
+	}
+	wantSlots := []int{0, 1, 0, 0}
+	if !reflect.DeepEqual(slots, wantSlots) {
+		t.Errorf("slots = %v, want %v", slots, wantSlots)
 	}
 	if end != 120 {
 		t.Errorf("end = %v, want 120", end)
@@ -192,9 +196,12 @@ func TestScheduleTasksGreedy(t *testing.T) {
 }
 
 func TestScheduleTasksSingleSlot(t *testing.T) {
-	starts, end := scheduleTasks([]costmodel.Units{1, 2, 3}, 1, 0)
+	starts, slots, end := scheduleTasks([]costmodel.Units{1, 2, 3}, 1, 0)
 	if !reflect.DeepEqual(starts, []costmodel.Units{0, 1, 3}) {
 		t.Errorf("starts = %v", starts)
+	}
+	if !reflect.DeepEqual(slots, []int{0, 0, 0}) {
+		t.Errorf("slots = %v", slots)
 	}
 	if end != 6 {
 		t.Errorf("end = %v, want 6", end)

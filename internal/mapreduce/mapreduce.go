@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"proger/internal/costmodel"
+	"proger/internal/obs"
 )
 
 // KeyValue is the unit of data flowing through a job.
@@ -160,6 +161,16 @@ type Config struct {
 	ShuffleMemLimit int
 	// SpillDir receives shuffle spill files; os.TempDir()-based default.
 	SpillDir string
+	// Trace, when non-nil, receives a span per map/reduce task, per
+	// shuffle merge, and per task-local span recorded through
+	// TaskContext.Span — all placed on the simulated global timeline
+	// (wall-clock data is carried alongside). Nil disables tracing at
+	// zero cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, absorbs the job's counters and per-task
+	// cost distribution at the end of the run. Nil disables metrics at
+	// zero cost.
+	Metrics *obs.Registry
 }
 
 func (c *Config) validate() error {
@@ -197,8 +208,13 @@ type Result struct {
 	// tasks, for diagnostics and tests.
 	MapTaskCosts    []costmodel.Units
 	ReduceTaskCosts []costmodel.Units
-	// ReduceStarts records each reduce task's global start time.
+	// MapStarts and ReduceStarts record each task's global start time.
+	MapStarts    []costmodel.Units
 	ReduceStarts []costmodel.Units
+	// MapSlots and ReduceSlots record the simulated cluster slot each
+	// task ran on (the trace's thread lane).
+	MapSlots    []int
+	ReduceSlots []int
 }
 
 // Segment is a contiguous α-interval of one reduce task's output — the

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Clock selects the timebase of an exported trace.
+type Clock int
+
+const (
+	// ClockSim exports simulated cost units as microseconds. Output is
+	// deterministic: byte-identical across runs and worker counts.
+	ClockSim Clock = iota
+	// ClockWall exports host wall-clock times (µs since the earliest
+	// recorded wall timestamp). Spans without wall data are skipped.
+	ClockWall
+)
+
+// WriteChromeTrace writes the spans as Chrome trace-event JSON on the
+// simulated clock (the deterministic default). Load the file in
+// Perfetto (ui.perfetto.dev) or chrome://tracing; one simulated cost
+// unit renders as one microsecond. A nil tracer writes a valid empty
+// trace document.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return t.WriteChromeTraceClock(w, ClockSim)
+}
+
+// WriteChromeTraceClock is WriteChromeTrace with an explicit timebase.
+func (t *Tracer) WriteChromeTraceClock(w io.Writer, clock Clock) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		buf, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		_, err = bw.Write(buf)
+		return err
+	}
+
+	// Process-name metadata events, one per PID lane.
+	for pid, name := range t.Processes() {
+		ev := chromeEvent{Name: "process_name", Ph: "M", PID: pid,
+			Args: mustArgsJSON([]Arg{{Key: "name", Value: name}})}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+
+	spans := t.Spans()
+	var wallEpoch int64 // earliest wall timestamp, µs
+	if clock == ClockWall {
+		for _, s := range spans {
+			if s.WallStart.IsZero() {
+				continue
+			}
+			us := s.WallStart.UnixMicro()
+			if wallEpoch == 0 || us < wallEpoch {
+				wallEpoch = us
+			}
+		}
+	}
+	for _, s := range spans {
+		ev := chromeEvent{Name: s.Name, Cat: s.Cat, Ph: "X", PID: s.PID, TID: s.TID}
+		switch clock {
+		case ClockSim:
+			ev.TS = float64(s.Start)
+			ev.Dur = float64(s.Dur)
+		case ClockWall:
+			if s.WallStart.IsZero() {
+				continue
+			}
+			ev.TS = float64(s.WallStart.UnixMicro() - wallEpoch)
+			ev.Dur = float64(s.WallDur.Microseconds())
+		default:
+			return fmt.Errorf("obs: unknown clock %d", clock)
+		}
+		if len(s.Args) > 0 {
+			ev.Args = mustArgsJSON(s.Args)
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the trace-event format. Struct (not map)
+// marshalling keeps field order fixed, which keeps output deterministic.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	Ph   string          `json:"ph"`
+	TS   float64         `json:"ts"`
+	Dur  float64         `json:"dur,omitempty"`
+	PID  int             `json:"pid"`
+	TID  int             `json:"tid"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// mustArgsJSON renders ordered Args as a JSON object, preserving the
+// slice order. Unmarshalable values degrade to their %v rendering
+// rather than failing the whole export.
+func mustArgsJSON(args []Arg) json.RawMessage {
+	out := make([]byte, 0, 32*len(args))
+	out = append(out, '{')
+	for i, a := range args {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		k, _ := json.Marshal(a.Key)
+		out = append(out, k...)
+		out = append(out, ':')
+		v, err := json.Marshal(a.Value)
+		if err != nil {
+			v, _ = json.Marshal(fmt.Sprintf("%v", a.Value))
+		}
+		out = append(out, v...)
+	}
+	return append(out, '}')
+}

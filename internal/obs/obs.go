@@ -1,0 +1,169 @@
+// Package obs is the pipeline's observability layer: a span-based
+// tracer and a lightweight metrics registry, with exporters to Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing) and
+// Prometheus text format.
+//
+// # Two clocks
+//
+// Every span is keyed on two clocks at once:
+//
+//   - the *simulated* clock (costmodel.Units) — the deterministic cost
+//     timeline the paper's progressiveness results are stated in. Span
+//     Start/Dur are simulated times, reproducible bit-for-bit across
+//     runs and host concurrency levels (Config.Workers);
+//   - the *wall* clock — real host time, for profiling the in-process
+//     engine itself. WallStart/WallDur are optional (zero when the
+//     instrumented stage has no meaningful host extent of its own).
+//
+// Exporters pick one clock. The default Chrome export uses the
+// simulated clock and omits wall-clock data entirely, which makes
+// trace files byte-identical across runs — and therefore testable.
+//
+// # Zero cost when disabled
+//
+// A nil *Tracer and a nil *Registry are valid, fully inert instances:
+// every method on them (and on the nil *Counter / *Gauge / *Histogram
+// they hand out) is a no-op that allocates nothing. Hot paths guard
+// argument construction behind Enabled() / TaskContext.Tracing() so a
+// disabled pipeline pays not even a variadic-slice allocation.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"proger/internal/costmodel"
+)
+
+// Arg is one key/value annotation on a span. Args are kept as an
+// ordered slice (not a map) so exported traces are deterministic.
+type Arg struct {
+	Key   string
+	Value any
+}
+
+// A constructs an Arg; it keeps call sites short.
+func A(key string, value any) Arg { return Arg{Key: key, Value: value} }
+
+// Span is one traced interval of work.
+type Span struct {
+	// Name labels the individual span ("map 3", "block 0|2|jo…").
+	Name string
+	// Cat is the span taxonomy category: "map", "reduce", "shuffle",
+	// "schedule", or "resolve" (see DESIGN.md §7).
+	Cat string
+	// PID and TID place the span on the trace viewer's grid: PID is the
+	// process lane (one per job, via Tracer.PID), TID the thread lane
+	// (the simulated cluster slot that ran the task).
+	PID, TID int
+	// Start and Dur are on the simulated clock, global timeline.
+	Start, Dur costmodel.Units
+	// WallStart and WallDur are on the host wall clock; zero when the
+	// span has no host-time extent of its own.
+	WallStart time.Time
+	WallDur   time.Duration
+	// Args are optional structured annotations.
+	Args []Arg
+}
+
+// Tracer collects spans race-safely. The zero value is not usable;
+// call New. A nil *Tracer is the disabled tracer: every method is a
+// cheap no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+	pids  map[string]int
+	procs []string
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{pids: map[string]int{}} }
+
+// Enabled reports whether the tracer collects anything; it is the
+// standard guard before building span arguments.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// PID returns the stable process-lane id for a process name (a job
+// name, "schedule-generation", …), assigning the next free id on first
+// use. Returns 0 on a nil tracer.
+func (t *Tracer) PID(process string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.pids[process]; ok {
+		return id
+	}
+	id := len(t.procs)
+	t.pids[process] = id
+	t.procs = append(t.procs, process)
+	return id
+}
+
+// Add records one span. No-op on a nil tracer.
+func (t *Tracer) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in canonical order:
+// by simulated start, then PID, TID, category, name, duration. The
+// ordering depends only on simulated-clock data, so it is identical
+// across runs regardless of host scheduling.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Dur < b.Dur
+	})
+	return out
+}
+
+// Processes returns the process-lane names in PID order.
+func (t *Tracer) Processes() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.procs))
+	copy(out, t.procs)
+	return out
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Add(Span{Name: "x"}) // must not panic
+	if tr.Len() != 0 || tr.Spans() != nil || tr.Processes() != nil {
+		t.Error("nil tracer is not empty")
+	}
+	if got := tr.PID("job"); got != 0 {
+		t.Errorf("nil tracer PID = %d", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer output is not valid JSON: %v\n%s", err, buf.String())
+	}
+}
+
+func TestNilTracerAddAllocsFree(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Add(Span{Name: "x", Cat: "map", Start: 1, Dur: 2})
+	})
+	if allocs != 0 {
+		t.Errorf("nil tracer Add allocates %v per op", allocs)
+	}
+}
+
+func TestPIDStable(t *testing.T) {
+	tr := New()
+	a := tr.PID("job1")
+	b := tr.PID("job2")
+	if a != 0 || b != 1 {
+		t.Errorf("pids = %d, %d", a, b)
+	}
+	if tr.PID("job1") != a {
+		t.Error("PID not stable")
+	}
+	if got := tr.Processes(); len(got) != 2 || got[0] != "job1" || got[1] != "job2" {
+		t.Errorf("processes = %v", got)
+	}
+}
+
+func TestSpansCanonicalOrder(t *testing.T) {
+	tr := New()
+	tr.Add(Span{Name: "b", Cat: "reduce", Start: 10})
+	tr.Add(Span{Name: "a", Cat: "map", Start: 5})
+	tr.Add(Span{Name: "a", Cat: "map", Start: 5, TID: 1})
+	got := tr.Spans()
+	if got[0].Start != 5 || got[0].TID != 0 || got[1].TID != 1 || got[2].Name != "b" {
+		t.Errorf("spans out of canonical order: %+v", got)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	tr := New()
+	pid := tr.PID("wordcount")
+	tr.Add(Span{Name: "map 0", Cat: "map", PID: pid, TID: 2, Start: 50, Dur: 100,
+		WallStart: time.Now(), WallDur: time.Millisecond,
+		Args: []Arg{A("records", 7), A("label", "x")}})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want metadata + span", len(doc.TraceEvents))
+	}
+	meta, span := doc.TraceEvents[0], doc.TraceEvents[1]
+	if meta.Ph != "M" || meta.Name != "process_name" || meta.Args["name"] != "wordcount" {
+		t.Errorf("bad metadata event %+v", meta)
+	}
+	if span.Ph != "X" || span.TS != 50 || span.Dur != 100 || span.TID != 2 {
+		t.Errorf("bad span event %+v", span)
+	}
+	if span.Args["records"] != float64(7) {
+		t.Errorf("span args %v", span.Args)
+	}
+	// Simulated-clock export must not leak wall-clock data, or traces
+	// stop being byte-deterministic.
+	if strings.Contains(buf.String(), "WallStart") {
+		t.Error("wall-clock data leaked into sim-clock export")
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := New()
+		pid := tr.PID("job")
+		// Same spans, different insertion order and different wall times.
+		tr.Add(Span{Name: "reduce 1", Cat: "reduce", PID: pid, Start: 30, Dur: 5, WallStart: time.Now()})
+		tr.Add(Span{Name: "map 0", Cat: "map", PID: pid, Start: 0, Dur: 10, WallDur: time.Duration(time.Now().UnixNano())})
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("sim-clock export not deterministic:\n%s\n----\n%s", a.String(), b.String())
+	}
+}
+
+func TestChromeTraceWallClock(t *testing.T) {
+	tr := New()
+	base := time.Now()
+	tr.Add(Span{Name: "host", Cat: "shuffle", WallStart: base, WallDur: 2 * time.Millisecond})
+	tr.Add(Span{Name: "sim-only", Cat: "schedule", Start: 5, Dur: 1}) // no wall data: skipped
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTraceClock(&buf, ClockWall); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("events = %+v, want only the wall-clocked span", doc.TraceEvents)
+	}
+	if doc.TraceEvents[0].Name != "host" || doc.TraceEvents[0].TS != 0 || doc.TraceEvents[0].Dur != 2000 {
+		t.Errorf("wall event %+v", doc.TraceEvents[0])
+	}
+}
+
+func TestArgsJSONOrderAndFallback(t *testing.T) {
+	raw := mustArgsJSON([]Arg{A("z", 1), A("a", 2), A("bad", func() {})})
+	s := string(raw)
+	if !strings.HasPrefix(s, `{"z":1,"a":2`) {
+		t.Errorf("args not in insertion order: %s", s)
+	}
+	if !json.Valid(raw) {
+		t.Errorf("args JSON invalid: %s", s)
+	}
+}

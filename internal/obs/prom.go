@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus writes the registry's current state in the
+// Prometheus text exposition format (version 0.0.4): one # TYPE line
+// per metric family, counters/gauges as plain samples, histograms as
+// cumulative _bucket/_sum/_count series. Metric names are sanitized to
+// the Prometheus charset (invalid runes become '_'). Output is sorted
+// by name, so it is deterministic for deterministic inputs. A nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		name := PromName(c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := PromName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		name := PromName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+	return bw.Flush()
+}
+
+// PromName sanitizes an internal metric name ("job2.blocks_resolved")
+// into the Prometheus name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: integral
+// values without an exponent, specials as +Inf/-Inf/NaN.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"proger/internal/costmodel"
+	"proger/internal/obs"
+)
+
+// catSummary aggregates one span category for the run summary.
+type catSummary struct {
+	cat      string
+	count    int
+	totalDur costmodel.Units
+	minStart costmodel.Units
+	maxEnd   costmodel.Units
+}
+
+// WriteRunSummary renders a human-readable digest of a run's
+// observability data: the span taxonomy rollup (per category: span
+// count, summed simulated duration, covered window), the process
+// lanes, and the metrics snapshot. Either argument may be nil; a
+// fully nil pair writes nothing.
+func WriteRunSummary(w io.Writer, tr *obs.Tracer, reg *obs.Registry) error {
+	if tr.Enabled() {
+		if err := writeSpanSummary(w, tr); err != nil {
+			return err
+		}
+	}
+	if reg.Enabled() {
+		if err := writeMetricsSummary(w, reg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpanSummary(w io.Writer, tr *obs.Tracer) error {
+	spans := tr.Spans()
+	byCat := map[string]*catSummary{}
+	for i := range spans {
+		s := &spans[i]
+		c := byCat[s.Cat]
+		if c == nil {
+			c = &catSummary{cat: s.Cat, minStart: s.Start, maxEnd: s.Start + s.Dur}
+			byCat[s.Cat] = c
+		}
+		c.count++
+		c.totalDur += s.Dur
+		if s.Start < c.minStart {
+			c.minStart = s.Start
+		}
+		if end := s.Start + s.Dur; end > c.maxEnd {
+			c.maxEnd = end
+		}
+	}
+	cats := make([]*catSummary, 0, len(byCat))
+	for _, c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		return cats[i].minStart < cats[j].minStart ||
+			(cats[i].minStart == cats[j].minStart && cats[i].cat < cats[j].cat)
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d spans across %d processes (%s)\n",
+		len(spans), len(tr.Processes()), strings.Join(tr.Processes(), ", "))
+	for _, c := range cats {
+		fmt.Fprintf(&b, "  %-10s %6d spans  window [%.0f, %.0f]  busy %.0f units\n",
+			c.cat, c.count, c.minStart, c.maxEnd, c.totalDur)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeMetricsSummary(w io.Writer, reg *obs.Registry) error {
+	snap := reg.Snapshot()
+	var b strings.Builder
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) == 0 {
+		return nil
+	}
+	fmt.Fprintf(&b, "metrics: %d counters, %d gauges, %d histograms\n",
+		len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	widest := 0
+	for _, c := range snap.Counters {
+		if len(c.Name) > widest {
+			widest = len(c.Name)
+		}
+	}
+	for _, g := range snap.Gauges {
+		if len(g.Name) > widest {
+			widest = len(g.Name)
+		}
+	}
+	for _, c := range snap.Counters {
+		fmt.Fprintf(&b, "  %-*s %14d\n", widest, c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Fprintf(&b, "  %-*s %14.1f\n", widest, g.Name, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		fmt.Fprintf(&b, "  %s: n=%d sum=%.0f mean=%.1f\n", h.Name, h.Count, h.Sum, mean)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

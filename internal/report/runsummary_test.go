@@ -1,0 +1,51 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"proger/internal/obs"
+)
+
+func TestWriteRunSummary(t *testing.T) {
+	tr := obs.New()
+	pid := tr.PID("job")
+	tr.Add(obs.Span{Name: "map 0", Cat: "map", PID: pid, TID: 0, Start: 10, Dur: 5})
+	tr.Add(obs.Span{Name: "map 1", Cat: "map", PID: pid, TID: 1, Start: 10, Dur: 7})
+	tr.Add(obs.Span{Name: "reduce 0", Cat: "reduce", PID: pid, TID: 0, Start: 17, Dur: 3})
+
+	reg := obs.NewRegistry()
+	reg.Counter("job.records").Add(42)
+	reg.Gauge("job.end").Set(20)
+	h := reg.Histogram("job.task_cost", 1, 10, 100)
+	h.Observe(5)
+	h.Observe(7)
+
+	var b strings.Builder
+	if err := WriteRunSummary(&b, tr, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"3 spans", "job",
+		"map", "2 spans", "window [10, 17]", "busy 12 units",
+		"reduce", "busy 3 units",
+		"1 counters, 1 gauges, 1 histograms",
+		"job.records", "42",
+		"job.end", "20.0",
+		"job.task_cost: n=2 sum=12 mean=6.0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// Nil tracer and registry write nothing and do not panic.
+	var empty strings.Builder
+	if err := WriteRunSummary(&empty, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("nil summary wrote %q", empty.String())
+	}
+}

@@ -26,6 +26,20 @@ type generator struct {
 	// Trees that cannot be (further) split; excluded from overflow
 	// detection to guarantee termination.
 	unsplittable map[*blocking.Tree]bool
+
+	// Trace bookkeeping (recorded unconditionally — a handful of ints
+	// per run — and published by emitTrace only when tracing is on):
+	splitRounds int          // identify/split iterations executed
+	splitEvents []splitEvent // one per tree that shed subtrees
+	taskLoad    []costmodel.Units
+	taskSlack   []float64 // leftover weighted slack (slack partition only)
+}
+
+// splitEvent records one SPLIT-TREE decision for the trace.
+type splitEvent struct {
+	round    int
+	root     string // root block ID of the split tree
+	detached int    // subtrees detached into new trees
 }
 
 func (g *generator) buckets() int { return len(g.cfg.CostVector) }
@@ -147,6 +161,7 @@ func (g *generator) splitLoop() {
 		if len(overflowed) == 0 {
 			return
 		}
+		g.splitRounds = round + 1
 		n := g.cfg.Batch
 		if n > len(overflowed) {
 			n = len(overflowed)
@@ -161,6 +176,11 @@ func (g *generator) splitLoop() {
 				continue
 			}
 			progress = true
+			g.splitEvents = append(g.splitEvents, splitEvent{
+				round:    round,
+				root:     overflowed[i].Root.ID.String(),
+				detached: len(newTrees),
+			})
 			g.trees = append(g.trees, newTrees...)
 		}
 		if !progress {
@@ -299,6 +319,15 @@ func (g *generator) partitionBySlack() {
 			assigned[best][h] += vct[h]
 		}
 	}
+	g.taskLoad = totalLoad
+	g.taskSlack = make([]float64, g.cfg.R)
+	for r := 0; r < g.cfg.R; r++ {
+		slack := 0.0
+		for h := 0; h < g.buckets(); h++ {
+			slack += g.cfg.Weights[h] * float64(g.bucketWidth(h)-assigned[r][h])
+		}
+		g.taskSlack[r] = slack
+	}
 }
 
 // partitionLPT implements the Longest Processing Time baseline: trees
@@ -333,6 +362,7 @@ func (g *generator) partitionLPT() {
 		g.taskOf[t] = best
 		load[best] += treeCost(t)
 	}
+	g.taskLoad = load
 }
 
 // orderBlocks builds each task's block schedule: non-increasing utility

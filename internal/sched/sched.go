@@ -23,6 +23,7 @@ import (
 	"proger/internal/blocking"
 	"proger/internal/costmodel"
 	"proger/internal/estimate"
+	"proger/internal/obs"
 )
 
 // Kind selects the tree-scheduling algorithm.
@@ -72,6 +73,16 @@ type Config struct {
 	// MaxSplitRounds bounds the identify/split loop (safety valve; the
 	// loop also stops when no split makes progress).
 	MaxSplitRounds int
+	// Trace, when non-nil, receives schedule-generation spans: one
+	// summary, one per detached subtree, and one per reduce task's final
+	// plan (tree/block counts, estimated load, leftover slack). The
+	// spans are zero-duration instants at TraceBase on the simulated
+	// clock — generation's simulated cost is charged by Job 2's map
+	// tasks, not here. Nil disables at zero cost.
+	Trace *obs.Tracer
+	// TraceBase positions generation spans on the simulated clock
+	// (typically Job 1's end time).
+	TraceBase costmodel.Units
 }
 
 func (c *Config) validate() error {
@@ -301,5 +312,56 @@ func Generate(trees []*blocking.Tree, cfg Config) (*Schedule, error) {
 	g.orderBlocks()
 	g.assignDomAndSQ()
 
-	return g.schedule(), nil
+	s := g.schedule()
+	g.emitTrace(s)
+	return s, nil
+}
+
+// emitTrace publishes the generation decisions as zero-duration spans
+// at cfg.TraceBase: the split decisions of the identify/split loop and
+// each reduce task's final plan with its load and slack. Everything
+// here derives from the schedule itself, so traces are deterministic.
+func (g *generator) emitTrace(s *Schedule) {
+	tr := g.cfg.Trace
+	if tr == nil {
+		return
+	}
+	pid := tr.PID("schedule-generation")
+	at := g.cfg.TraceBase
+	tr.Add(obs.Span{
+		Cat: "schedule", Name: "generate (" + g.cfg.Kind.String() + ")",
+		PID: pid, Start: at,
+		Args: []obs.Arg{
+			obs.A("trees", len(s.Trees)),
+			obs.A("blocks", s.NumBlocks()),
+			obs.A("r", s.R),
+			obs.A("split_rounds", g.splitRounds),
+			obs.A("splits", len(g.splitEvents)),
+		},
+	})
+	for _, ev := range g.splitEvents {
+		tr.Add(obs.Span{
+			Cat: "schedule", Name: "split " + ev.root,
+			PID: pid, Start: at,
+			Args: []obs.Arg{obs.A("round", ev.round), obs.A("detached", ev.detached)},
+		})
+	}
+	treesOf := make([]int, s.R)
+	for _, task := range s.TaskOfTree {
+		treesOf[task]++
+	}
+	for r := 0; r < s.R; r++ {
+		args := []obs.Arg{
+			obs.A("trees", treesOf[r]),
+			obs.A("blocks", len(s.TaskBlocks[r])),
+			obs.A("est_cost", float64(g.taskLoad[r])),
+		}
+		if g.taskSlack != nil {
+			args = append(args, obs.A("slack", g.taskSlack[r]))
+		}
+		tr.Add(obs.Span{
+			Cat: "schedule", Name: fmt.Sprintf("plan task %d", r),
+			PID: pid, TID: r, Start: at, Args: args,
+		})
+	}
 }

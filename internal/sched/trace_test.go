@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"proger/internal/obs"
+)
+
+func TestGenerateEmitsTrace(t *testing.T) {
+	trees, est := buildForest(t, 600, 7)
+	cfg := defaultConfig(trees, est, 4, Ours)
+	cfg.Trace = obs.New()
+	cfg.TraceBase = 1234
+	s, err := Generate(trees, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := cfg.Trace.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no schedule-generation spans")
+	}
+	var summary, plans int
+	for _, sp := range spans {
+		if sp.Cat != "schedule" {
+			t.Errorf("span %q has category %q, want schedule", sp.Name, sp.Cat)
+		}
+		// Generation spans are instants pinned at TraceBase: the real
+		// generation cost is charged by Job-2 map tasks.
+		if sp.Start != cfg.TraceBase || sp.Dur != 0 {
+			t.Errorf("span %q at [%v, +%v], want instant at %v", sp.Name, sp.Start, sp.Dur, cfg.TraceBase)
+		}
+		switch {
+		case strings.HasPrefix(sp.Name, "generate"):
+			summary++
+		case strings.HasPrefix(sp.Name, "plan task"):
+			plans++
+			// The Ours partitioner annotates per-task slack.
+			var hasSlack, hasCost bool
+			for _, a := range sp.Args {
+				if a.Key == "slack" {
+					hasSlack = true
+				}
+				if a.Key == "est_cost" {
+					hasCost = true
+				}
+			}
+			if !hasSlack || !hasCost {
+				t.Errorf("span %q missing slack/est_cost args: %v", sp.Name, sp.Args)
+			}
+		}
+	}
+	if summary != 1 {
+		t.Errorf("got %d generate summary spans, want 1", summary)
+	}
+	if plans != s.R {
+		t.Errorf("got %d plan-task spans, want %d (one per reduce task)", plans, s.R)
+	}
+	if procs := cfg.Trace.Processes(); len(procs) != 1 || procs[0] != "schedule-generation" {
+		t.Errorf("processes = %v, want [schedule-generation]", procs)
+	}
+}
+
+func TestGenerateTraceDeterminism(t *testing.T) {
+	run := func() []byte {
+		trees, est := buildForest(t, 600, 7)
+		cfg := defaultConfig(trees, est, 4, Ours)
+		cfg.Trace = obs.New()
+		cfg.TraceBase = 500
+		if _, err := Generate(trees, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := cfg.Trace.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("schedule-generation trace not deterministic across runs")
+	}
+}
+
+func TestGenerateNilTraceNoSpans(t *testing.T) {
+	trees, est := buildForest(t, 300, 3)
+	cfg := defaultConfig(trees, est, 2, Ours)
+	if _, err := Generate(trees, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing to assert on a nil tracer beyond not panicking; run LPT
+	// too, which records no slack.
+	cfgLPT := defaultConfig(trees, est, 2, LPT)
+	cfgLPT.Trace = obs.New()
+	if _, err := Generate(trees, cfgLPT); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range cfgLPT.Trace.Spans() {
+		for _, a := range sp.Args {
+			if a.Key == "slack" {
+				t.Errorf("LPT span %q carries slack arg", sp.Name)
+			}
+		}
+	}
+}

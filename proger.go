@@ -54,6 +54,7 @@ import (
 	"proger/internal/estimate"
 	"proger/internal/match"
 	"proger/internal/mechanism"
+	"proger/internal/obs"
 	"proger/internal/progress"
 	"proger/internal/sched"
 )
@@ -234,6 +235,26 @@ func Resolve(ds *Dataset, opts Options) (*Result, error) { return core.Resolve(d
 func ResolveBasic(ds *Dataset, opts BasicOptions) (*Result, error) {
 	return core.ResolveBasic(ds, opts)
 }
+
+// ---- Observability ----
+
+// Tracer collects timeline spans from a pipeline run. Attach one via
+// Options.Trace (or BasicOptions.Trace) and export it afterwards with
+// WriteChromeTrace — the JSON loads in chrome://tracing or Perfetto.
+// Simulated-clock traces are deterministic: identical runs produce
+// byte-identical JSON regardless of host concurrency.
+type Tracer = obs.Tracer
+
+// MetricsRegistry collects counters, gauges, and histograms from a
+// pipeline run. Attach one via Options.Metrics and export it with
+// WritePrometheus (text exposition format).
+type MetricsRegistry = obs.Registry
+
+// NewTracer creates an enabled span collector.
+var NewTracer = obs.New
+
+// NewMetricsRegistry creates an enabled metrics registry.
+var NewMetricsRegistry = obs.NewRegistry
 
 // ---- Evaluation ----
 

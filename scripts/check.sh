@@ -1,7 +1,8 @@
 #!/bin/sh
 # The repo's standard verification gate, equivalent to `make check`:
-# gofmt cleanliness, go vet, full build, and the race-enabled test
-# suite. Run from the repo root.
+# gofmt cleanliness, go vet (plus staticcheck when installed), a
+# counter-key lint, full build, and the race-enabled test suite. Run
+# from the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,6 +17,25 @@ fi
 
 echo "== go vet =="
 go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck =="
+    staticcheck ./...
+else
+    echo "== staticcheck == (skipped: not installed)"
+fi
+
+# Counter keys must be the exported constants (mapreduce.Counter*,
+# blocking.CounterJob1*, core.CounterJob2*/CounterBasic*), never inline
+# string literals — tests excepted, since they exercise arbitrary keys.
+echo "== counter-key lint =="
+offenders="$(grep -rn --include='*.go' -E '\.Inc\("|Counters\.Get\("' \
+    internal cmd examples | grep -v '_test\.go:' || true)"
+if [ -n "$offenders" ]; then
+    echo "string-literal counter keys (use the exported Counter* constants):"
+    echo "$offenders"
+    exit 1
+fi
 
 echo "== go build =="
 go build ./...

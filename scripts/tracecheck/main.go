@@ -1,0 +1,119 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by -trace: the file must parse, every event must carry a valid phase
+// and non-negative timestamps, and the trace must contain spans for
+// each pipeline stage (map, reduce, shuffle, schedule, resolve). Used
+// by `make trace-demo` as a CI-grade sanity check.
+//
+// Usage: tracecheck FILE [required-cat ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE [required-cat ...]")
+		os.Exit(2)
+	}
+	required := []string{"map", "reduce", "shuffle", "schedule", "resolve"}
+	if len(os.Args) > 2 {
+		required = os.Args[2:]
+	}
+	if err := check(os.Args[1], required); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func check(path string, required []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tf); err != nil {
+		return fmt.Errorf("%s: invalid trace JSON: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no traceEvents", path)
+	}
+
+	cats := map[string]int{}
+	procs := map[int]string{}
+	spans := 0
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" {
+				return fmt.Errorf("event %d: unexpected metadata %q", i, ev.Name)
+			}
+			name, _ := ev.Args["name"].(string)
+			if name == "" {
+				return fmt.Errorf("event %d: process_name without args.name", i)
+			}
+			procs[ev.PID] = name
+		case "X":
+			if ev.Name == "" {
+				return fmt.Errorf("event %d: span without a name", i)
+			}
+			if ev.Cat == "" {
+				return fmt.Errorf("event %d (%q): span without a category", i, ev.Name)
+			}
+			if ev.TS < 0 || ev.Dur < 0 {
+				return fmt.Errorf("event %d (%q): negative ts/dur (%g, %g)", i, ev.Name, ev.TS, ev.Dur)
+			}
+			if _, ok := procs[ev.PID]; !ok {
+				return fmt.Errorf("event %d (%q): pid %d has no process_name metadata", i, ev.Name, ev.PID)
+			}
+			cats[ev.Cat]++
+			spans++
+		default:
+			return fmt.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+
+	var missing []string
+	for _, cat := range required {
+		if cats[cat] == 0 {
+			missing = append(missing, cat)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s: missing span categories %v (have %v)", path, missing, catNames(cats))
+	}
+	fmt.Printf("tracecheck: %s ok — %d spans, %d processes, categories %v\n",
+		path, spans, len(procs), catNames(cats))
+	return nil
+}
+
+func catNames(cats map[string]int) []string {
+	names := make([]string, 0, len(cats))
+	for c := range cats {
+		names = append(names, fmt.Sprintf("%s:%d", c, cats[c]))
+	}
+	sort.Strings(names)
+	return names
+}
