@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fmt bench trace-demo
+.PHONY: check vet build test race fmt bench trace-demo chaos
 
 check: fmt vet build race
 
@@ -29,6 +29,11 @@ fmt:
 # bench regenerates the numbers recorded in BENCH_*.json.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkShuffle|BenchmarkLevenshtein$$|BenchmarkJaccardQ2|BenchmarkTokenCosine|BenchmarkJob2Map' -benchmem ./...
+
+# chaos runs the pipeline under deterministic fault injection and
+# asserts the output is byte-identical to the fault-free baseline.
+chaos:
+	./scripts/chaos.sh
 
 # trace-demo runs the quickstart example with tracing + metrics enabled
 # and sanity-checks the exported Chrome trace JSON with tracecheck.

@@ -67,6 +67,9 @@ func main() {
 	segmentsDir := flag.String("segments", "", "write α-interval incremental result files to this directory")
 	alpha := flag.Float64("alpha", 500, "segment interval in cost units for -segments")
 	curvePoints := flag.Int("curve", 12, "recall-curve points to print when -truth is given")
+	faultRate := flag.Float64("fault-rate", 0, "inject simulated task faults at this per-attempt probability (0 disables; results are unaffected)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+	maxRetries := flag.Int("max-retries", 3, "per-task retry budget when -fault-rate > 0")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path (load in Perfetto / chrome://tracing)")
 	metricsPath := flag.String("metrics-out", "", "write run metrics in Prometheus text format to this path")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
@@ -84,6 +87,15 @@ func main() {
 	}
 	if *metricsPath != "" || *showReport {
 		metrics = proger.NewMetricsRegistry()
+	}
+
+	var (
+		injector proger.FaultInjector
+		retry    proger.RetryPolicy
+	)
+	if *faultRate > 0 {
+		injector = proger.NewSeededFaults(*faultSeed, *faultRate)
+		retry = proger.RetryPolicy{MaxRetries: *maxRetries, Speculation: true}
 	}
 
 	ds, gt := loadDataset(*input, *generate, *n, *seed, *truthPath)
@@ -104,6 +116,8 @@ func main() {
 			PopcornThreshold: *popcorn,
 			Machines:         *machines,
 			SlotsPerMachine:  *slots,
+			Faults:           injector,
+			Retry:            retry,
 			Trace:            tracer,
 			Metrics:          metrics,
 		})
@@ -116,6 +130,8 @@ func main() {
 			Machines:        *machines,
 			SlotsPerMachine: *slots,
 			Scheduler:       pickScheduler(*scheduler),
+			Faults:          injector,
+			Retry:           retry,
 			Trace:           tracer,
 			Metrics:         metrics,
 		}

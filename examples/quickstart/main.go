@@ -17,6 +17,9 @@ import (
 func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
 	metricsPath := flag.String("metrics-out", "", "write run metrics in Prometheus text format to this path")
+	faultRate := flag.Float64("fault-rate", 0, "inject simulated task faults at this per-attempt probability (0 disables; results are unaffected)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+	maxRetries := flag.Int("max-retries", 3, "per-task retry budget when -fault-rate > 0")
 	flag.Parse()
 
 	var (
@@ -52,7 +55,7 @@ func main() {
 		proger.Rule{Attr: 1, Weight: 0.2, Kind: proger.EditDistance},
 	)
 
-	res, err := proger.Resolve(ds, proger.Options{
+	opts := proger.Options{
 		Families:        families,
 		Matcher:         matcher,
 		Mechanism:       proger.SN, // Sorted Neighbor with the [5] hint
@@ -62,7 +65,15 @@ func main() {
 		Scheduler:       proger.SchedulerOurs,
 		Trace:           tracer,
 		Metrics:         metrics,
-	})
+	}
+	// Chaos knob: deterministic fault injection. The attempt runtime
+	// retries, times out, and speculates around injected faults — the
+	// output below is identical with or without it.
+	if *faultRate > 0 {
+		opts.Faults = proger.NewSeededFaults(*faultSeed, *faultRate)
+		opts.Retry = proger.RetryPolicy{MaxRetries: *maxRetries, Speculation: true}
+	}
+	res, err := proger.Resolve(ds, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -147,6 +147,8 @@ func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
 		Cluster:        cluster,
 		Cost:           opts.Cost,
 		Workers:        opts.Workers,
+		Faults:         opts.Faults,
+		Retry:          opts.Retry,
 		Trace:          opts.Trace,
 		Metrics:        opts.Metrics,
 	}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"proger/internal/datagen"
+	"proger/internal/estimate"
+	"proger/internal/faults"
+	"proger/internal/mapreduce"
+	"proger/internal/mechanism"
+	"proger/internal/sched"
+)
+
+// TestResolveImmuneToFaults runs the full two-job pipeline under fault
+// injection and asserts the end-to-end Result — duplicates, timestamped
+// events, total time — is identical to the fault-free run, at both
+// serial and concurrent host execution.
+func TestResolveImmuneToFaults(t *testing.T) {
+	ds, _ := datagen.People()
+	opts := Options{
+		Families:        peopleFamilies(),
+		Matcher:         peopleMatcher(),
+		Mechanism:       mechanism.SN{},
+		Policy:          estimate.CiteSeerXPolicy(),
+		Machines:        2,
+		SlotsPerMachine: 2,
+		Scheduler:       sched.Ours,
+	}
+	baseline, err := Resolve(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0.1, 0.5} {
+		for _, workers := range []int{1, 8} {
+			chaos := opts
+			chaos.Workers = workers
+			chaos.Faults = faults.NewSeeded(11, rate)
+			chaos.Retry = mapreduce.RetryPolicy{MaxRetries: 3, Speculation: true}
+			res, err := Resolve(ds, chaos)
+			if err != nil {
+				t.Fatalf("rate=%v workers=%d: %v", rate, workers, err)
+			}
+			if !reflect.DeepEqual(res.Duplicates, baseline.Duplicates) {
+				t.Errorf("rate=%v workers=%d: duplicates diverged", rate, workers)
+			}
+			if !reflect.DeepEqual(res.Events, baseline.Events) {
+				t.Errorf("rate=%v workers=%d: event timeline diverged", rate, workers)
+			}
+			if res.TotalTime != baseline.TotalTime {
+				t.Errorf("rate=%v workers=%d: total time %v, want %v",
+					rate, workers, res.TotalTime, baseline.TotalTime)
+			}
+		}
+	}
+}
+
+// TestResolveBasicImmuneToFaults covers the Basic baseline's single job.
+func TestResolveBasicImmuneToFaults(t *testing.T) {
+	ds, _ := datagen.People()
+	opts := BasicOptions{
+		Families:        peopleFamilies(),
+		Matcher:         peopleMatcher(),
+		Mechanism:       mechanism.SN{},
+		Window:          5,
+		Machines:        2,
+		SlotsPerMachine: 2,
+	}
+	baseline, err := ResolveBasic(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := opts
+	chaos.Faults = faults.NewSeeded(5, 0.5)
+	chaos.Retry = mapreduce.RetryPolicy{MaxRetries: 3, Speculation: true}
+	res, err := ResolveBasic(ds, chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Events, baseline.Events) {
+		t.Error("fault injection perturbed the Basic baseline's events")
+	}
+	if res.TotalTime != baseline.TotalTime {
+		t.Errorf("total time %v, want %v", res.TotalTime, baseline.TotalTime)
+	}
+}

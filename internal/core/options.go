@@ -12,6 +12,8 @@ import (
 	"proger/internal/blocking"
 	"proger/internal/costmodel"
 	"proger/internal/estimate"
+	"proger/internal/faults"
+	"proger/internal/mapreduce"
 	"proger/internal/match"
 	"proger/internal/mechanism"
 	"proger/internal/obs"
@@ -53,6 +55,16 @@ type Options struct {
 	// Workers caps host-machine concurrency (0 = GOMAXPROCS); never
 	// affects results or simulated timing.
 	Workers int
+	// Faults, when non-nil, injects deterministic simulated task
+	// failures into both jobs' attempt runtimes (chaos testing).
+	// Injected faults are retried, timed out, or speculated around and
+	// can never alter the Result — like Workers, a pure host/chaos
+	// knob.
+	Faults faults.Injector
+	// Retry tunes the attempt runtime (retries, backoff, timeouts,
+	// speculation); the zero value means engine defaults when Faults is
+	// set, disabled otherwise.
+	Retry mapreduce.RetryPolicy
 	// DisableRedundancyElimination turns off the §V SHOULD-RESOLVE
 	// check, so shared pairs are resolved in every tree containing them.
 	// Ablation knob: quantifies what redundancy-free resolution buys.
@@ -130,6 +142,9 @@ type BasicOptions struct {
 	SlotsPerMachine int
 	Cost            costmodel.Model
 	Workers         int
+	// Faults and Retry mirror Options.Faults / Options.Retry.
+	Faults faults.Injector
+	Retry  mapreduce.RetryPolicy
 	// Trace and Metrics mirror Options.Trace / Options.Metrics.
 	Trace   *obs.Tracer
 	Metrics *obs.Registry

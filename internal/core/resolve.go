@@ -68,6 +68,8 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 	// ---- Job 1: progressive blocking + statistics ----
 	job1Cfg := blocking.Job1Config(opts.Families, cluster, opts.Cost)
 	job1Cfg.Workers = opts.Workers
+	job1Cfg.Faults = opts.Faults
+	job1Cfg.Retry = opts.Retry
 	job1Cfg.Trace = opts.Trace
 	job1Cfg.Metrics = opts.Metrics
 	job1Res, err := mapreduce.Run(job1Cfg, blocking.MakeJob1Input(ds), 0)
@@ -142,6 +144,8 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 		Cluster:        cluster,
 		Cost:           opts.Cost,
 		Workers:        opts.Workers,
+		Faults:         opts.Faults,
+		Retry:          opts.Retry,
 		Trace:          opts.Trace,
 		Metrics:        opts.Metrics,
 	}

@@ -1,0 +1,437 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"slices"
+
+	"proger/internal/costmodel"
+	"proger/internal/faults"
+	"proger/internal/obs"
+)
+
+// RetryPolicy configures the attempt runtime: how often a failed task
+// attempt is retried, how retries back off, when a hung or straggling
+// attempt is killed, and whether stragglers get speculative duplicate
+// attempts. All durations are simulated cost units, so the attempt
+// timeline — like everything else in the engine — is deterministic.
+//
+// The zero value leaves the attempt runtime disabled unless
+// Config.Faults is set; with an injector present (or any field set),
+// unset fields take the documented defaults.
+type RetryPolicy struct {
+	// MaxRetries bounds re-executions after the first attempt (so a
+	// task runs at most MaxRetries+1 times). 0 means the default (3).
+	MaxRetries int
+	// BackoffBase is the simulated wait before the first retry; each
+	// further retry doubles it (capped at 32×). 0 means 2×TaskStartup.
+	BackoffBase costmodel.Units
+	// TimeoutFactor sets the per-attempt timeout at TimeoutFactor × the
+	// attempt's clean cost (floored at TaskStartup): a hung attempt is
+	// killed and retried once the timeout elapses on the attempt
+	// timeline. 0 means the default (8).
+	TimeoutFactor float64
+	// Speculation enables duplicate attempts for stragglers: once a
+	// phase's tasks are in, any committed attempt that ran longer than
+	// the SpeculationQuantile of the phase's clean task costs gets a
+	// backup attempt, and whichever finishes first on the attempt
+	// timeline commits (the loser is killed).
+	Speculation bool
+	// SpeculationQuantile is the straggler threshold quantile in (0,1).
+	// 0 means the default (0.95).
+	SpeculationQuantile float64
+}
+
+// Attempt-runtime defaults and tuning constants.
+const (
+	defaultMaxRetries          = 3
+	defaultBackoffBase         = costmodel.Units(100)
+	defaultTimeoutFactor       = 8
+	defaultSlowFactor          = 4
+	defaultSpeculationQuantile = 0.95
+	// crashFraction is how far through its work a crash-faulted attempt
+	// gets before dying, as a fraction of its clean cost.
+	crashFraction = 0.5
+	// maxBackoffDoublings caps the exponential backoff at 32×base.
+	maxBackoffDoublings = 5
+)
+
+// Attempt outcomes, as recorded in spans and error messages.
+const (
+	outcomeOK      = "ok"
+	outcomeSlow    = "slow"
+	outcomeCrash   = "crash"
+	outcomeTimeout = "timeout"
+	outcomeError   = "error"
+)
+
+// attemptRecord is one task attempt on the shadow attempt timeline.
+// Start/Dur are task-local: cost units since the task's first attempt
+// began on its slot.
+type attemptRecord struct {
+	Attempt     int
+	Outcome     string
+	Start, Dur  costmodel.Units
+	Speculative bool
+	// Killed marks an attempt whose work completed but was discarded
+	// because another attempt committed first (speculation losers).
+	Killed bool
+}
+
+// taskAttempts is one task's full attempt history.
+type taskAttempts struct {
+	records []attemptRecord
+	// committed indexes the winning record (-1 while none succeeded);
+	// commitStart/commitDur place it on the attempt timeline.
+	committed              int
+	commitStart, commitDur costmodel.Units
+}
+
+// faultRuntime is the per-run attempt/fault state: the injector, the
+// defaulted policy, and the attempt history of every phase. It exists
+// only when Config enables fault tolerance; a nil *faultRuntime means
+// the engine runs each task exactly once, as before.
+//
+// The runtime is a shadow simulation layered over the deterministic
+// task functions: every committed output and clean cost comes from a
+// real execution of runMapTask/shuffleForTask/runReduceTask, so
+// injected faults can delay, kill, and duplicate attempts at will
+// without ever being able to perturb Result.
+type faultRuntime struct {
+	injector faults.Injector
+	policy   RetryPolicy
+	startup  costmodel.Units
+	// phases holds per-phase attempt histories, indexed by task. The
+	// slice for a phase is allocated before its worker pool starts and
+	// each worker writes only its own task index, so no locking is
+	// needed.
+	phases map[faults.Phase][]*taskAttempts
+}
+
+// newFaultRuntime builds the attempt runtime for cfg, or nil when the
+// config leaves fault tolerance disabled. Call after cfg.Cost has been
+// defaulted.
+func newFaultRuntime(cfg *Config) *faultRuntime {
+	if cfg.Faults == nil && cfg.Retry == (RetryPolicy{}) {
+		return nil
+	}
+	p := cfg.Retry
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = defaultMaxRetries
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 2 * cfg.Cost.TaskStartup
+		if p.BackoffBase <= 0 {
+			p.BackoffBase = defaultBackoffBase
+		}
+	}
+	if p.TimeoutFactor <= 0 {
+		p.TimeoutFactor = defaultTimeoutFactor
+	}
+	if p.SpeculationQuantile <= 0 || p.SpeculationQuantile >= 1 {
+		p.SpeculationQuantile = defaultSpeculationQuantile
+	}
+	return &faultRuntime{
+		injector: cfg.Faults,
+		policy:   p,
+		startup:  cfg.Cost.TaskStartup,
+		phases:   map[faults.Phase][]*taskAttempts{},
+	}
+}
+
+func (fr *faultRuntime) decide(phase faults.Phase, task, attempt int) faults.Fault {
+	if fr.injector == nil {
+		return faults.Fault{}
+	}
+	return fr.injector.Decide(phase, task, attempt)
+}
+
+// backoff returns the simulated wait after failed attempt a:
+// BackoffBase doubling per retry, capped at 32×.
+func (fr *faultRuntime) backoff(attempt int) costmodel.Units {
+	b := fr.policy.BackoffBase
+	for i := 1; i < attempt && i <= maxBackoffDoublings; i++ {
+		b *= 2
+	}
+	return b
+}
+
+// timeout returns the attempt timeout for a task whose clean cost is
+// known: TimeoutFactor × max(clean, TaskStartup, 1).
+func (fr *faultRuntime) timeout(clean costmodel.Units) costmodel.Units {
+	floor := clean
+	if fr.startup > floor {
+		floor = fr.startup
+	}
+	if floor <= 0 {
+		floor = 1
+	}
+	return fr.policy.TimeoutFactor * floor
+}
+
+func (fr *faultRuntime) beginPhase(phase faults.Phase, n int) []*taskAttempts {
+	s := make([]*taskAttempts, n)
+	fr.phases[phase] = s
+	return s
+}
+
+// runTaskAttempts runs one task's bounded retry ladder: each attempt
+// really re-executes the (deterministic) task function, then the
+// injector decides its fate. Crashed and hung attempts discard their
+// output and retry after exponential backoff; slow attempts commit
+// with an inflated duration unless they straggle past the attempt
+// timeout. A panicking attempt is a failed attempt, not a dead job.
+// Exhausting the ladder surfaces the full per-attempt history as a
+// joined error.
+func runTaskAttempts[T any](fr *faultRuntime, phase faults.Phase, task int,
+	exec func() (T, costmodel.Units, error)) (T, costmodel.Units, *taskAttempts, error) {
+	var zero T
+	ta := &taskAttempts{committed: -1}
+	execSafe := func() (out T, cost costmodel.Units, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				out, cost, err = zero, 0, fmt.Errorf("attempt panicked: %v", r)
+			}
+		}()
+		return exec()
+	}
+	now := costmodel.Units(0)
+	maxAttempts := fr.policy.MaxRetries + 1
+	var attemptErrs []error
+	for a := 1; a <= maxAttempts; a++ {
+		f := fr.decide(phase, task, a)
+		out, cost, err := execSafe()
+		switch {
+		case err != nil:
+			ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeError, Start: now, Dur: cost})
+			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", a, err))
+			now += cost + fr.backoff(a)
+		case f.Kind == faults.Crash:
+			d := cost * crashFraction
+			ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeCrash, Start: now, Dur: d})
+			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: injected crash", a))
+			now += d + fr.backoff(a)
+		case f.Kind == faults.Hang:
+			d := fr.timeout(cost)
+			ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeTimeout, Start: now, Dur: d})
+			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: hung, killed at timeout %v", a, d))
+			now += d + fr.backoff(a)
+		default:
+			dur, outcome := cost, outcomeOK
+			if f.Kind == faults.Slow {
+				factor := f.Factor
+				if factor <= 1 {
+					factor = defaultSlowFactor
+				}
+				dur, outcome = cost*factor, outcomeSlow
+			}
+			if to := fr.timeout(cost); dur > to {
+				// Slowed past the attempt timeout: killed like a hang.
+				ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeTimeout, Start: now, Dur: to})
+				attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: straggling, killed at timeout %v", a, to))
+				now += to + fr.backoff(a)
+				continue
+			}
+			ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcome, Start: now, Dur: dur})
+			ta.committed = len(ta.records) - 1
+			ta.commitStart, ta.commitDur = now, dur
+			return out, cost, ta, nil
+		}
+	}
+	return zero, 0, ta, fmt.Errorf("mapreduce: %s task %d failed after %d attempts: %w",
+		phase, task, maxAttempts, errors.Join(attemptErrs...))
+}
+
+// runPhase executes one engine phase of n tasks on the worker pool.
+// With fr nil every task runs exactly once and runPool aggregates any
+// failures; with the attempt runtime active each task runs its retry
+// ladder and stragglers get a speculative pass. Either way the
+// committed outputs and clean costs — returned indexed by task — are
+// byte-identical to a fault-free run, because commits only ever carry
+// what the deterministic task function produced.
+func runPhase[T any](fr *faultRuntime, phase faults.Phase, workers, n int,
+	exec func(i int) (T, costmodel.Units, error)) ([]T, []costmodel.Units, error) {
+	outs := make([]T, n)
+	costs := make([]costmodel.Units, n)
+	if fr == nil {
+		err := runPool(workers, n, func(i int) error {
+			out, cost, err := exec(i)
+			if err != nil {
+				return err
+			}
+			outs[i], costs[i] = out, cost
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return outs, costs, nil
+	}
+	attempts := fr.beginPhase(phase, n)
+	err := runPool(workers, n, func(i int) error {
+		out, cost, ta, err := runTaskAttempts(fr, phase, i, func() (T, costmodel.Units, error) {
+			return exec(i)
+		})
+		attempts[i] = ta
+		if err != nil {
+			return err
+		}
+		outs[i], costs[i] = out, cost
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if fr.policy.Speculation {
+		if err := speculatePhase(fr, phase, workers, outs, costs, exec); err != nil {
+			return nil, nil, err
+		}
+	}
+	return outs, costs, nil
+}
+
+// speculatePhase runs the straggler pass: any task whose committed
+// attempt ran longer on the attempt timeline than the phase's
+// SpeculationQuantile of clean task costs (the same per-task cost
+// distribution the engine feeds obs's mr_task_cost_units histogram)
+// gets a duplicate attempt, launched the moment the straggler crossed
+// the threshold. First success wins the commit; the loser is killed.
+// Deterministic task functions make both attempts byte-identical,
+// which is verified here — speculation doubles as an engine
+// self-check.
+func speculatePhase[T any](fr *faultRuntime, phase faults.Phase, workers int,
+	outs []T, costs []costmodel.Units, exec func(i int) (T, costmodel.Units, error)) error {
+	n := len(outs)
+	if n < 2 {
+		return nil
+	}
+	thr := quantile(costs, fr.policy.SpeculationQuantile)
+	if thr <= 0 {
+		return nil
+	}
+	attempts := fr.phases[phase]
+	specIdx := fr.policy.MaxRetries + 2 // first attempt index past the retry ladder
+	return runPool(workers, n, func(i int) error {
+		ta := attempts[i]
+		if ta == nil || ta.committed < 0 || ta.commitDur <= thr {
+			return nil
+		}
+		f := fr.decide(phase, i, specIdx)
+		out, cost, err := exec(i)
+		launch := ta.commitStart + thr // straggling detected thr units in
+		rec := attemptRecord{Attempt: specIdx, Speculative: true, Start: launch}
+		switch {
+		case err != nil:
+			// Unreachable for deterministic tasks (the committed attempt
+			// succeeded); recorded for completeness.
+			rec.Outcome, rec.Dur = outcomeError, cost
+		case f.Kind == faults.Crash:
+			rec.Outcome, rec.Dur = outcomeCrash, cost*crashFraction
+		case f.Kind == faults.Hang:
+			rec.Outcome, rec.Dur = outcomeTimeout, fr.timeout(cost)
+		default:
+			rec.Outcome, rec.Dur = outcomeOK, cost
+			if f.Kind == faults.Slow {
+				factor := f.Factor
+				if factor <= 1 {
+					factor = defaultSlowFactor
+				}
+				rec.Outcome, rec.Dur = outcomeSlow, cost*factor
+			}
+			if launch+rec.Dur < ta.commitStart+ta.commitDur {
+				// The backup finishes first: it commits, the original is
+				// killed and its output discarded.
+				if cost != costs[i] || !reflect.DeepEqual(out, outs[i]) {
+					return fmt.Errorf("mapreduce: %s task %d speculative attempt diverged from committed attempt", phase, i)
+				}
+				ta.records[ta.committed].Killed = true
+				outs[i] = out
+				ta.records = append(ta.records, rec)
+				ta.committed = len(ta.records) - 1
+				ta.commitStart, ta.commitDur = launch, rec.Dur
+				return nil
+			}
+			rec.Killed = true // lost the race; the original commit stands
+		}
+		ta.records = append(ta.records, rec)
+		return nil
+	})
+}
+
+// quantile returns the nearest-rank q-th quantile of xs.
+func quantile(xs []costmodel.Units, q float64) costmodel.Units {
+	sorted := slices.Clone(xs)
+	slices.Sort(sorted)
+	idx := int(math.Ceil(q * float64(len(sorted)-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// attemptStats aggregates the run's attempt counters.
+type attemptStats struct {
+	started, retried, speculated, killed int64
+}
+
+func (fr *faultRuntime) stats() attemptStats {
+	var st attemptStats
+	for _, tasks := range fr.phases {
+		for _, ta := range tasks {
+			if ta == nil {
+				continue
+			}
+			for _, r := range ta.records {
+				st.started++
+				if r.Speculative {
+					st.speculated++
+				} else if r.Attempt > 1 {
+					st.retried++
+				}
+				if r.Killed {
+					st.killed++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// emitAttemptSpans publishes one span per recorded attempt, rebased
+// from the task-local attempt timeline onto the task's scheduled slot
+// (base returns each task's global start and lane). Attempts may
+// extend past the committed task's scheduled extent — the shadow
+// timeline shows what fault recovery cost, while Result keeps the
+// fault-free schedule.
+func (fr *faultRuntime) emitAttemptSpans(tr *obs.Tracer, pid int, phase faults.Phase,
+	base func(task int) (costmodel.Units, int)) {
+	for task, ta := range fr.phases[phase] {
+		if ta == nil {
+			continue
+		}
+		start, tid := base(task)
+		for _, r := range ta.records {
+			outcome := r.Outcome
+			if r.Killed {
+				outcome += "-killed"
+			}
+			tr.Add(obs.Span{
+				Cat: "attempt", Name: fmt.Sprintf("attempt %s %d/%d", phase, task, r.Attempt),
+				PID: pid, TID: tid,
+				Start: start + r.Start, Dur: r.Dur,
+				Args: []obs.Arg{
+					obs.A("phase", string(phase)),
+					obs.A("task", task),
+					obs.A("attempt", r.Attempt),
+					obs.A("outcome", outcome),
+					obs.A("speculative", r.Speculative),
+				},
+			})
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package mapreduce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"proger/internal/faults"
+	"proger/internal/obs"
+)
+
+// counterValues extracts the registry's counters by name.
+func counterValues(m *obs.Registry) map[string]int64 {
+	vals := map[string]int64{}
+	for _, c := range m.Snapshot().Counters {
+		vals[c.Name] = c.Value
+	}
+	return vals
+}
+
+func TestResultImmuneToFaults(t *testing.T) {
+	// The acceptance bar of the fault runtime: for any seed and rate,
+	// at any host concurrency, Result (output, timestamps, counters,
+	// schedule) is byte-identical to the fault-free run.
+	baseline, err := Run(wordCountConfig(1), wordCountInput(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0, 0.1, 0.5} {
+		for _, workers := range []int{1, 8} {
+			for _, seed := range []int64{1, 42} {
+				cfg := wordCountConfig(workers)
+				cfg.Faults = faults.NewSeeded(seed, rate)
+				cfg.Retry = RetryPolicy{MaxRetries: 3, Speculation: true}
+				res, err := Run(cfg, wordCountInput(), 0)
+				if err != nil {
+					t.Fatalf("rate=%v workers=%d seed=%d: %v", rate, workers, seed, err)
+				}
+				if !reflect.DeepEqual(res, baseline) {
+					t.Errorf("rate=%v workers=%d seed=%d: Result diverged from fault-free baseline",
+						rate, workers, seed)
+				}
+			}
+		}
+	}
+}
+
+func TestRetryExhaustionSurfacesJoinedError(t *testing.T) {
+	// A task whose crash budget exceeds MaxRetries must fail the job
+	// with an error that names the task and recounts every attempt.
+	script := faults.Script{}
+	for a := 1; a <= 3; a++ {
+		script[faults.ScriptKey{Phase: faults.Map, Task: 1, Attempt: a}] = faults.Fault{Kind: faults.Crash}
+	}
+	cfg := wordCountConfig(4)
+	cfg.Faults = script
+	cfg.Retry = RetryPolicy{MaxRetries: 2}
+	_, err := Run(cfg, wordCountInput(), 0)
+	if err == nil {
+		t.Fatal("want retry-exhaustion error, got nil")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"map task 1 failed after 3 attempts",
+		"attempt 1: injected crash",
+		"attempt 2: injected crash",
+		"attempt 3: injected crash",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestSeededExhaustionCompletesWithError(t *testing.T) {
+	// Uncapped budget + certain faults: every attempt of every task
+	// fails (SlowFactor 100 pushes even slow attempts past the
+	// timeout), so the run must terminate — not hang — with a joined,
+	// per-attempt-attributable error.
+	cfg := wordCountConfig(2)
+	cfg.Faults = &faults.Seeded{Seed: 7, Rate: 1, Budget: -1, SlowFactor: 100}
+	cfg.Retry = RetryPolicy{MaxRetries: 3}
+	_, err := Run(cfg, wordCountInput(), 0)
+	if err == nil {
+		t.Fatal("want exhaustion error, got nil")
+	}
+	if !strings.Contains(err.Error(), "failed after 4 attempts") {
+		t.Errorf("error %q should recount all 4 attempts", err)
+	}
+}
+
+func TestHangConvertsToTimeoutRetry(t *testing.T) {
+	// A hung attempt must be killed at the attempt timeout and retried,
+	// with the retry visible in the attempt counters and the Result
+	// untouched.
+	baseline, err := Run(wordCountConfig(1), wordCountInput(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := wordCountConfig(2)
+	cfg.Faults = faults.Script{
+		{Phase: faults.Map, Task: 0, Attempt: 1}: {Kind: faults.Hang},
+	}
+	cfg.Metrics = obs.NewRegistry()
+	res, err := Run(cfg, wordCountInput(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, baseline) {
+		t.Error("hang recovery perturbed Result")
+	}
+	vals := counterValues(cfg.Metrics)
+	// 3 map + 2 shuffle + 2 reduce committed attempts, plus the one
+	// timed-out attempt.
+	if vals[CounterTaskAttempts] != 8 {
+		t.Errorf("%s = %d, want 8", CounterTaskAttempts, vals[CounterTaskAttempts])
+	}
+	if vals[CounterTaskRetries] != 1 {
+		t.Errorf("%s = %d, want 1", CounterTaskRetries, vals[CounterTaskRetries])
+	}
+}
+
+func TestSpeculativeAttemptOutrunsStraggler(t *testing.T) {
+	// A slow-but-alive attempt (below the timeout) commits, then the
+	// speculation pass notices it straggling past the cost quantile,
+	// launches a backup, and the backup wins: one speculation, one
+	// killed original, identical Result.
+	baseline, err := Run(wordCountConfig(1), wordCountInput(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := wordCountConfig(2)
+	cfg.Faults = faults.Script{
+		{Phase: faults.Reduce, Task: 0, Attempt: 1}: {Kind: faults.Slow, Factor: 20},
+	}
+	// Quantile 0.9 = each phase's max clean cost, so no clean task can
+	// exceed it (> is strict) — only the 20×-slowed reduce straggler.
+	cfg.Retry = RetryPolicy{
+		MaxRetries:          2,
+		TimeoutFactor:       50, // keep the 20× straggler under the timeout
+		Speculation:         true,
+		SpeculationQuantile: 0.9,
+	}
+	cfg.Metrics = obs.NewRegistry()
+	res, err := Run(cfg, wordCountInput(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, baseline) {
+		t.Error("speculation perturbed Result")
+	}
+	vals := counterValues(cfg.Metrics)
+	if vals[CounterTaskSpeculations] != 1 {
+		t.Errorf("%s = %d, want 1", CounterTaskSpeculations, vals[CounterTaskSpeculations])
+	}
+	if vals[CounterTaskAttemptsKilled] != 1 {
+		t.Errorf("%s = %d, want 1", CounterTaskAttemptsKilled, vals[CounterTaskAttemptsKilled])
+	}
+}
+
+func TestAttemptSpansDeterministicAcrossWorkers(t *testing.T) {
+	// With faults injected, the shadow attempt timeline itself must be
+	// deterministic: the Chrome export is byte-identical across host
+	// concurrency, and it actually contains attempt spans with failures.
+	run := func(workers int) *obs.Tracer {
+		cfg := wordCountConfig(workers)
+		cfg.Faults = faults.NewSeeded(3, 0.5)
+		cfg.Retry = RetryPolicy{MaxRetries: 3, Speculation: true}
+		cfg.Trace = obs.New()
+		if _, err := Run(cfg, wordCountInput(), 0); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Trace
+	}
+	tr1, tr8 := run(1), run(8)
+	var b1, b8 bytes.Buffer
+	if err := tr1.WriteChromeTrace(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr8.WriteChromeTrace(&b8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b8.Bytes()) {
+		t.Error("attempt timeline differs between 1 and 8 workers")
+	}
+	attempts, failures := 0, 0
+	for _, s := range tr1.Spans() {
+		if s.Cat != "attempt" {
+			continue
+		}
+		attempts++
+		for _, a := range s.Args {
+			if a.Key == "outcome" && a.Value != "ok" {
+				failures++
+			}
+		}
+	}
+	if attempts == 0 {
+		t.Error("no attempt spans recorded")
+	}
+	if failures == 0 {
+		t.Error("seed 3 at rate 0.5 should produce at least one failed attempt span")
+	}
+}
+
+func TestRunPoolJoinsAllWorkerErrors(t *testing.T) {
+	// Every concurrently-failing task must survive into the joined
+	// error, in task-index order. The barrier guarantees all n tasks
+	// are dispatched before any failure is recorded, so the short-
+	// circuiting dispatcher cannot skip any of them.
+	const n = 4
+	sentinels := make([]error, n)
+	for i := range sentinels {
+		sentinels[i] = fmt.Errorf("task-%d-boom", i)
+	}
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	err := runPool(n, n, func(i int) error {
+		barrier.Done()
+		barrier.Wait()
+		return sentinels[i]
+	})
+	if err == nil {
+		t.Fatal("want joined error, got nil")
+	}
+	for _, s := range sentinels {
+		if !errors.Is(err, s) {
+			t.Errorf("joined error lost %v", s)
+		}
+	}
+	msg := err.Error()
+	if strings.Index(msg, "task-0-boom") > strings.Index(msg, "task-3-boom") {
+		t.Errorf("errors not in task-index order: %q", msg)
+	}
+}
+
+func TestRunPoolConvertsPanicToTaskFailure(t *testing.T) {
+	// A dying attempt must not take the job down: the panic becomes an
+	// attributable task error and already-started siblings finish.
+	var finished atomic.Int32
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	err := runPool(2, 2, func(i int) error {
+		barrier.Done()
+		barrier.Wait() // both tasks running before the panic fires
+		if i == 0 {
+			panic("attempt died")
+		}
+		finished.Add(1)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "task 0 panicked: attempt died") {
+		t.Errorf("want task-0 panic error, got %v", err)
+	}
+	if finished.Load() != 1 {
+		t.Errorf("surviving task did not finish (finished=%d)", finished.Load())
+	}
+}
+
+type panickyMapper struct{ MapperBase }
+
+func (panickyMapper) Map(*TaskContext, KeyValue, Emitter) error {
+	panic("mapper exploded")
+}
+
+func TestEngineSurvivesPanickingMapper(t *testing.T) {
+	cfg := wordCountConfig(2)
+	cfg.NewMapper = func() Mapper { return panickyMapper{} }
+	_, err := Run(cfg, wordCountInput(), 0)
+	if err == nil || !strings.Contains(err.Error(), "panicked: mapper exploded") {
+		t.Errorf("want panic converted to error, got %v", err)
+	}
+}
+
+func TestPanicRetriedUnderAttemptRuntime(t *testing.T) {
+	// With the attempt runtime active, a panicking attempt is just a
+	// failed attempt: later attempts may still commit the task.
+	var calls atomic.Int32
+	cfg := wordCountConfig(1)
+	inner := cfg.NewMapper
+	cfg.NewMapper = func() Mapper {
+		if calls.Add(1) == 1 {
+			return panickyMapper{}
+		}
+		return inner()
+	}
+	cfg.Retry = RetryPolicy{MaxRetries: 2}
+	baseline, err := Run(wordCountConfig(1), wordCountInput(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, wordCountInput(), 0)
+	if err != nil {
+		t.Fatalf("panicking first attempt should be retried, got %v", err)
+	}
+	if !reflect.DeepEqual(collectCounts(res), collectCounts(baseline)) {
+		t.Error("retried run produced different counts")
+	}
+}
+
+func TestRetryPolicyValidation(t *testing.T) {
+	cases := []RetryPolicy{
+		{MaxRetries: -1},
+		{BackoffBase: -5},
+		{TimeoutFactor: -1},
+		{SpeculationQuantile: 1},
+		{SpeculationQuantile: -0.5},
+	}
+	for i, p := range cases {
+		cfg := wordCountConfig(1)
+		cfg.Retry = p
+		if _, err := Run(cfg, wordCountInput(), 0); err == nil {
+			t.Errorf("case %d (%+v): want validation error", i, p)
+		}
+	}
+}

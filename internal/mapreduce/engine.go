@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -11,6 +12,7 @@ import (
 
 	"proger/internal/costmodel"
 	"proger/internal/extsort"
+	"proger/internal/faults"
 	"proger/internal/obs"
 )
 
@@ -36,36 +38,37 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	}
 
 	tracing := cfg.Trace != nil
+	fr := newFaultRuntime(&cfg)
 
 	// ---- Map phase ----
 	splits := splitInput(input, cfg.NumMapTasks)
-	mapOuts := make([][][]KeyValue, cfg.NumMapTasks) // [task][partition][]kv
-	mapCosts := make([]costmodel.Units, cfg.NumMapTasks)
-	mapCounters := make([]Counters, cfg.NumMapTasks)
-	mapSpans := make([][]obs.Span, cfg.NumMapTasks)
 	var mapWall, shufWall, reduceWall []wallSpan
 	if tracing {
 		mapWall = make([]wallSpan, cfg.NumMapTasks)
 		shufWall = make([]wallSpan, cfg.NumReduceTasks)
 		reduceWall = make([]wallSpan, cfg.NumReduceTasks)
 	}
-	err := runPool(workers, cfg.NumMapTasks, func(i int) error {
-		var w0 time.Time
-		if tracing {
-			w0 = time.Now()
-		}
-		out, cost, counters, spans, err := runMapTask(&cfg, i, splits[i])
-		if err != nil {
-			return err
-		}
-		mapOuts[i], mapCosts[i], mapCounters[i], mapSpans[i] = out, cost, counters, spans
-		if tracing {
-			mapWall[i] = wallSpan{w0, time.Since(w0)}
-		}
-		return nil
-	})
+	mapRes, mapCosts, err := runPhase(fr, faults.Map, workers, cfg.NumMapTasks,
+		func(i int) (mapTaskResult, costmodel.Units, error) {
+			var w0 time.Time
+			if tracing {
+				w0 = time.Now()
+			}
+			out, cost, counters, spans, err := runMapTask(&cfg, i, splits[i])
+			if err != nil {
+				return mapTaskResult{}, 0, err
+			}
+			if tracing {
+				mapWall[i] = wallSpan{w0, time.Since(w0)}
+			}
+			return mapTaskResult{out: out, counters: counters, spans: spans}, cost, nil
+		})
 	if err != nil {
 		return nil, err
+	}
+	mapOuts := make([][][]KeyValue, cfg.NumMapTasks) // [task][partition][]kv
+	for i, r := range mapRes {
+		mapOuts[i] = r.out
 	}
 
 	jobStart := startAt
@@ -78,49 +81,55 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	// sort of the map-order concatenation would give). Partitions merge
 	// in parallel on the worker pool — in memory, or through the
 	// external spill-and-merge sorter when over the memory limit. ----
-	reduceIns := make([][]KeyValue, cfg.NumReduceTasks)
-	spilledRuns := make([]int64, cfg.NumReduceTasks)
-	err = runPool(workers, cfg.NumReduceTasks, func(r int) error {
-		var w0 time.Time
-		if tracing {
-			w0 = time.Now()
-		}
-		in, spilled, err := shuffleForTask(&cfg, mapOuts, r)
-		if err != nil {
-			return err
-		}
-		reduceIns[r], spilledRuns[r] = in, spilled
-		if tracing {
-			shufWall[r] = wallSpan{w0, time.Since(w0)}
-		}
-		return nil
-	})
+	shufRes, _, err := runPhase(fr, faults.Shuffle, workers, cfg.NumReduceTasks,
+		func(r int) (shuffleTaskResult, costmodel.Units, error) {
+			var w0 time.Time
+			if tracing {
+				w0 = time.Now()
+			}
+			in, spilled, err := shuffleForTask(&cfg, mapOuts, r)
+			if err != nil {
+				return shuffleTaskResult{}, 0, err
+			}
+			if tracing {
+				shufWall[r] = wallSpan{w0, time.Since(w0)}
+			}
+			// The merge has no scheduled cost of its own (the reduce tasks
+			// price shuffling on the simulated clock); the attempt runtime
+			// keys timeouts and speculation off its simulated sort cost.
+			return shuffleTaskResult{in: in, spilledRuns: spilled}, cfg.Cost.ShuffleSortCost(len(in)), nil
+		})
 	if err != nil {
 		return nil, err
 	}
+	reduceIns := make([][]KeyValue, cfg.NumReduceTasks)
+	spilledRuns := make([]int64, cfg.NumReduceTasks)
+	for r, s := range shufRes {
+		reduceIns[r], spilledRuns[r] = s.in, s.spilledRuns
+	}
 
 	// ---- Reduce phase ----
-	reduceOuts := make([][]TimedKV, cfg.NumReduceTasks)
-	reduceCosts := make([]costmodel.Units, cfg.NumReduceTasks)
-	reduceCounters := make([]Counters, cfg.NumReduceTasks)
-	reduceSpans := make([][]obs.Span, cfg.NumReduceTasks)
-	err = runPool(workers, cfg.NumReduceTasks, func(i int) error {
-		var w0 time.Time
-		if tracing {
-			w0 = time.Now()
-		}
-		out, cost, counters, spans, err := runReduceTask(&cfg, i, reduceIns[i])
-		if err != nil {
-			return err
-		}
-		reduceOuts[i], reduceCosts[i], reduceCounters[i], reduceSpans[i] = out, cost, counters, spans
-		if tracing {
-			reduceWall[i] = wallSpan{w0, time.Since(w0)}
-		}
-		return nil
-	})
+	reduceRes, reduceCosts, err := runPhase(fr, faults.Reduce, workers, cfg.NumReduceTasks,
+		func(i int) (reduceTaskResult, costmodel.Units, error) {
+			var w0 time.Time
+			if tracing {
+				w0 = time.Now()
+			}
+			out, cost, counters, spans, err := runReduceTask(&cfg, i, reduceIns[i])
+			if err != nil {
+				return reduceTaskResult{}, 0, err
+			}
+			if tracing {
+				reduceWall[i] = wallSpan{w0, time.Since(w0)}
+			}
+			return reduceTaskResult{out: out, counters: counters, spans: spans}, cost, nil
+		})
 	if err != nil {
 		return nil, err
+	}
+	reduceOuts := make([][]TimedKV, cfg.NumReduceTasks)
+	for i, r := range reduceRes {
+		reduceOuts[i] = r.out
 	}
 
 	reduceStarts, reduceSlots, end := scheduleTasks(reduceCosts, cfg.Cluster.Slots(), mapEnd)
@@ -139,11 +148,11 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	}
 
 	counters := Counters{}
-	for _, c := range mapCounters {
-		counters.Merge(c)
+	for _, r := range mapRes {
+		counters.Merge(r.counters)
 	}
-	for _, c := range reduceCounters {
-		counters.Merge(c)
+	for _, r := range reduceRes {
+		counters.Merge(r.counters)
 	}
 	res := &Result{
 		Output:          output,
@@ -160,7 +169,15 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	}
 
 	if tracing {
-		emitJobSpans(&cfg, res, splits, reduceIns, spilledRuns,
+		mapSpans := make([][]obs.Span, cfg.NumMapTasks)
+		for i, r := range mapRes {
+			mapSpans[i] = r.spans
+		}
+		reduceSpans := make([][]obs.Span, cfg.NumReduceTasks)
+		for i, r := range reduceRes {
+			reduceSpans[i] = r.spans
+		}
+		emitJobSpans(&cfg, fr, res, splits, reduceIns, spilledRuns,
 			mapSpans, reduceSpans, mapWall, shufWall, reduceWall)
 	}
 	if m := cfg.Metrics; m != nil {
@@ -180,8 +197,40 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 		for _, c := range reduceCosts {
 			h.Observe(float64(c))
 		}
+		if fr != nil {
+			// Attempt accounting, like spill counts, reflects chaos/host
+			// knobs (the injector and retry policy), so it reports only
+			// through the registry — Result stays byte-identical to the
+			// fault-free run.
+			st := fr.stats()
+			m.Counter(CounterTaskAttempts).Add(st.started)
+			m.Counter(CounterTaskRetries).Add(st.retried)
+			m.Counter(CounterTaskSpeculations).Add(st.speculated)
+			m.Counter(CounterTaskAttemptsKilled).Add(st.killed)
+		}
 	}
 	return res, nil
+}
+
+// mapTaskResult, shuffleTaskResult, and reduceTaskResult bundle each
+// phase's deterministic per-task outcome for the attempt runtime —
+// committed outputs are compared byte-for-byte across attempts during
+// speculation, so host wall measurements stay outside.
+type mapTaskResult struct {
+	out      [][]KeyValue
+	counters Counters
+	spans    []obs.Span
+}
+
+type shuffleTaskResult struct {
+	in          []KeyValue
+	spilledRuns int64
+}
+
+type reduceTaskResult struct {
+	out      []TimedKV
+	counters Counters
+	spans    []obs.Span
 }
 
 // wallSpan is a host wall-clock measurement of one engine stage.
@@ -196,8 +245,10 @@ type wallSpan struct {
 // clock onto the global simulated timeline. The shuffle-merge spans
 // carry the host wall time of the real merge; their simulated position
 // is the map barrier (the reduce tasks separately account shuffle cost
-// on the simulated clock as task-local "shuffle" spans).
-func emitJobSpans(cfg *Config, res *Result, splits, reduceIns [][]KeyValue, spilledRuns []int64,
+// on the simulated clock as task-local "shuffle" spans). With the
+// attempt runtime active, every task attempt additionally gets an
+// "attempt" span on the shadow attempt timeline.
+func emitJobSpans(cfg *Config, fr *faultRuntime, res *Result, splits, reduceIns [][]KeyValue, spilledRuns []int64,
 	mapSpans, reduceSpans [][]obs.Span, mapWall, shufWall, reduceWall []wallSpan) {
 	tr := cfg.Trace
 	pid := tr.PID(cfg.Name)
@@ -236,6 +287,17 @@ func emitJobSpans(cfg *Config, res *Result, splits, reduceIns [][]KeyValue, spil
 			Args: []obs.Arg{obs.A("records", len(reduceIns[i]))},
 		})
 		rebase(reduceSpans[i], res.ReduceSlots[i], res.ReduceStarts[i])
+	}
+	if fr != nil {
+		fr.emitAttemptSpans(tr, pid, faults.Map, func(t int) (costmodel.Units, int) {
+			return res.MapStarts[t], res.MapSlots[t]
+		})
+		fr.emitAttemptSpans(tr, pid, faults.Shuffle, func(t int) (costmodel.Units, int) {
+			return res.MapEnd, res.ReduceSlots[t]
+		})
+		fr.emitAttemptSpans(tr, pid, faults.Reduce, func(t int) (costmodel.Units, int) {
+			return res.ReduceStarts[t], res.ReduceSlots[t]
+		})
 	}
 }
 
@@ -599,10 +661,13 @@ func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.
 	return emitter.out, ctx.Now(), ctx.counters, ctx.spans, nil
 }
 
-// runPool runs fn(0..n-1) on up to `workers` goroutines and returns the
-// first error. Already-started tasks are allowed to finish, but no new
-// task index is dispatched after the first failure — the phase
-// short-circuits instead of draining all n tasks. A panicking task is
+// runPool runs fn(0..n-1) on up to `workers` goroutines. No new task
+// index is dispatched after the first failure — the phase
+// short-circuits instead of draining all n tasks — but already-started
+// tasks are allowed to finish and *every* failure is kept: the return
+// value joins all task errors (errors.Join) in task-index order, so a
+// multi-task failure is attributable task by task rather than
+// collapsing to whichever error won the race. A panicking task is
 // converted into a task failure rather than crashing the whole engine —
 // the moral equivalent of a Hadoop task attempt dying without taking
 // the job tracker down.
@@ -627,11 +692,10 @@ func runPool(workers, n int, fn func(i int) error) error {
 		return nil
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		failed   atomic.Bool
+		wg     sync.WaitGroup
+		failed atomic.Bool
 	)
+	taskErrs := make([]error, n) // each worker writes only its own indices
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -639,11 +703,7 @@ func runPool(workers, n int, fn func(i int) error) error {
 			defer wg.Done()
 			for i := range next {
 				if err := safe(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					taskErrs[i] = err
 					failed.Store(true)
 				}
 			}
@@ -654,5 +714,5 @@ func runPool(workers, n int, fn func(i int) error) error {
 	}
 	close(next)
 	wg.Wait()
-	return firstErr
+	return errors.Join(taskErrs...)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -463,6 +464,42 @@ func TestMoreReduceTasksThanSlots(t *testing.T) {
 	got := collectCounts(res)
 	if got["the"] != "3" {
 		t.Errorf("wordcount broken under serialization: %v", got)
+	}
+}
+
+func TestMergeSortedRunsStableProperty(t *testing.T) {
+	// Property: merging key-sorted runs is exactly a stable sort of
+	// their concatenation — equal keys surface in run (map-task) order,
+	// then in within-run order. Run counts 1, 2, and ≥3 exercise the
+	// passthrough, two-way, and loser-tree paths.
+	f := func(seed int64, runCount uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys := []string{"a", "b", "c", "d"}
+		k := int(runCount%7) + 1
+		runs := make([][]KeyValue, k)
+		total := 0
+		for r := range runs {
+			n := rng.Intn(6) + 1 // runs are non-empty by construction
+			run := make([]KeyValue, n)
+			for i := range run {
+				run[i] = KeyValue{
+					Key:   keys[rng.Intn(len(keys))],
+					Value: []byte(fmt.Sprintf("%d:%d", r, i)), // provenance tag
+				}
+			}
+			sort.SliceStable(run, func(i, j int) bool { return run[i].Key < run[j].Key })
+			runs[r] = run
+			total += n
+		}
+		want := make([]KeyValue, 0, total)
+		for _, run := range runs {
+			want = append(want, run...)
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+		return reflect.DeepEqual(mergeSortedRuns(runs, total), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"proger/internal/costmodel"
+	"proger/internal/faults"
 	"proger/internal/obs"
 )
 
@@ -161,8 +162,20 @@ type Config struct {
 	ShuffleMemLimit int
 	// SpillDir receives shuffle spill files; os.TempDir()-based default.
 	SpillDir string
+	// Faults, when non-nil, injects deterministic simulated task
+	// failures (crash/hang/slow) into the attempt runtime — see
+	// internal/faults. A chaos/testing knob like Workers: injected
+	// faults are retried, timed out, or speculated around on a shadow
+	// attempt timeline, and can never alter Result.
+	Faults faults.Injector
+	// Retry configures the attempt runtime (bounded retries with
+	// exponential backoff in cost units, per-attempt timeouts, and
+	// speculative execution). The zero value disables the runtime
+	// unless Faults is set, in which case defaults apply.
+	Retry RetryPolicy
 	// Trace, when non-nil, receives a span per map/reduce task, per
-	// shuffle merge, and per task-local span recorded through
+	// shuffle merge, per task attempt (when the attempt runtime is
+	// active), and per task-local span recorded through
 	// TaskContext.Span — all placed on the simulated global timeline
 	// (wall-clock data is carried alongside). Nil disables tracing at
 	// zero cost.
@@ -188,6 +201,12 @@ func (c *Config) validate() error {
 	}
 	if c.Cluster.Machines <= 0 || c.Cluster.SlotsPerMachine <= 0 {
 		return fmt.Errorf("mapreduce: job %q: cluster %+v invalid", c.Name, c.Cluster)
+	}
+	if c.Retry.MaxRetries < 0 || c.Retry.BackoffBase < 0 || c.Retry.TimeoutFactor < 0 {
+		return fmt.Errorf("mapreduce: job %q: retry policy %+v invalid", c.Name, c.Retry)
+	}
+	if q := c.Retry.SpeculationQuantile; q < 0 || q >= 1 {
+		return fmt.Errorf("mapreduce: job %q: speculation quantile %v outside [0,1)", c.Name, q)
 	}
 	return nil
 }

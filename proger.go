@@ -52,6 +52,8 @@ import (
 	"proger/internal/datagen"
 	"proger/internal/entity"
 	"proger/internal/estimate"
+	"proger/internal/faults"
+	"proger/internal/mapreduce"
 	"proger/internal/match"
 	"proger/internal/mechanism"
 	"proger/internal/obs"
@@ -235,6 +237,44 @@ func Resolve(ds *Dataset, opts Options) (*Result, error) { return core.Resolve(d
 func ResolveBasic(ds *Dataset, opts BasicOptions) (*Result, error) {
 	return core.ResolveBasic(ds, opts)
 }
+
+// ---- Fault tolerance ----
+
+// FaultInjector decides, deterministically, which simulated fault (if
+// any) a given task attempt suffers. Attach one via Options.Faults to
+// chaos-test a pipeline: injected faults are retried, timed out, or
+// speculated around by the attempt runtime and can never alter the
+// Result.
+type FaultInjector = faults.Injector
+
+// Fault is one injected failure: a kind plus an optional slowdown
+// factor.
+type Fault = faults.Fault
+
+// FaultKind enumerates the simulated failure modes.
+type FaultKind = faults.Kind
+
+// Fault kinds: none, crash mid-task, hang until the attempt timeout,
+// or run slower by Fault.Factor.
+const (
+	FaultNone  = faults.None
+	FaultCrash = faults.Crash
+	FaultHang  = faults.Hang
+	FaultSlow  = faults.Slow
+)
+
+// NewSeededFaults returns the standard deterministic injector: each
+// (phase, task, attempt) independently faults with the given rate,
+// decided purely by hashing the seed — reproducible across runs and
+// host concurrency. Its fault budget guarantees every task eventually
+// succeeds within the default retry allowance.
+var NewSeededFaults = faults.NewSeeded
+
+// RetryPolicy tunes the attempt runtime: bounded retries with
+// exponential backoff in cost units, per-attempt timeouts, and
+// speculative re-execution of stragglers. Zero value = engine defaults
+// when Options.Faults is set.
+type RetryPolicy = mapreduce.RetryPolicy
 
 // ---- Observability ----
 

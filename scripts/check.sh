@@ -29,7 +29,7 @@ fi
 # blocking.CounterJob1*, core.CounterJob2*/CounterBasic*), never inline
 # string literals — tests excepted, since they exercise arbitrary keys.
 echo "== counter-key lint =="
-offenders="$(grep -rn --include='*.go' -E '\.Inc\("|Counters\.Get\("' \
+offenders="$(grep -rn --include='*.go' -E '\.Inc\("|Counters\.Get\("|\.Counter\("' \
     internal cmd examples | grep -v '_test\.go:' || true)"
 if [ -n "$offenders" ]; then
     echo "string-literal counter keys (use the exported Counter* constants):"
@@ -39,6 +39,12 @@ fi
 
 echo "== go build =="
 go build ./...
+
+# Fast-fail on the fault-tolerance runtime before the full suite: the
+# attempt layer is where host concurrency and retries interleave, so it
+# gets a dedicated race-enabled pass.
+echo "== go test -race (fault runtime) =="
+go test -race -count=1 ./internal/mapreduce ./internal/faults
 
 echo "== go test -race =="
 go test -race ./...
