@@ -35,11 +35,12 @@ bench:
 chaos:
 	./scripts/chaos.sh
 
-# trace-demo runs the quickstart example with tracing + metrics enabled
-# and sanity-checks the exported Chrome trace JSON with tracecheck.
+# trace-demo runs the quickstart example with tracing + metrics +
+# quality telemetry enabled and sanity-checks the exported Chrome trace
+# JSON and quality JSON with tracecheck.
 trace-demo:
 	@tmp="$$(mktemp -d)"; \
 	trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./examples/quickstart -trace "$$tmp/trace.json" -metrics-out "$$tmp/metrics.prom" >/dev/null && \
-	$(GO) run ./scripts/tracecheck "$$tmp/trace.json" && \
+	$(GO) run ./examples/quickstart -trace "$$tmp/trace.json" -metrics-out "$$tmp/metrics.prom" -quality-out "$$tmp/quality.json" >/dev/null && \
+	$(GO) run ./scripts/tracecheck -quality "$$tmp/quality.json" "$$tmp/trace.json" && \
 	head -n 4 "$$tmp/metrics.prom"

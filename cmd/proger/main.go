@@ -72,6 +72,8 @@ func main() {
 	maxRetries := flag.Int("max-retries", 3, "per-task retry budget when -fault-rate > 0")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path (load in Perfetto / chrome://tracing)")
 	metricsPath := flag.String("metrics-out", "", "write run metrics in Prometheus text format to this path")
+	qualityOut := flag.String("quality-out", "", "write quality telemetry (progressive-recall curve + calibration report) to this path; a .csv suffix writes the curve as CSV, anything else the full export as JSON")
+	sampleEvery := flag.Float64("sample-every", 0, "progressive-recall sampling interval in cost units for -quality-out (0 = total time / 64)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
 
@@ -81,12 +83,16 @@ func main() {
 	var (
 		tracer  *proger.Tracer
 		metrics *proger.MetricsRegistry
+		qrec    *proger.QualityRecorder
 	)
 	if *tracePath != "" {
 		tracer = proger.NewTracer()
 	}
 	if *metricsPath != "" || *showReport {
 		metrics = proger.NewMetricsRegistry()
+	}
+	if *qualityOut != "" || *showReport {
+		qrec = proger.NewQualityRecorder()
 	}
 
 	var (
@@ -120,6 +126,7 @@ func main() {
 			Retry:            retry,
 			Trace:            tracer,
 			Metrics:          metrics,
+			Quality:          qrec,
 		})
 	} else {
 		opts := proger.Options{
@@ -134,6 +141,7 @@ func main() {
 			Retry:           retry,
 			Trace:           tracer,
 			Metrics:         metrics,
+			Quality:         qrec,
 		}
 		if gt != nil {
 			// Train the duplicate model on a disjoint sample when the
@@ -156,7 +164,7 @@ func main() {
 		len(res.Duplicates), res.TotalTime)
 	if *showReport {
 		printReport(res)
-		if err := report.WriteRunSummary(os.Stderr, tracer, metrics); err != nil {
+		if err := report.WriteRunSummary(os.Stderr, tracer, metrics, qrec); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -167,6 +175,16 @@ func main() {
 	if *metricsPath != "" {
 		writeFileWith(*metricsPath, metrics.WritePrometheus)
 		fmt.Fprintf(os.Stderr, "proger: wrote metrics to %s\n", *metricsPath)
+	}
+	if *qualityOut != "" {
+		exp := qrec.Export(proger.CostUnits(*sampleEvery))
+		if strings.HasSuffix(*qualityOut, ".csv") {
+			writeFileWith(*qualityOut, exp.Curve.WriteCSV)
+		} else {
+			writeFileWith(*qualityOut, exp.WriteJSON)
+		}
+		fmt.Fprintf(os.Stderr, "proger: wrote quality telemetry (%d curve points, %d calibration rows, AUC %.3f) to %s\n",
+			len(exp.Curve.Points), len(exp.Calibration.Blocks), exp.Curve.AUC, *qualityOut)
 	}
 	if *segmentsDir != "" {
 		nFiles, err := report.WriteSegments(res.Job2, *alpha, *segmentsDir)

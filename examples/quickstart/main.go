@@ -17,6 +17,8 @@ import (
 func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path")
 	metricsPath := flag.String("metrics-out", "", "write run metrics in Prometheus text format to this path")
+	qualityPath := flag.String("quality-out", "", "write quality telemetry (progressive-recall curve + calibration report) as JSON to this path")
+	sampleEvery := flag.Float64("sample-every", 0, "progressive-recall sampling interval in cost units (0 = total time / 64)")
 	faultRate := flag.Float64("fault-rate", 0, "inject simulated task faults at this per-attempt probability (0 disables; results are unaffected)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
 	maxRetries := flag.Int("max-retries", 3, "per-task retry budget when -fault-rate > 0")
@@ -25,12 +27,16 @@ func main() {
 	var (
 		tracer  *proger.Tracer
 		metrics *proger.MetricsRegistry
+		quality *proger.QualityRecorder
 	)
 	if *tracePath != "" {
 		tracer = proger.NewTracer()
 	}
 	if *metricsPath != "" {
 		metrics = proger.NewMetricsRegistry()
+	}
+	if *qualityPath != "" {
+		quality = proger.NewQualityRecorder()
 	}
 
 	// The Table-I dataset: nine people records, six real-world people.
@@ -65,6 +71,7 @@ func main() {
 		Scheduler:       proger.SchedulerOurs,
 		Trace:           tracer,
 		Metrics:         metrics,
+		Quality:         quality,
 	}
 	// Chaos knob: deterministic fault injection. The attempt runtime
 	// retries, times out, and speculates around injected faults — the
@@ -100,6 +107,11 @@ func main() {
 	if *metricsPath != "" {
 		writeExport(*metricsPath, metrics.WritePrometheus)
 		fmt.Printf("Wrote metrics to %s\n", *metricsPath)
+	}
+	if *qualityPath != "" {
+		exp := quality.Export(proger.CostUnits(*sampleEvery))
+		writeExport(*qualityPath, exp.WriteJSON)
+		fmt.Printf("Wrote quality telemetry to %s (AUC %.3f)\n", *qualityPath, exp.Curve.AUC)
 	}
 }
 

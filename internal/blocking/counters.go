@@ -1,7 +1,7 @@
 package blocking
 
 // Job 1 counter keys (exported constants so call sites cannot silently
-// typo a name; see the counter-key lint in scripts/check.sh).
+// typo a name; see the telemetry-key lint in scripts/check.sh).
 const (
 	// CounterJob1Entities counts dataset entities seen by the map phase.
 	CounterJob1Entities = "job1.entities"

@@ -10,6 +10,7 @@ import (
 	"proger/internal/match"
 	"proger/internal/mechanism"
 	"proger/internal/obs"
+	"proger/internal/obs/quality"
 	"proger/internal/progress"
 )
 
@@ -112,6 +113,20 @@ func (r *BasicReducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][
 	ctx.Inc(CounterBasicCompared, int64(st.Compared))
 	ctx.Inc(CounterBasicDups, int64(st.Dups))
 	ctx.Inc(CounterBasicSkipped, int64(st.Skipped))
+	if ctx.QualityOn() {
+		// The baseline has no schedule and hence no SQ values; SQ -1
+		// marks a realization with no prediction to join against.
+		ctx.ObserveBlock(quality.BlockObs{
+			ID:       key,
+			SQ:       -1,
+			Start:    start,
+			End:      ctx.Now(),
+			Compared: int64(st.Compared),
+			Dups:     int64(st.Dups),
+			Skipped:  int64(st.Skipped),
+			Full:     r.side.popcornThreshold < 0,
+		})
+	}
 	if ctx.Tracing() {
 		ctx.Span("resolve", "block "+key, start, ctx.Now(),
 			obs.A("size", len(ents)),
@@ -151,13 +166,14 @@ func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
 		Retry:          opts.Retry,
 		Trace:          opts.Trace,
 		Metrics:        opts.Metrics,
+		Quality:        opts.Quality,
 	}
 	jobRes, err := mapreduce.Run(cfg, blocking.MakeJob1Input(ds), 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: basic job: %w", err)
 	}
 	if m := opts.Metrics; m != nil {
-		m.Gauge("pipeline.total_time_units").Set(float64(jobRes.End))
+		m.Gauge(GaugePipelineTotalTime).Set(float64(jobRes.End))
 	}
 	res := &Result{
 		Duplicates: entity.PairSet{},

@@ -10,6 +10,7 @@ import (
 	"proger/internal/mapreduce"
 	"proger/internal/mechanism"
 	"proger/internal/obs"
+	"proger/internal/obs/quality"
 	"proger/internal/sched"
 )
 
@@ -236,6 +237,18 @@ func (r *CompactJob2Reducer) Reduce(ctx *mapreduce.TaskContext, key string, valu
 	ctx.Inc(CounterJob2Skipped, int64(st.Skipped))
 	if b.FullResolve {
 		ctx.Inc(CounterJob2FullResolves, 1)
+	}
+	if ctx.QualityOn() {
+		ctx.ObserveBlock(quality.BlockObs{
+			ID:       b.ID.String(),
+			SQ:       sq,
+			Start:    start,
+			End:      ctx.Now(),
+			Compared: int64(st.Compared),
+			Dups:     int64(st.Dups),
+			Skipped:  int64(st.Skipped),
+			Full:     b.FullResolve,
+		})
 	}
 	if ctx.Tracing() {
 		ctx.Span("resolve", "block "+b.ID.String(), start, ctx.Now(),

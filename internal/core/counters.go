@@ -1,7 +1,7 @@
 package core
 
 // Job 2 and Basic-baseline counter keys (exported constants so call
-// sites cannot silently typo a name; see the counter-key lint in
+// sites cannot silently typo a name; see the telemetry-key lint in
 // scripts/check.sh).
 const (
 	// CounterJob2ScheduleGen counts map tasks that charged schedule
@@ -29,4 +29,8 @@ const (
 	CounterBasicCompared       = "basic.compared"
 	CounterBasicDups           = "basic.dups"
 	CounterBasicSkipped        = "basic.skipped"
+
+	// GaugePipelineTotalTime is the registry gauge holding the
+	// pipeline's end-to-end simulated time.
+	GaugePipelineTotalTime = "pipeline.total_time_units"
 )

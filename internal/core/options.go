@@ -17,6 +17,7 @@ import (
 	"proger/internal/match"
 	"proger/internal/mechanism"
 	"proger/internal/obs"
+	"proger/internal/obs/quality"
 	"proger/internal/sched"
 )
 
@@ -85,6 +86,12 @@ type Options struct {
 	// distributions plus pipeline-level gauges. Nil disables at zero
 	// cost.
 	Metrics *obs.Registry
+	// Quality, when non-nil, collects quality telemetry: the schedule's
+	// per-block predictions and per-task plans, and Job 2's realized
+	// per-block resolutions — the inputs to the progressive-recall
+	// curve and the calibration report. Deterministic across Workers
+	// and fault injection, like Trace. Nil disables at zero cost.
+	Quality *quality.Recorder
 }
 
 func (o *Options) validate() error {
@@ -148,6 +155,9 @@ type BasicOptions struct {
 	// Trace and Metrics mirror Options.Trace / Options.Metrics.
 	Trace   *obs.Tracer
 	Metrics *obs.Registry
+	// Quality mirrors Options.Quality. The baseline has no schedule, so
+	// only realizations are recorded (curve yes, calibration join no).
+	Quality *quality.Recorder
 }
 
 func (o *BasicOptions) validate() error {

@@ -114,6 +114,7 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 		Kind:       opts.Scheduler,
 		Trace:      opts.Trace,
 		TraceBase:  job1Res.End,
+		Quality:    opts.Quality,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: schedule generation: %w", err)
@@ -148,13 +149,14 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 		Retry:          opts.Retry,
 		Trace:          opts.Trace,
 		Metrics:        opts.Metrics,
+		Quality:        opts.Quality,
 	}
 	job2Res, err := mapreduce.Run(job2Cfg, blocking.MakeJob1Input(ds), job1Res.End)
 	if err != nil {
 		return nil, fmt.Errorf("core: job 2: %w", err)
 	}
 	if m := opts.Metrics; m != nil {
-		m.Gauge("pipeline.total_time_units").Set(float64(job2Res.End))
+		m.Gauge(GaugePipelineTotalTime).Set(float64(job2Res.End))
 	}
 
 	res := &Result{

@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -24,6 +25,29 @@ type DupModel interface {
 // (0, 1]: bucket 0 holds fractions ≥ 0.1, bucket k holds
 // [10^−(k+1), 10^−k).
 const numBuckets = 8
+
+// NumFracBuckets exposes the sub-range count for consumers that mirror
+// the model's bucketing (e.g. the quality-telemetry calibration
+// report).
+const NumFracBuckets = numBuckets
+
+// FracBucket exposes fracBucket: the sub-range index of a size
+// fraction |X|/|D|.
+func FracBucket(frac float64) int { return fracBucket(frac) }
+
+// FracBucketLabels returns a printable label per sub-range, aligned
+// with BucketBounds.
+func FracBucketLabels() []string {
+	out := make([]string, numBuckets)
+	for i, b := range BucketBounds() {
+		if b[0] == 0 {
+			out[i] = fmt.Sprintf("<%.0e", b[1])
+		} else {
+			out[i] = fmt.Sprintf("[%.0e,%.0e)", b[0], b[1])
+		}
+	}
+	return out
+}
 
 // fracBucket maps a size fraction to its sub-range index.
 func fracBucket(frac float64) int {

@@ -111,6 +111,16 @@ func (e *Estimator) fillBlock(b *blocking.Block) {
 	}
 }
 
+// FracBucketOf returns the DupModel size-fraction bucket the block
+// falls in (the sub-range whose learned probability priced the block),
+// or −1 when the estimator or dataset size is unknown. Nil-safe.
+func (e *Estimator) FracBucketOf(b *blocking.Block) int {
+	if e == nil || e.DatasetSize <= 0 {
+		return -1
+	}
+	return fracBucket(float64(b.Size) / float64(e.DatasetSize))
+}
+
 // CostPartial exposes CostP(X) for the schedule generator's
 // hypothetical-cost evaluation during SPLIT-TREE.
 func (e *Estimator) CostPartial(b *blocking.Block) costmodel.Units { return e.costP(b) }

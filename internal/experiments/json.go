@@ -19,6 +19,7 @@ type figureJSON struct {
 type seriesJSON struct {
 	Label   string    `json:"label"`
 	Recalls []float64 `json:"recalls"`
+	AUC     float64   `json:"auc,omitempty"`
 }
 
 // WriteJSON serializes the figure.
@@ -34,7 +35,7 @@ func (f *Figure) WriteJSON(w io.Writer) error {
 		out.Times[i] = float64(t)
 	}
 	for _, s := range f.Series {
-		out.Series = append(out.Series, seriesJSON{Label: s.Label, Recalls: s.Recalls})
+		out.Series = append(out.Series, seriesJSON{Label: s.Label, Recalls: s.Recalls, AUC: s.AUC})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -52,7 +53,7 @@ func ReadFigureJSON(r io.Reader) (*Figure, error) {
 		f.Times = append(f.Times, t)
 	}
 	for _, s := range in.Series {
-		f.Series = append(f.Series, FigureSeries{Label: s.Label, Recalls: s.Recalls})
+		f.Series = append(f.Series, FigureSeries{Label: s.Label, Recalls: s.Recalls, AUC: s.AUC})
 	}
 	return f, nil
 }

@@ -22,6 +22,9 @@ type Figure struct {
 type FigureSeries struct {
 	Label   string
 	Recalls []float64
+	// AUC is the run's normalized progressiveness area (0 when the run
+	// carried no quality telemetry).
+	AUC float64
 }
 
 // NewFigure samples each run's curve on a uniform grid up to the
@@ -42,7 +45,11 @@ func NewFigure(id, title string, points int, runs ...*Run) *Figure {
 		f.Times[i] = end * costmodel.Units(i+1) / costmodel.Units(points)
 	}
 	for _, r := range runs {
-		f.Series = append(f.Series, FigureSeries{Label: r.Label, Recalls: r.Curve.Sample(f.Times)})
+		s := FigureSeries{Label: r.Label, Recalls: r.Curve.Sample(f.Times)}
+		if r.Quality != nil {
+			s.AUC = r.Quality.AUC
+		}
+		f.Series = append(f.Series, s)
 	}
 	return f
 }
@@ -61,6 +68,20 @@ func (f *Figure) Render() string {
 		fmt.Fprintf(&b, "%12.0f", t)
 		for _, s := range f.Series {
 			fmt.Fprintf(&b, "  %16.3f", s.Recalls[i])
+		}
+		b.WriteByte('\n')
+	}
+	hasAUC := false
+	for _, s := range f.Series {
+		if s.AUC > 0 {
+			hasAUC = true
+			break
+		}
+	}
+	if hasAUC {
+		fmt.Fprintf(&b, "%12s", "auc")
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "  %16.3f", s.AUC)
 		}
 		b.WriteByte('\n')
 	}

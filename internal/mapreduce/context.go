@@ -6,6 +6,7 @@ import (
 
 	"proger/internal/costmodel"
 	"proger/internal/obs"
+	"proger/internal/obs/quality"
 )
 
 // TaskType distinguishes map from reduce tasks in contexts and errors.
@@ -46,6 +47,12 @@ type TaskContext struct {
 	// onto the global timeline once the task's start time is known.
 	tracing bool
 	spans   []obs.Span
+	// quality is set for reduce tasks when Config.Quality is non-nil;
+	// qobs buffers the task's block observations — like spans, they are
+	// part of the task's deterministic result, so only the committed
+	// attempt's observations reach the recorder under fault injection.
+	quality bool
+	qobs    []quality.BlockObs
 }
 
 // Charge adds cost units to the task's local clock. All task work that
@@ -92,6 +99,23 @@ func (c *TaskContext) Span(cat, name string, start, end costmodel.Units, args ..
 		Dur:   end - start,
 		Args:  args,
 	})
+}
+
+// QualityOn reports whether the job is collecting quality telemetry.
+// Guard BlockObs construction behind it so telemetry costs nothing
+// when disabled, mirroring Tracing.
+func (c *TaskContext) QualityOn() bool { return c.quality }
+
+// ObserveBlock records one resolved block's realization with Start/End
+// on the task's *local* simulated clock (ctx.Now() values). The engine
+// rebases it onto the global timeline — and stamps the owning task —
+// once the task's scheduled start is known. No-op when quality
+// telemetry is disabled.
+func (c *TaskContext) ObserveBlock(o quality.BlockObs) {
+	if !c.quality {
+		return
+	}
+	c.qobs = append(c.qobs, o)
 }
 
 // Counters is a named-counter aggregate, as in Hadoop job counters.

@@ -5,7 +5,7 @@ package mapreduce
 // hot paths); user map/reduce functions add their own keys via
 // TaskContext.Inc. Keys are exported constants rather than inline
 // string literals so call sites cannot silently typo a name — the
-// counter-key lint in scripts/check.sh rejects literal keys outside
+// telemetry-key lint in scripts/check.sh rejects literal keys outside
 // tests.
 const (
 	// CounterMapInRecords counts records read by map tasks.
@@ -41,4 +41,8 @@ const (
 	CounterTaskRetries        = "mr.attempt.retried"
 	CounterTaskSpeculations   = "mr.attempt.speculated"
 	CounterTaskAttemptsKilled = "mr.attempt.killed"
+
+	// HistTaskCostUnits is the registry histogram of per-task simulated
+	// costs (map and reduce), fed by the engine at the end of each job.
+	HistTaskCostUnits = "mr_task_cost_units"
 )

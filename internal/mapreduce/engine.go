@@ -14,6 +14,7 @@ import (
 	"proger/internal/extsort"
 	"proger/internal/faults"
 	"proger/internal/obs"
+	"proger/internal/obs/quality"
 )
 
 // Run executes one MapReduce job. Input records are split contiguously
@@ -115,14 +116,14 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 			if tracing {
 				w0 = time.Now()
 			}
-			out, cost, counters, spans, err := runReduceTask(&cfg, i, reduceIns[i])
+			out, cost, counters, spans, qobs, err := runReduceTask(&cfg, i, reduceIns[i])
 			if err != nil {
 				return reduceTaskResult{}, 0, err
 			}
 			if tracing {
 				reduceWall[i] = wallSpan{w0, time.Since(w0)}
 			}
-			return reduceTaskResult{out: out, counters: counters, spans: spans}, cost, nil
+			return reduceTaskResult{out: out, counters: counters, spans: spans, qobs: qobs}, cost, nil
 		})
 	if err != nil {
 		return nil, err
@@ -133,6 +134,22 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	}
 
 	reduceStarts, reduceSlots, end := scheduleTasks(reduceCosts, cfg.Cluster.Slots(), mapEnd)
+
+	// Publish quality observations: rebase each committed task's local
+	// clocks onto the scheduled timeline and feed the recorder serially
+	// in task-index order — deterministic regardless of Workers, and
+	// fault-immune because qobs rode inside the committed attempt's
+	// result (exactly like output records and counters).
+	if q := cfg.Quality; q.Enabled() {
+		for i, r := range reduceRes {
+			for _, o := range r.qobs {
+				o.Task = i
+				o.Start += reduceStarts[i]
+				o.End += reduceStarts[i]
+				q.ObserveBlock(o)
+			}
+		}
+	}
 
 	// Stamp global times and flatten output in (task, emission) order.
 	var total int
@@ -190,7 +207,7 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 			spilledTotal += n
 		}
 		m.Counter(CounterShuffleSpilledRuns).Add(spilledTotal)
-		h := m.Histogram("mr_task_cost_units")
+		h := m.Histogram(HistTaskCostUnits)
 		for _, c := range mapCosts {
 			h.Observe(float64(c))
 		}
@@ -231,6 +248,7 @@ type reduceTaskResult struct {
 	out      []TimedKV
 	counters Counters
 	spans    []obs.Span
+	qobs     []quality.BlockObs
 }
 
 // wallSpan is a host wall-clock measurement of one engine stage.
@@ -607,7 +625,7 @@ func (e *reduceEmitter) Emit(key string, value []byte) {
 	})
 }
 
-func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.Units, Counters, []obs.Span, error) {
+func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.Units, Counters, []obs.Span, []quality.BlockObs, error) {
 	ctx := &TaskContext{
 		Job:       cfg.Name,
 		Type:      ReduceTask,
@@ -617,6 +635,7 @@ func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.
 		Cost:      cfg.Cost,
 		counters:  Counters{},
 		tracing:   cfg.Trace != nil,
+		quality:   cfg.Quality != nil,
 	}
 	ctx.Charge(cfg.Cost.TaskStartup)
 	// Framework shuffle cost: reading and merge-sorting this task's
@@ -633,7 +652,7 @@ func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.
 	reducer := cfg.NewReducer()
 	emitter := &reduceEmitter{ctx: ctx}
 	if err := reducer.Setup(ctx); err != nil {
-		return nil, 0, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d setup: %w", cfg.Name, index, err)
+		return nil, 0, nil, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d setup: %w", cfg.Name, index, err)
 	}
 	var values [][]byte // scratch, reused across groups (see Reducer contract)
 	groups := 0
@@ -647,18 +666,18 @@ func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.
 			values = append(values, in[i].Value)
 		}
 		if err := reducer.Reduce(ctx, in[lo].Key, values, emitter); err != nil {
-			return nil, 0, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d key %q: %w", cfg.Name, index, in[lo].Key, err)
+			return nil, 0, nil, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d key %q: %w", cfg.Name, index, in[lo].Key, err)
 		}
 		groups++
 		lo = hi
 	}
 	if err := reducer.Cleanup(ctx, emitter); err != nil {
-		return nil, 0, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d cleanup: %w", cfg.Name, index, err)
+		return nil, 0, nil, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d cleanup: %w", cfg.Name, index, err)
 	}
 	ctx.Inc(CounterReduceInRecords, int64(len(in)))
 	ctx.Inc(CounterReduceInGroups, int64(groups))
 	ctx.Inc(CounterReduceOutRecords, int64(len(emitter.out)))
-	return emitter.out, ctx.Now(), ctx.counters, ctx.spans, nil
+	return emitter.out, ctx.Now(), ctx.counters, ctx.spans, ctx.qobs, nil
 }
 
 // runPool runs fn(0..n-1) on up to `workers` goroutines. No new task

@@ -23,6 +23,7 @@ import (
 	"proger/internal/costmodel"
 	"proger/internal/faults"
 	"proger/internal/obs"
+	"proger/internal/obs/quality"
 )
 
 // KeyValue is the unit of data flowing through a job.
@@ -184,6 +185,14 @@ type Config struct {
 	// cost distribution at the end of the run. Nil disables metrics at
 	// zero cost.
 	Metrics *obs.Registry
+	// Quality, when non-nil, receives the block realizations reduce
+	// functions record through TaskContext.ObserveBlock, rebased onto
+	// the global simulated timeline and fed in task-index order. Like
+	// Trace and Metrics, a host-side sink that can never affect Result;
+	// because observations travel inside each task's committed result,
+	// they are immune to fault injection and worker count by
+	// construction. Nil disables at zero cost.
+	Quality *quality.Recorder
 }
 
 func (c *Config) validate() error {

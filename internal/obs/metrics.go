@@ -205,6 +205,53 @@ type HistogramValue struct {
 	Count  uint64
 }
 
+// Mean returns the mean observation, or 0 when empty.
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket
+// counts, interpolating linearly within the containing bucket
+// (Prometheus histogram_quantile semantics). The first bucket
+// interpolates from 0; an answer in the +Inf bucket is clamped to the
+// last finite bound. Returns 0 when the histogram is empty.
+func (h HistogramValue) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// +Inf bucket: no finite upper edge to interpolate toward.
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		within := rank - float64(cum-c)
+		return lo + (hi-lo)*within/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a point-in-time copy of the registry, each section
 // sorted by name.
 type Snapshot struct {

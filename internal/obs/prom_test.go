@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition output:
+// name sanitization, NaN/±Inf rendering, cumulative buckets, and the
+// stable counters→gauges→histograms ordering (each section sorted by
+// name). Any byte-level drift here breaks downstream scrapers and the
+// chaos gate's file comparisons, so this is a full-output match, not a
+// substring check.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("job2.blocks_resolved").Add(12)
+	r.Counter("weird name!").Add(3)
+	r.Gauge("g.inf").Set(math.Inf(1))
+	r.Gauge("g.nan").Set(math.NaN())
+	r.Gauge("g.neginf").Set(math.Inf(-1))
+	r.Gauge("g.plain").Set(2.5)
+	h := r.Histogram("task_cost", 0.5, 10)
+	h.Observe(0.25)
+	h.Observe(5)
+	h.Observe(100)
+
+	const want = `# TYPE job2_blocks_resolved counter
+job2_blocks_resolved 12
+# TYPE weird_name_ counter
+weird_name_ 3
+# TYPE g_inf gauge
+g_inf +Inf
+# TYPE g_nan gauge
+g_nan NaN
+# TYPE g_neginf gauge
+g_neginf -Inf
+# TYPE g_plain gauge
+g_plain 2.5
+# TYPE task_cost histogram
+task_cost_bucket{le="0.5"} 1
+task_cost_bucket{le="10"} 2
+task_cost_bucket{le="+Inf"} 3
+task_cost_sum 105.25
+task_cost_count 3
+`
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// A second export of the unchanged registry is byte-identical.
+	var again bytes.Buffer
+	if err := r.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Error("repeated export not byte-identical")
+	}
+}
+
+func TestPromNameEdgeCases(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"job2.blocks", "job2_blocks"},
+		{"9lives", "_lives"},
+		{"", "_"},
+		{"a:b_c9", "a:b_c9"},
+		{"sné", "sn_"},
+	} {
+		if got := PromName(tc.in); got != tc.want {
+			t.Errorf("PromName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	hv := HistogramValue{
+		Bounds: []float64{1, 10, 100},
+		Counts: []uint64{0, 2, 0, 0},
+		Sum:    12,
+		Count:  2,
+	}
+	if got := hv.Mean(); got != 6 {
+		t.Errorf("Mean = %v, want 6", got)
+	}
+	if got := hv.Quantile(0.5); got != 5.5 {
+		t.Errorf("p50 = %v, want 5.5", got)
+	}
+	if got := hv.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1 (lower edge of first occupied bucket)", got)
+	}
+	if got := hv.Quantile(1); got != 10 {
+		t.Errorf("p100 = %v, want 10", got)
+	}
+
+	// +Inf-bucket observations clamp to the last finite bound.
+	inf := HistogramValue{Bounds: []float64{1}, Counts: []uint64{0, 3}, Count: 3}
+	if got := inf.Quantile(0.99); got != 1 {
+		t.Errorf("+Inf-bucket quantile = %v, want 1", got)
+	}
+
+	// Empty histogram.
+	var empty HistogramValue
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty mean = %v, want 0", got)
+	}
+}

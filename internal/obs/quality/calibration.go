@@ -1,0 +1,239 @@
+package quality
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlockCalibration is one scheduled block's prediction joined with its
+// realization (join key: SQ).
+type BlockCalibration struct {
+	ID     string `json:"id"`
+	SQ     int64  `json:"sq"`
+	Task   int    `json:"task"`
+	Size   int    `json:"size"`
+	Bucket int    `json:"bucket"`
+	// PredDup / PredCost / PredUtil are the scheduler's estimates.
+	PredDup  float64 `json:"pred_dup"`
+	PredCost float64 `json:"pred_cost"`
+	PredUtil float64 `json:"pred_util"`
+	// Dups, Compared, Skipped, and Cost are the realized values
+	// (Cost = End − Start on the simulated clock; all zero when the
+	// block was never resolved, e.g. its tree shipped no entities).
+	Dups     int64   `json:"dups"`
+	Compared int64   `json:"compared"`
+	Skipped  int64   `json:"skipped"`
+	Cost     float64 `json:"cost"`
+	// DupErr is PredDup − Dups (positive = over-predicted).
+	DupErr float64 `json:"dup_err"`
+	// Resolved reports whether a realization was observed.
+	Resolved bool `json:"resolved"`
+}
+
+// BucketStat aggregates prediction error over one of the estimator's
+// size-fraction sub-ranges (the same log₁₀ buckets the trained
+// DupModel learns probabilities for, so a badly calibrated bucket
+// points directly at the model rows to retrain).
+type BucketStat struct {
+	Bucket int    `json:"bucket"`
+	Label  string `json:"label"`
+	Blocks int    `json:"blocks"`
+	// PredDup and Dups are the bucket's summed predicted and realized
+	// duplicates; MeanAbsErr and Bias the per-block mean |pred − real|
+	// and mean signed (pred − real).
+	PredDup    float64 `json:"pred_dup"`
+	Dups       int64   `json:"dups"`
+	MeanAbsErr float64 `json:"mean_abs_err"`
+	Bias       float64 `json:"bias"`
+}
+
+// TaskSkew is one reduce task's planned-vs-realized load row.
+type TaskSkew struct {
+	Task   int `json:"task"`
+	Trees  int `json:"trees"`
+	Blocks int `json:"blocks"`
+	// PlannedCost and PlannedSlack come from PARTITION-TREES;
+	// RealizedCost and RealizedBlocks from the block realizations.
+	PlannedCost    float64 `json:"planned_cost"`
+	PlannedSlack   float64 `json:"planned_slack"`
+	RealizedCost   float64 `json:"realized_cost"`
+	RealizedBlocks int     `json:"realized_blocks"`
+	// CostErr is RealizedCost − PlannedCost (positive = the task ran
+	// longer than planned). Skew is RealizedCost / mean realized cost
+	// across tasks (1 = perfectly balanced; the classic MapReduce-ER
+	// straggler shows up as Skew ≫ 1).
+	CostErr float64 `json:"cost_err"`
+	Skew    float64 `json:"skew"`
+}
+
+// Report is the calibration report: the per-block join, the bucketed
+// prediction-error rollup, and the per-task skew table.
+type Report struct {
+	Blocks  []BlockCalibration `json:"blocks"`
+	Buckets []BucketStat       `json:"buckets"`
+	Tasks   []TaskSkew         `json:"tasks"`
+}
+
+// BuildReport joins the recorded predictions with the realizations on
+// SQ and aggregates. Runs without a schedule (the Basic baseline)
+// produce realized-only task rows and no block/bucket sections.
+func (r *Recorder) BuildReport() *Report {
+	rep := &Report{}
+	preds := r.Predictions()
+	obs := r.Observations()
+	labels := r.labels()
+
+	obsBySQ := map[int64]BlockObs{}
+	for _, o := range obs {
+		if o.SQ >= 0 {
+			obsBySQ[o.SQ] = o
+		}
+	}
+
+	type bucketAcc struct {
+		blocks  int
+		predDup float64
+		dups    int64
+		absErr  float64
+		bias    float64
+	}
+	buckets := map[int]*bucketAcc{}
+	for _, p := range preds {
+		bc := BlockCalibration{
+			ID: p.ID, SQ: p.SQ, Task: p.Task, Size: p.Size, Bucket: p.Bucket,
+			PredDup: p.Dup, PredCost: p.Cost, PredUtil: p.Util,
+		}
+		if o, ok := obsBySQ[p.SQ]; ok {
+			bc.Dups, bc.Compared, bc.Skipped = o.Dups, o.Compared, o.Skipped
+			bc.Cost = float64(o.End - o.Start)
+			bc.Resolved = true
+		}
+		bc.DupErr = bc.PredDup - float64(bc.Dups)
+		rep.Blocks = append(rep.Blocks, bc)
+
+		acc := buckets[p.Bucket]
+		if acc == nil {
+			acc = &bucketAcc{}
+			buckets[p.Bucket] = acc
+		}
+		acc.blocks++
+		acc.predDup += bc.PredDup
+		acc.dups += bc.Dups
+		if bc.DupErr >= 0 {
+			acc.absErr += bc.DupErr
+		} else {
+			acc.absErr -= bc.DupErr
+		}
+		acc.bias += bc.DupErr
+	}
+	sort.Slice(rep.Blocks, func(i, j int) bool {
+		a, b := rep.Blocks[i], rep.Blocks[j]
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		return a.SQ < b.SQ
+	})
+
+	for bucket, acc := range buckets {
+		label := fmt.Sprintf("bucket %d", bucket)
+		if bucket >= 0 && bucket < len(labels) {
+			label = labels[bucket]
+		}
+		rep.Buckets = append(rep.Buckets, BucketStat{
+			Bucket: bucket, Label: label, Blocks: acc.blocks,
+			PredDup: acc.predDup, Dups: acc.dups,
+			MeanAbsErr: acc.absErr / float64(acc.blocks),
+			Bias:       acc.bias / float64(acc.blocks),
+		})
+	}
+	sort.Slice(rep.Buckets, func(i, j int) bool { return rep.Buckets[i].Bucket < rep.Buckets[j].Bucket })
+
+	rep.Tasks = buildTaskSkew(r.Plans(), obs)
+	return rep
+}
+
+// buildTaskSkew assembles the per-task planned-vs-realized table. Every
+// planned task appears (even if it resolved nothing); tasks seen only
+// in realizations (no plan — the Basic baseline) get realized-only rows.
+func buildTaskSkew(plans []TaskPlan, obs []BlockObs) []TaskSkew {
+	byTask := map[int]*TaskSkew{}
+	for _, p := range plans {
+		byTask[p.Task] = &TaskSkew{
+			Task: p.Task, Trees: p.Trees, Blocks: p.Blocks,
+			PlannedCost: p.EstCost, PlannedSlack: p.Slack,
+		}
+	}
+	for _, o := range obs {
+		t := byTask[o.Task]
+		if t == nil {
+			t = &TaskSkew{Task: o.Task}
+			byTask[o.Task] = t
+		}
+		t.RealizedCost += float64(o.End - o.Start)
+		t.RealizedBlocks++
+	}
+	out := make([]TaskSkew, 0, len(byTask))
+	for _, t := range byTask {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	// Sum in task order: float addition is not associative, so summing
+	// during map iteration would leak iteration order into the mean and
+	// break byte-determinism by one ulp.
+	var total float64
+	for _, t := range out {
+		total += t.RealizedCost
+	}
+	mean := 0.0
+	if len(out) > 0 {
+		mean = total / float64(len(out))
+	}
+	for i := range out {
+		out[i].CostErr = out[i].RealizedCost - out[i].PlannedCost
+		if mean > 0 {
+			out[i].Skew = out[i].RealizedCost / mean
+		}
+	}
+	return out
+}
+
+// WorstBlocks returns the n blocks with the largest |DupErr| (ties
+// broken by SQ), for the run-summary "worst calibrated" listing.
+func (rep *Report) WorstBlocks(n int) []BlockCalibration {
+	out := append([]BlockCalibration(nil), rep.Blocks...)
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs(out[i].DupErr), abs(out[j].DupErr)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].SQ < out[j].SQ
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// MostSkewed returns the n tasks with the largest |CostErr| (ties
+// broken by task index).
+func (rep *Report) MostSkewed(n int) []TaskSkew {
+	out := append([]TaskSkew(nil), rep.Tasks...)
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs(out[i].CostErr), abs(out[j].CostErr)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Task < out[j].Task
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,61 @@
+package quality
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"proger/internal/costmodel"
+)
+
+// Export is the -quality-out document: the progressive-recall curve
+// plus the calibration report.
+type Export struct {
+	Curve       *Curve  `json:"curve"`
+	Calibration *Report `json:"calibration"`
+}
+
+// Export derives both artifacts from the recorder's current state.
+// Returns nil for a nil (disabled) recorder.
+func (r *Recorder) Export(sampleEvery costmodel.Units) *Export {
+	if r == nil {
+		return nil
+	}
+	return &Export{Curve: r.BuildCurve(sampleEvery), Calibration: r.BuildReport()}
+}
+
+// WriteJSON writes the export as indented JSON. encoding/json renders
+// floats with the shortest round-trip representation and struct fields
+// in declaration order, so output is byte-deterministic for
+// deterministic inputs.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// WriteCSV writes the curve samples as CSV (header + one row per
+// point), the plot-tool-friendly alternative to WriteJSON. Floats use
+// the shortest round-trip formatting, so output is byte-deterministic.
+func (c *Curve) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("cost,blocks,pairs,dups,recall\n"); err != nil {
+		return err
+	}
+	for _, p := range c.Points {
+		bw.WriteString(strconv.FormatFloat(p.Cost, 'g', -1, 64))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(p.Blocks, 10))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(p.Pairs, 10))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(p.Dups, 10))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatFloat(p.Recall, 'g', -1, 64))
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

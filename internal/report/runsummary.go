@@ -8,6 +8,7 @@ import (
 
 	"proger/internal/costmodel"
 	"proger/internal/obs"
+	"proger/internal/obs/quality"
 )
 
 // catSummary aggregates one span category for the run summary.
@@ -21,10 +22,12 @@ type catSummary struct {
 
 // WriteRunSummary renders a human-readable digest of a run's
 // observability data: the span taxonomy rollup (per category: span
-// count, summed simulated duration, covered window), the process
-// lanes, and the metrics snapshot. Either argument may be nil; a
-// fully nil pair writes nothing.
-func WriteRunSummary(w io.Writer, tr *obs.Tracer, reg *obs.Registry) error {
+// count, summed simulated duration, covered window), the metrics
+// snapshot with per-histogram quantiles, and the quality-telemetry
+// digest (progressiveness sparkline, worst-calibrated blocks,
+// most-skewed tasks). Any argument may be nil; a fully nil triple
+// writes nothing.
+func WriteRunSummary(w io.Writer, tr *obs.Tracer, reg *obs.Registry, q *quality.Recorder) error {
 	if tr.Enabled() {
 		if err := writeSpanSummary(w, tr); err != nil {
 			return err
@@ -32,6 +35,11 @@ func WriteRunSummary(w io.Writer, tr *obs.Tracer, reg *obs.Registry) error {
 	}
 	if reg.Enabled() {
 		if err := writeMetricsSummary(w, reg); err != nil {
+			return err
+		}
+	}
+	if q.Enabled() {
+		if err := writeQualitySummary(w, q); err != nil {
 			return err
 		}
 	}
@@ -103,12 +111,61 @@ func writeMetricsSummary(w io.Writer, reg *obs.Registry) error {
 		fmt.Fprintf(&b, "  %-*s %14.1f\n", widest, g.Name, g.Value)
 	}
 	for _, h := range snap.Histograms {
-		mean := 0.0
-		if h.Count > 0 {
-			mean = h.Sum / float64(h.Count)
-		}
-		fmt.Fprintf(&b, "  %s: n=%d sum=%.0f mean=%.1f\n", h.Name, h.Count, h.Sum, mean)
+		fmt.Fprintf(&b, "  %s: n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f\n",
+			h.Name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// summaryTopN bounds the worst-calibrated-blocks and most-skewed-tasks
+// lists in the quality digest.
+const summaryTopN = 5
+
+func writeQualitySummary(w io.Writer, q *quality.Recorder) error {
+	exp := q.Export(0)
+	var b strings.Builder
+	curve := exp.Curve
+	fmt.Fprintf(&b, "quality: %d blocks resolved, %d pairs, %d dups, AUC %.3f\n",
+		curve.FinalBlocks, curve.FinalPairs, curve.FinalDups, curve.AUC)
+	if len(curve.Points) > 0 {
+		fmt.Fprintf(&b, "  progress %s  (recall over [0, %.0f], Δ=%.0f)\n",
+			sparkline(curve.Points), curve.End, curve.SampleEvery)
+	}
+	rep := exp.Calibration
+	if worst := rep.WorstBlocks(summaryTopN); len(worst) > 0 {
+		fmt.Fprintf(&b, "  worst-calibrated blocks (predicted vs realized dups):\n")
+		for _, bc := range worst {
+			fmt.Fprintf(&b, "    %-20s task %d  pred %.1f  real %d  err %+.1f\n",
+				bc.ID, bc.Task, bc.PredDup, bc.Dups, bc.DupErr)
+		}
+	}
+	if skewed := rep.MostSkewed(summaryTopN); len(skewed) > 0 {
+		fmt.Fprintf(&b, "  most-skewed tasks (planned vs realized cost):\n")
+		for _, ts := range skewed {
+			fmt.Fprintf(&b, "    task %d  planned %.0f  slack %.0f  realized %.0f  err %+.0f  skew %.2f\n",
+				ts.Task, ts.PlannedCost, ts.PlannedSlack, ts.RealizedCost, ts.CostErr, ts.Skew)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sparkBars are the eight block-element levels used by sparkline.
+var sparkBars = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the curve's recall values as one bar per sample.
+func sparkline(points []quality.CurvePoint) string {
+	var b strings.Builder
+	for _, p := range points {
+		i := int(p.Recall * float64(len(sparkBars)))
+		if i >= len(sparkBars) {
+			i = len(sparkBars) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		b.WriteRune(sparkBars[i])
+	}
+	return b.String()
 }

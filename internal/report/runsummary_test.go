@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"proger/internal/obs"
+	"proger/internal/obs/quality"
 )
 
 func TestWriteRunSummary(t *testing.T) {
@@ -21,8 +22,13 @@ func TestWriteRunSummary(t *testing.T) {
 	h.Observe(5)
 	h.Observe(7)
 
+	q := quality.NewRecorder()
+	q.RecordPlan(quality.TaskPlan{Task: 0, Trees: 1, Blocks: 1, EstCost: 50, Slack: 5})
+	q.RecordPrediction(quality.BlockPrediction{ID: "F0.L1(a)", SQ: 7, Task: 0, Size: 4, Bucket: 2, Dup: 3, Cost: 50})
+	q.ObserveBlock(quality.BlockObs{ID: "F0.L1(a)", SQ: 7, Task: 0, Start: 10, End: 60, Compared: 6, Dups: 1})
+
 	var b strings.Builder
-	if err := WriteRunSummary(&b, tr, reg); err != nil {
+	if err := WriteRunSummary(&b, tr, reg, q); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -33,19 +39,33 @@ func TestWriteRunSummary(t *testing.T) {
 		"1 counters, 1 gauges, 1 histograms",
 		"job.records", "42",
 		"job.end", "20.0",
-		"job.task_cost: n=2 sum=12 mean=6.0",
+		"job.task_cost: n=2 mean=6.0 p50=5.5", "p99=9.9",
+		"quality: 1 blocks resolved, 6 pairs, 1 dups",
+		"progress ",
+		"worst-calibrated blocks",
+		"F0.L1(a)", "pred 3.0", "real 1", "err +2.0",
+		"most-skewed tasks",
+		"planned 50", "realized 50",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q:\n%s", want, out)
 		}
 	}
 
-	// Nil tracer and registry write nothing and do not panic.
+	// Nil tracer, registry, and recorder write nothing and do not panic.
 	var empty strings.Builder
-	if err := WriteRunSummary(&empty, nil, nil); err != nil {
+	if err := WriteRunSummary(&empty, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if empty.Len() != 0 {
 		t.Errorf("nil summary wrote %q", empty.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	pts := []quality.CurvePoint{{Recall: 0}, {Recall: 0.5}, {Recall: 1}}
+	got := sparkline(pts)
+	if got != "▁▅█" {
+		t.Errorf("sparkline = %q, want %q", got, "▁▅█")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"proger/internal/costmodel"
 	"proger/internal/estimate"
 	"proger/internal/obs"
+	"proger/internal/obs/quality"
 )
 
 // Kind selects the tree-scheduling algorithm.
@@ -83,6 +84,13 @@ type Config struct {
 	// TraceBase positions generation spans on the simulated clock
 	// (typically Job 1's end time).
 	TraceBase costmodel.Units
+	// Quality, when non-nil, receives the generated schedule's
+	// per-block predictions (Dup(X)/Cost(X)/Util(X), Eq. 2–5, captured
+	// after splitting so they are the values the schedule was built
+	// from) and per-task plans (planned load and leftover slack SK(R)),
+	// for calibration against Job 2's realized telemetry. Nil disables
+	// at zero cost.
+	Quality *quality.Recorder
 }
 
 func (c *Config) validate() error {
@@ -314,7 +322,53 @@ func Generate(trees []*blocking.Tree, cfg Config) (*Schedule, error) {
 
 	s := g.schedule()
 	g.emitTrace(s)
+	g.emitQuality(s)
 	return s, nil
+}
+
+// emitQuality publishes the final schedule's predictions and plans to
+// the quality recorder: one TaskPlan per reduce task (load from
+// PARTITION-TREES, leftover slack SK(R)) and one BlockPrediction per
+// scheduled block, in (task, position) order. Like emitTrace,
+// everything derives from the schedule itself, so the stream is
+// deterministic.
+func (g *generator) emitQuality(s *Schedule) {
+	q := g.cfg.Quality
+	if !q.Enabled() {
+		return
+	}
+	q.SetBucketLabels(estimate.FracBucketLabels())
+	treesOf := make([]int, s.R)
+	for _, task := range s.TaskOfTree {
+		treesOf[task]++
+	}
+	for r := 0; r < s.R; r++ {
+		slack := 0.0
+		if g.taskSlack != nil {
+			slack = g.taskSlack[r]
+		}
+		q.RecordPlan(quality.TaskPlan{
+			Task:    r,
+			Trees:   treesOf[r],
+			Blocks:  len(s.TaskBlocks[r]),
+			EstCost: float64(g.taskLoad[r]),
+			Slack:   slack,
+		})
+		for _, b := range s.TaskBlocks[r] {
+			q.RecordPrediction(quality.BlockPrediction{
+				ID:     b.ID.String(),
+				SQ:     b.SQ,
+				Task:   r,
+				Tree:   s.TreeOf[b.ID],
+				Size:   b.Size,
+				Bucket: g.cfg.Estimator.FracBucketOf(b),
+				Dup:    b.DupEst,
+				Cost:   float64(b.CostEst),
+				Util:   b.Util,
+				Full:   b.FullResolve,
+			})
+		}
+	}
 }
 
 // emitTrace publishes the generation decisions as zero-duration spans

@@ -57,6 +57,7 @@ import (
 	"proger/internal/match"
 	"proger/internal/mechanism"
 	"proger/internal/obs"
+	"proger/internal/obs/quality"
 	"proger/internal/progress"
 	"proger/internal/sched"
 )
@@ -295,6 +296,21 @@ var NewTracer = obs.New
 
 // NewMetricsRegistry creates an enabled metrics registry.
 var NewMetricsRegistry = obs.NewRegistry
+
+// QualityRecorder collects quality telemetry from a pipeline run: the
+// schedule's per-block predictions and per-task plans plus Job 2's
+// realized per-block resolutions. Attach one via Options.Quality (or
+// BasicOptions.Quality) and export the progressive-recall curve and
+// calibration report afterwards with Export — deterministic across
+// worker counts and fault injection, like Tracer.
+type QualityRecorder = quality.Recorder
+
+// QualityExport bundles the derived curve and calibration report for
+// JSON serialization.
+type QualityExport = quality.Export
+
+// NewQualityRecorder creates an enabled quality recorder.
+var NewQualityRecorder = quality.NewRecorder
 
 // ---- Evaluation ----
 

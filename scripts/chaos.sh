@@ -1,9 +1,10 @@
 #!/bin/sh
 # Chaos gate: run the full pipeline under deterministic fault injection
 # and assert the emitted duplicate pairs (with their simulated
-# timestamps) are byte-identical to the fault-free baseline. Exercises
-# the attempt runtime end to end — retries, timeouts, speculation —
-# across several rates and fault seeds. Run from the repo root.
+# timestamps) AND the quality-telemetry export are byte-identical to
+# the fault-free baseline. Exercises the attempt runtime end to end —
+# retries, timeouts, speculation — across several rates and fault
+# seeds. Run from the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,13 +15,15 @@ trap 'rm -rf "$tmp"' EXIT
 run="go run ./cmd/proger -generate publications -n 1200 -seed 3 -machines 4"
 
 echo "== chaos: baseline (fault-free) =="
-$run -out "$tmp/base.tsv"
+$run -out "$tmp/base.tsv" -quality-out "$tmp/base.quality.json"
 
 for rate in 0.2 0.5; do
     for seed in 1 7; do
         echo "== chaos: rate=$rate fault-seed=$seed =="
-        $run -fault-rate "$rate" -fault-seed "$seed" -max-retries 4 -out "$tmp/chaos.tsv"
+        $run -fault-rate "$rate" -fault-seed "$seed" -max-retries 4 \
+            -out "$tmp/chaos.tsv" -quality-out "$tmp/chaos.quality.json"
         cmp "$tmp/base.tsv" "$tmp/chaos.tsv"
+        cmp "$tmp/base.quality.json" "$tmp/chaos.quality.json"
     done
 done
 

@@ -1,7 +1,7 @@
 #!/bin/sh
 # The repo's standard verification gate, equivalent to `make check`:
 # gofmt cleanliness, go vet (plus staticcheck when installed), a
-# counter-key lint, full build, and the race-enabled test suite. Run
+# telemetry-key lint, full build, and the race-enabled test suite. Run
 # from the repo root.
 set -eu
 
@@ -25,14 +25,15 @@ else
     echo "== staticcheck == (skipped: not installed)"
 fi
 
-# Counter keys must be the exported constants (mapreduce.Counter*,
-# blocking.CounterJob1*, core.CounterJob2*/CounterBasic*), never inline
-# string literals — tests excepted, since they exercise arbitrary keys.
-echo "== counter-key lint =="
-offenders="$(grep -rn --include='*.go' -E '\.Inc\("|Counters\.Get\("|\.Counter\("' \
+# Telemetry keys — counters, gauges, and histograms alike — must be the
+# exported constants (mapreduce.Counter*/Hist*, blocking.CounterJob1*,
+# core.CounterJob2*/CounterBasic*/Gauge*), never inline string literals
+# — tests excepted, since they exercise arbitrary keys.
+echo "== telemetry-key lint =="
+offenders="$(grep -rn --include='*.go' -E '\.Inc\("|Counters\.Get\("|\.Counter\("|\.Gauge\("|\.Histogram\("' \
     internal cmd examples | grep -v '_test\.go:' || true)"
 if [ -n "$offenders" ]; then
-    echo "string-literal counter keys (use the exported Counter* constants):"
+    echo "string-literal telemetry keys (use the exported constants):"
     echo "$offenders"
     exit 1
 fi

@@ -1,14 +1,18 @@
 // Command tracecheck validates a Chrome trace-event JSON file produced
 // by -trace: the file must parse, every event must carry a valid phase
 // and non-negative timestamps, and the trace must contain spans for
-// each pipeline stage (map, reduce, shuffle, schedule, resolve). Used
-// by `make trace-demo` as a CI-grade sanity check.
+// each pipeline stage (map, reduce, shuffle, schedule, resolve). With
+// -quality it additionally validates a quality-telemetry JSON export
+// (from -quality-out): sample costs strictly increasing, recall
+// non-decreasing within [0, 1], and AUC in [0, 1]. Used by
+// `make trace-demo` as a CI-grade sanity check.
 //
-// Usage: tracecheck FILE [required-cat ...]
+// Usage: tracecheck [-quality QUALITY_FILE] [TRACE_FILE [required-cat ...]]
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -32,18 +36,93 @@ type traceEvent struct {
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE [required-cat ...]")
+	qualityPath := flag.String("quality", "", "quality-telemetry JSON export to validate")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 && *qualityPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-quality QUALITY_FILE] [TRACE_FILE [required-cat ...]]")
 		os.Exit(2)
 	}
-	required := []string{"map", "reduce", "shuffle", "schedule", "resolve"}
-	if len(os.Args) > 2 {
-		required = os.Args[2:]
+	if len(args) > 0 {
+		required := []string{"map", "reduce", "shuffle", "schedule", "resolve"}
+		if len(args) > 1 {
+			required = args[1:]
+		}
+		if err := check(args[0], required); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	if err := check(os.Args[1], required); err != nil {
-		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
-		os.Exit(1)
+	if *qualityPath != "" {
+		if err := checkQuality(*qualityPath); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// qualityFile mirrors the JSON shape of quality.Export — only the
+// fields the checks need.
+type qualityFile struct {
+	Curve struct {
+		SampleEvery float64 `json:"sample_every"`
+		End         float64 `json:"end"`
+		FinalBlocks int64   `json:"final_blocks"`
+		FinalDups   int64   `json:"final_dups"`
+		AUC         float64 `json:"auc"`
+		Points      []struct {
+			Cost   float64 `json:"cost"`
+			Dups   int64   `json:"dups"`
+			Recall float64 `json:"recall"`
+		} `json:"points"`
+	} `json:"curve"`
+	Calibration struct {
+		Blocks []struct {
+			SQ int64 `json:"sq"`
+		} `json:"blocks"`
+		Tasks []struct {
+			Task int `json:"task"`
+		} `json:"tasks"`
+	} `json:"calibration"`
+}
+
+// checkQuality validates the invariants every quality export must hold:
+// strictly increasing sample costs, recall non-decreasing within
+// [0, 1] and ending at 1 when any duplicate was found, AUC in [0, 1].
+func checkQuality(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var qf qualityFile
+	if err := json.Unmarshal(data, &qf); err != nil {
+		return fmt.Errorf("%s: invalid quality JSON: %w", path, err)
+	}
+	c := qf.Curve
+	if c.AUC < 0 || c.AUC > 1 {
+		return fmt.Errorf("%s: AUC %g outside [0, 1]", path, c.AUC)
+	}
+	prevCost := -1.0
+	prevRecall := 0.0
+	for i, p := range c.Points {
+		if p.Cost <= prevCost {
+			return fmt.Errorf("%s: point %d cost %g not strictly increasing (previous %g)", path, i, p.Cost, prevCost)
+		}
+		if p.Recall < prevRecall || p.Recall < 0 || p.Recall > 1 {
+			return fmt.Errorf("%s: point %d recall %g not non-decreasing in [0, 1] (previous %g)", path, i, p.Recall, prevRecall)
+		}
+		prevCost, prevRecall = p.Cost, p.Recall
+	}
+	if n := len(c.Points); n > 0 {
+		if last := c.Points[n-1]; last.Cost != c.End {
+			return fmt.Errorf("%s: last sample at %g, want end %g", path, last.Cost, c.End)
+		} else if c.FinalDups > 0 && last.Recall != 1 {
+			return fmt.Errorf("%s: final recall %g, want 1", path, last.Recall)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok — %d samples over [0, %g], AUC %.3f, %d calibration rows, %d task rows\n",
+		path, len(c.Points), c.End, c.AUC, len(qf.Calibration.Blocks), len(qf.Calibration.Tasks))
+	return nil
 }
 
 func check(path string, required []string) error {
