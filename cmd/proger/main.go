@@ -75,6 +75,7 @@ func main() {
 	qualityOut := flag.String("quality-out", "", "write quality telemetry (progressive-recall curve + calibration report) to this path; a .csv suffix writes the curve as CSV, anything else the full export as JSON")
 	sampleEvery := flag.Float64("sample-every", 0, "progressive-recall sampling interval in cost units for -quality-out (0 = total time / 64)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
+	engine := flag.String("engine", "pipelined", "host execution engine: pipelined (dependency-driven task graph) | barrier (three barriered phases); results are identical")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -103,6 +104,7 @@ func main() {
 		injector = proger.NewSeededFaults(*faultSeed, *faultRate)
 		retry = proger.RetryPolicy{MaxRetries: *maxRetries, Speculation: true}
 	}
+	execMode := pickEngine(*engine)
 
 	ds, gt := loadDataset(*input, *generate, *n, *seed, *truthPath)
 	fams := buildFamilies(ds, blocks, *generate)
@@ -122,6 +124,7 @@ func main() {
 			PopcornThreshold: *popcorn,
 			Machines:         *machines,
 			SlotsPerMachine:  *slots,
+			Execution:        execMode,
 			Faults:           injector,
 			Retry:            retry,
 			Trace:            tracer,
@@ -137,6 +140,7 @@ func main() {
 			Machines:        *machines,
 			SlotsPerMachine: *slots,
 			Scheduler:       pickScheduler(*scheduler),
+			Execution:       execMode,
 			Faults:          injector,
 			Retry:           retry,
 			Trace:           tracer,
@@ -419,6 +423,17 @@ func pickScheduler(name string) proger.SchedulerKind {
 	}
 	log.Fatalf("unknown scheduler %q (want ours, nosplit, or lpt)", name)
 	return proger.SchedulerOurs
+}
+
+func pickEngine(name string) proger.ExecutionMode {
+	switch name {
+	case "pipelined":
+		return proger.ExecPipelined
+	case "barrier":
+		return proger.ExecBarrier
+	}
+	log.Fatalf("unknown engine %q (want pipelined or barrier)", name)
+	return proger.ExecPipelined
 }
 
 func pickPolicy(generate string) proger.Policy {

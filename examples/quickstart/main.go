@@ -22,6 +22,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "inject simulated task faults at this per-attempt probability (0 disables; results are unaffected)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
 	maxRetries := flag.Int("max-retries", 3, "per-task retry budget when -fault-rate > 0")
+	barrier := flag.Bool("barrier", false, "use the barriered reference engine instead of the pipelined default (results are identical)")
 	flag.Parse()
 
 	var (
@@ -79,6 +80,9 @@ func main() {
 	if *faultRate > 0 {
 		opts.Faults = proger.NewSeededFaults(*faultSeed, *faultRate)
 		opts.Retry = proger.RetryPolicy{MaxRetries: *maxRetries, Speculation: true}
+	}
+	if *barrier {
+		opts.Execution = proger.ExecBarrier
 	}
 	res, err := proger.Resolve(ds, opts)
 	if err != nil {

@@ -72,7 +72,7 @@ func (r *BasicReducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][
 		return fmt.Errorf("core: basic key %q references family %d", key, famIdx)
 	}
 	ents := make([]*entity.Entity, 0, len(values))
-	keysOf := map[entity.ID][]string{}
+	keysOf := make(map[entity.ID][]string, len(values))
 	for _, v := range values {
 		ann, _, err := blocking.DecodeAnnotated(v)
 		if err != nil {
@@ -162,6 +162,7 @@ func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
 		Cluster:        cluster,
 		Cost:           opts.Cost,
 		Workers:        opts.Workers,
+		Execution:      opts.Execution,
 		Faults:         opts.Faults,
 		Retry:          opts.Retry,
 		Trace:          opts.Trace,

@@ -47,6 +47,9 @@ type CompactJob2Mapper struct {
 	side *job2Side
 	// firstSQ[treeIdx] is the tree's payload key.
 	firstSQ []int64
+	// lister provides buildList (and carries the per-task codec
+	// scratch); one instance per task, hoisted out of Map.
+	lister *Job2Mapper
 }
 
 // Setup charges schedule generation, as the expanded mapper does.
@@ -54,8 +57,8 @@ func (m *CompactJob2Mapper) Setup(ctx *mapreduce.TaskContext) error {
 	if m.firstSQ == nil {
 		m.firstSQ = m.side.schedule.FirstSQOfTree()
 	}
-	exp := &Job2Mapper{side: m.side}
-	return exp.Setup(ctx)
+	m.lister = &Job2Mapper{side: m.side}
+	return m.lister.Setup(ctx)
 }
 
 // Map emits one payload per tree containing the entity.
@@ -72,8 +75,8 @@ func (m *CompactJob2Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyVal
 	}
 	ctx.Charge(ctx.Cost.ReadRecord * costmodel.Units(totalLevels))
 
-	entBuf := entity.EncodeBinary(nil, e)
-	lister := &Job2Mapper{side: m.side}
+	m.lister.encScratch = entity.EncodeBinary(m.lister.encScratch[:0], e)
+	entBuf := m.lister.encScratch
 	for j, f := range fams {
 		lastTree := -1
 		for l := 1; l <= f.Levels(); l++ {
@@ -86,7 +89,7 @@ func (m *CompactJob2Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyVal
 				continue // already shipped to this tree
 			}
 			lastTree = ti
-			list := lister.buildList(e, j, l, ti)
+			list := m.lister.buildList(e, j, l, ti)
 			value := make([]byte, 0, 1+len(entBuf)+len(list))
 			value = append(value, compactTagEntity)
 			value = append(value, entBuf...)
@@ -131,13 +134,19 @@ type treeCache struct {
 	lists map[entity.ID]dedup.List
 }
 
+// Setup implements mapreduce.Reducer, hoisting the per-task state maps
+// out of the per-block Reduce path. (The tree cache itself already
+// plays the decode cache's role here: each payload arrives, and is
+// decoded, exactly once per tree.)
+func (r *CompactJob2Reducer) Setup(*mapreduce.TaskContext) error {
+	r.trees = map[int]*treeCache{}
+	r.resolved = map[int]entity.PairSet{}
+	return nil
+}
+
 // Reduce implements mapreduce.Reducer: one call per scheduled block key.
 func (r *CompactJob2Reducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
 	start := ctx.Now()
-	if r.trees == nil {
-		r.trees = map[int]*treeCache{}
-		r.resolved = map[int]entity.PairSet{}
-	}
 	s := r.side.schedule
 	sq, err := sched.ParseSQKey(key)
 	if err != nil {
@@ -168,7 +177,13 @@ func (r *CompactJob2Reducer) Reduce(ctx *mapreduce.TaskContext, key string, valu
 			}
 			tc := r.trees[treeIdx]
 			if tc == nil {
-				tc = &treeCache{lists: map[entity.ID]dedup.List{}}
+				// len(values) bounds this tree's payload count in the
+				// common case (payloads all land under the tree's first
+				// block key, alongside at most one trigger).
+				tc = &treeCache{
+					ents:  make([]*entity.Entity, 0, len(values)),
+					lists: make(map[entity.ID]dedup.List, len(values)),
+				}
 				r.trees[treeIdx] = tc
 			}
 			tc.ents = append(tc.ents, e)

@@ -37,6 +37,12 @@ type job2Side struct {
 type Job2Mapper struct {
 	mapreduce.MapperBase
 	side *job2Side
+	// Per-task codec scratch, reused across Map calls: every caller
+	// copies the encoded bytes into the emitted (retained) value buffer
+	// before the next encode, so reuse cannot alias live data.
+	encScratch  []byte
+	listScratch dedup.List
+	listEnc     []byte
 }
 
 // Setup implements mapreduce.Mapper.
@@ -81,7 +87,8 @@ func (m *Job2Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyValue, emi
 	// crosses into a different tree, so one buffer is built per tree and
 	// shared by every emission for that tree's blocks — the engine and
 	// all reducers treat values as read-only, so aliasing is safe.
-	entBuf := entity.EncodeBinary(nil, e)
+	m.encScratch = entity.EncodeBinary(m.encScratch[:0], e)
+	entBuf := m.encScratch
 	for j, f := range fams {
 		var lastTree = -1
 		var lastVal []byte
@@ -108,11 +115,16 @@ func (m *Job2Mapper) Map(ctx *mapreduce.TaskContext, rec mapreduce.KeyValue, emi
 
 // buildList constructs List(e, T) per §V for the tree at index ti of
 // family j, whose shallowest block on e's path is at level `level`.
+// The returned encoding is scratch owned by the mapper — callers must
+// copy it into the emitted value before the next buildList call.
 func (m *Job2Mapper) buildList(e *entity.Entity, j, level, ti int) []byte {
 	s := m.side.schedule
 	fams := m.side.families
 	tree := s.Trees[ti]
-	list := make(dedup.List, len(fams), len(fams)+1)
+	if cap(m.listScratch) < len(fams)+1 {
+		m.listScratch = make(dedup.List, 0, len(fams)+1)
+	}
+	list := m.listScratch[:len(fams)]
 	for k, f := range fams {
 		if k == j {
 			// Own family: the tree the emitted block belongs to.
@@ -142,7 +154,8 @@ func (m *Job2Mapper) buildList(e *entity.Entity, j, level, ti int) []byte {
 			break
 		}
 	}
-	return dedup.Encode(nil, list)
+	m.listEnc = dedup.Encode(m.listEnc[:0], list)
+	return m.listEnc
 }
 
 // Job2Partitioner routes each sequence key to its reduce task.
@@ -169,14 +182,56 @@ type Job2Reducer struct {
 	side *job2Side
 	// resolved[treeIdx] is the pair set already resolved within that tree.
 	resolved map[int]entity.PairSet
+	// decoded memoizes payload decoding by the payload's backing array.
+	// The mapper shares ONE value buffer per (entity, tree) across that
+	// tree's block emissions, so pointer identity implies byte identity
+	// and each entity ⊕ dominance-list payload is decoded once per tree
+	// instead of once per block it reaches. Distinct buffers (e.g.
+	// records read back from a shuffle spill) never share a first-byte
+	// address, so the worst a foreign buffer can cause is a miss.
+	decoded map[*byte]job2Payload
+}
+
+type job2Payload struct {
+	ent  *entity.Entity
+	list dedup.List
+}
+
+// Setup implements mapreduce.Reducer, hoisting the per-task state maps
+// out of the per-block Reduce path.
+func (r *Job2Reducer) Setup(*mapreduce.TaskContext) error {
+	r.resolved = map[int]entity.PairSet{}
+	r.decoded = map[*byte]job2Payload{}
+	return nil
+}
+
+// decodePayload decodes (or recalls) one entity ⊕ dominance-list
+// payload. Decoded entities are shared across blocks — safe because
+// entities are read-only downstream (mechanisms copy the slice they
+// sort and never mutate elements).
+func (r *Job2Reducer) decodePayload(v []byte) (job2Payload, error) {
+	if len(v) == 0 {
+		return job2Payload{}, fmt.Errorf("core: empty job-2 payload")
+	}
+	if p, ok := r.decoded[&v[0]]; ok {
+		return p, nil
+	}
+	e, n, err := entity.DecodeBinary(v)
+	if err != nil {
+		return job2Payload{}, err
+	}
+	l, _, err := dedup.Decode(v[n:])
+	if err != nil {
+		return job2Payload{}, err
+	}
+	p := job2Payload{ent: e, list: l}
+	r.decoded[&v[0]] = p
+	return p, nil
 }
 
 // Reduce implements mapreduce.Reducer: one call per scheduled block.
 func (r *Job2Reducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][]byte, emit mapreduce.Emitter) error {
 	start := ctx.Now()
-	if r.resolved == nil {
-		r.resolved = map[int]entity.PairSet{}
-	}
 	s := r.side.schedule
 	sq, err := sched.ParseSQKey(key)
 	if err != nil {
@@ -197,18 +252,14 @@ func (r *Job2Reducer) Reduce(ctx *mapreduce.TaskContext, key string, values [][]
 	}
 
 	ents := make([]*entity.Entity, 0, len(values))
-	lists := map[entity.ID]dedup.List{}
+	lists := make(map[entity.ID]dedup.List, len(values))
 	for _, v := range values {
-		e, n, err := entity.DecodeBinary(v)
+		p, err := r.decodePayload(v)
 		if err != nil {
 			return err
 		}
-		l, _, err := dedup.Decode(v[n:])
-		if err != nil {
-			return err
-		}
-		ents = append(ents, e)
-		lists[e.ID] = l
+		ents = append(ents, p.ent)
+		lists[p.ent.ID] = p.list
 	}
 
 	famIdx := int(b.ID.Family)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"proger/internal/blocking"
@@ -18,19 +19,20 @@ type discardEmitter struct{ n int }
 
 func (e *discardEmitter) Emit(key string, value []byte) { e.n++ }
 
-// BenchmarkJob2Map runs the expanded Job-2 map function over a full
-// dataset against a real generated schedule — the per-entity hot path
-// of the resolve pipeline's second job.
-func BenchmarkJob2Map(b *testing.B) {
+// benchJob2Side builds the Job-2 side data (schedule included) for a
+// full generated dataset, shared by the map- and reduce-side
+// benchmarks. It also returns the job-1 input and the reduce-task
+// count the schedule was generated for.
+func benchJob2Side(b *testing.B) (*job2Side, []mapreduce.KeyValue, int) {
+	b.Helper()
 	ds, gt := datagen.Publications(datagen.DefaultPublications(1500, 5))
 	opts := pubOptions(ds, gt, 5)
 	opts = opts.withDefaults()
 	cluster := mapreduce.Cluster{Machines: opts.Machines, SlotsPerMachine: opts.SlotsPerMachine}
-	stats, job1Res, err := blocking.RunJob1(ds, opts.Families, cluster, opts.Cost, 0)
+	stats, _, err := blocking.RunJob1(ds, opts.Families, cluster, opts.Cost, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	_ = job1Res
 	trees, err := stats.BuildForests(opts.Families)
 	if err != nil {
 		b.Fatal(err)
@@ -55,7 +57,14 @@ func BenchmarkJob2Map(b *testing.B) {
 		mech:     mechanism.SN{},
 		policy:   opts.Policy,
 	}
-	input := blocking.MakeJob1Input(ds)
+	return side, blocking.MakeJob1Input(ds), r
+}
+
+// BenchmarkJob2Map runs the expanded Job-2 map function over a full
+// dataset against a real generated schedule — the per-entity hot path
+// of the resolve pipeline's second job.
+func BenchmarkJob2Map(b *testing.B) {
+	side, input, _ := benchJob2Side(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -69,6 +78,81 @@ func BenchmarkJob2Map(b *testing.B) {
 		}
 		if emit.n == 0 {
 			b.Fatal("mapper emitted nothing")
+		}
+	}
+}
+
+// partEmitter collects map output per reduce partition without
+// copying values, exactly like the engine's shuffle: the mapper's
+// shared per-(entity, tree) buffers keep their pointer identity, which
+// is what the reducer's decode cache keys on.
+type partEmitter struct {
+	parts [][]mapreduce.KeyValue
+}
+
+func (e *partEmitter) Emit(key string, value []byte) {
+	r := Job2Partitioner(key, len(e.parts))
+	e.parts[r] = append(e.parts[r], mapreduce.KeyValue{Key: key, Value: value})
+}
+
+// BenchmarkJob2Reduce drives the Job-2 reduce function over real
+// shuffled map output, whole partitions at a time — the hot path the
+// per-task decode cache targets: every entity ⊕ dominance-list payload
+// is decoded once per tree rather than once per scheduled block.
+func BenchmarkJob2Reduce(b *testing.B) {
+	side, input, r := benchJob2Side(b)
+
+	// Map once, partition, and group — the reduce input the engine
+	// would hand each reduce task.
+	m := &Job2Mapper{side: side}
+	mctx := &mapreduce.TaskContext{Job: "bench", Type: mapreduce.MapTask, Cost: costmodel.Default()}
+	pe := &partEmitter{parts: make([][]mapreduce.KeyValue, r)}
+	for _, rec := range input {
+		if err := m.Map(mctx, rec, pe); err != nil {
+			b.Fatal(err)
+		}
+	}
+	type group struct {
+		key    string
+		values [][]byte
+	}
+	groups := make([][]group, r)
+	total := 0
+	for p, part := range pe.parts {
+		sort.SliceStable(part, func(i, j int) bool { return part[i].Key < part[j].Key })
+		for i := 0; i < len(part); {
+			j := i
+			for j < len(part) && part[j].Key == part[i].Key {
+				j++
+			}
+			vals := make([][]byte, 0, j-i)
+			for _, kv := range part[i:j] {
+				vals = append(vals, kv.Value)
+			}
+			groups[p] = append(groups[p], group{key: part[i].Key, values: vals})
+			total += j - i
+			i = j
+		}
+	}
+	if total == 0 {
+		b.Fatal("no reduce input")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := range groups {
+			red := &Job2Reducer{side: side}
+			ctx := &mapreduce.TaskContext{Job: "bench", Type: mapreduce.ReduceTask, Cost: costmodel.Default()}
+			if err := red.Setup(ctx); err != nil {
+				b.Fatal(err)
+			}
+			emit := &discardEmitter{}
+			for _, g := range groups[p] {
+				if err := red.Reduce(ctx, g.key, g.values, emit); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
 }

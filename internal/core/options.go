@@ -56,6 +56,10 @@ type Options struct {
 	// Workers caps host-machine concurrency (0 = GOMAXPROCS); never
 	// affects results or simulated timing.
 	Workers int
+	// Execution picks the engine for both jobs: the pipelined
+	// task-graph engine (default) or the barriered reference engine.
+	// Like Workers, a host knob that never affects results.
+	Execution mapreduce.ExecutionMode
 	// Faults, when non-nil, injects deterministic simulated task
 	// failures into both jobs' attempt runtimes (chaos testing).
 	// Injected faults are retried, timed out, or speculated around and
@@ -149,6 +153,8 @@ type BasicOptions struct {
 	SlotsPerMachine int
 	Cost            costmodel.Model
 	Workers         int
+	// Execution mirrors Options.Execution.
+	Execution mapreduce.ExecutionMode
 	// Faults and Retry mirror Options.Faults / Options.Retry.
 	Faults faults.Injector
 	Retry  mapreduce.RetryPolicy

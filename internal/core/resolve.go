@@ -68,6 +68,7 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 	// ---- Job 1: progressive blocking + statistics ----
 	job1Cfg := blocking.Job1Config(opts.Families, cluster, opts.Cost)
 	job1Cfg.Workers = opts.Workers
+	job1Cfg.Execution = opts.Execution
 	job1Cfg.Faults = opts.Faults
 	job1Cfg.Retry = opts.Retry
 	job1Cfg.Trace = opts.Trace
@@ -145,6 +146,7 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 		Cluster:        cluster,
 		Cost:           opts.Cost,
 		Workers:        opts.Workers,
+		Execution:      opts.Execution,
 		Faults:         opts.Faults,
 		Retry:          opts.Retry,
 		Trace:          opts.Trace,

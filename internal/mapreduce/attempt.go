@@ -292,15 +292,10 @@ func runPhase[T any](fr *faultRuntime, phase faults.Phase, workers, n int,
 	return outs, costs, nil
 }
 
-// speculatePhase runs the straggler pass: any task whose committed
-// attempt ran longer on the attempt timeline than the phase's
-// SpeculationQuantile of clean task costs (the same per-task cost
-// distribution the engine feeds obs's mr_task_cost_units histogram)
-// gets a duplicate attempt, launched the moment the straggler crossed
-// the threshold. First success wins the commit; the loser is killed.
-// Deterministic task functions make both attempts byte-identical,
-// which is verified here — speculation doubles as an engine
-// self-check.
+// speculatePhase runs the straggler pass for the barrier engine: once
+// every task is in, each is checked against the phase-wide straggler
+// threshold on the worker pool. The pipelined engine wires the same
+// per-task check (speculateTask) into its graph as non-blocking nodes.
 func speculatePhase[T any](fr *faultRuntime, phase faults.Phase, workers int,
 	outs []T, costs []costmodel.Units, exec func(i int) (T, costmodel.Units, error)) error {
 	n := len(outs)
@@ -311,53 +306,70 @@ func speculatePhase[T any](fr *faultRuntime, phase faults.Phase, workers int,
 	if thr <= 0 {
 		return nil
 	}
-	attempts := fr.phases[phase]
-	specIdx := fr.policy.MaxRetries + 2 // first attempt index past the retry ladder
 	return runPool(workers, n, func(i int) error {
-		ta := attempts[i]
-		if ta == nil || ta.committed < 0 || ta.commitDur <= thr {
+		return speculateTask(fr, phase, i, thr, outs[i], costs[i], exec)
+	})
+}
+
+// speculateTask runs the straggler check for one committed task: if
+// its committed attempt ran longer on the attempt timeline than thr
+// (the phase's SpeculationQuantile of clean task costs — the same
+// per-task cost distribution the engine feeds obs's mr_task_cost_units
+// histogram), it gets a duplicate attempt, launched the moment the
+// straggler crossed the threshold. First finisher wins the commit on
+// the attempt timeline; the loser is killed. Deterministic task
+// functions make both attempts byte-identical, which is verified here
+// — speculation doubles as an engine self-check. The caller's
+// committed output always stands either way (a winning backup is, by
+// the verified determinism, the same bytes), so speculation can never
+// block or perturb downstream consumers.
+func speculateTask[T any](fr *faultRuntime, phase faults.Phase, i int, thr costmodel.Units,
+	out T, cost costmodel.Units, exec func(i int) (T, costmodel.Units, error)) error {
+	ta := fr.phases[phase][i]
+	if ta == nil || ta.committed < 0 || ta.commitDur <= thr {
+		return nil
+	}
+	specIdx := fr.policy.MaxRetries + 2 // first attempt index past the retry ladder
+	f := fr.decide(phase, i, specIdx)
+	specOut, specCost, err := exec(i)
+	launch := ta.commitStart + thr // straggling detected thr units in
+	rec := attemptRecord{Attempt: specIdx, Speculative: true, Start: launch}
+	switch {
+	case err != nil:
+		// Unreachable for deterministic tasks (the committed attempt
+		// succeeded); recorded for completeness.
+		rec.Outcome, rec.Dur = outcomeError, specCost
+	case f.Kind == faults.Crash:
+		rec.Outcome, rec.Dur = outcomeCrash, specCost*crashFraction
+	case f.Kind == faults.Hang:
+		rec.Outcome, rec.Dur = outcomeTimeout, fr.timeout(specCost)
+	default:
+		rec.Outcome, rec.Dur = outcomeOK, specCost
+		if f.Kind == faults.Slow {
+			factor := f.Factor
+			if factor <= 1 {
+				factor = defaultSlowFactor
+			}
+			rec.Outcome, rec.Dur = outcomeSlow, specCost*factor
+		}
+		if launch+rec.Dur < ta.commitStart+ta.commitDur {
+			// The backup finishes first: it commits on the attempt
+			// timeline and the original is killed. Its output is verified
+			// byte-identical, so the already-published task output needs
+			// no replacement.
+			if specCost != cost || !reflect.DeepEqual(specOut, out) {
+				return fmt.Errorf("mapreduce: %s task %d speculative attempt diverged from committed attempt", phase, i)
+			}
+			ta.records[ta.committed].Killed = true
+			ta.records = append(ta.records, rec)
+			ta.committed = len(ta.records) - 1
+			ta.commitStart, ta.commitDur = launch, rec.Dur
 			return nil
 		}
-		f := fr.decide(phase, i, specIdx)
-		out, cost, err := exec(i)
-		launch := ta.commitStart + thr // straggling detected thr units in
-		rec := attemptRecord{Attempt: specIdx, Speculative: true, Start: launch}
-		switch {
-		case err != nil:
-			// Unreachable for deterministic tasks (the committed attempt
-			// succeeded); recorded for completeness.
-			rec.Outcome, rec.Dur = outcomeError, cost
-		case f.Kind == faults.Crash:
-			rec.Outcome, rec.Dur = outcomeCrash, cost*crashFraction
-		case f.Kind == faults.Hang:
-			rec.Outcome, rec.Dur = outcomeTimeout, fr.timeout(cost)
-		default:
-			rec.Outcome, rec.Dur = outcomeOK, cost
-			if f.Kind == faults.Slow {
-				factor := f.Factor
-				if factor <= 1 {
-					factor = defaultSlowFactor
-				}
-				rec.Outcome, rec.Dur = outcomeSlow, cost*factor
-			}
-			if launch+rec.Dur < ta.commitStart+ta.commitDur {
-				// The backup finishes first: it commits, the original is
-				// killed and its output discarded.
-				if cost != costs[i] || !reflect.DeepEqual(out, outs[i]) {
-					return fmt.Errorf("mapreduce: %s task %d speculative attempt diverged from committed attempt", phase, i)
-				}
-				ta.records[ta.committed].Killed = true
-				outs[i] = out
-				ta.records = append(ta.records, rec)
-				ta.committed = len(ta.records) - 1
-				ta.commitStart, ta.commitDur = launch, rec.Dur
-				return nil
-			}
-			rec.Killed = true // lost the race; the original commit stands
-		}
-		ta.records = append(ta.records, rec)
-		return nil
-	})
+		rec.Killed = true // lost the race; the original commit stands
+	}
+	ta.records = append(ta.records, rec)
+	return nil
 }
 
 // quantile returns the nearest-rank q-th quantile of xs.

@@ -40,93 +40,37 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 
 	tracing := cfg.Trace != nil
 	fr := newFaultRuntime(&cfg)
-
-	// ---- Map phase ----
 	splits := splitInput(input, cfg.NumMapTasks)
-	var mapWall, shufWall, reduceWall []wallSpan
-	if tracing {
-		mapWall = make([]wallSpan, cfg.NumMapTasks)
-		shufWall = make([]wallSpan, cfg.NumReduceTasks)
-		reduceWall = make([]wallSpan, cfg.NumReduceTasks)
+
+	// Task execution: both engines fill an identical phaseOutputs — the
+	// barrier engine with three phase-pool passes, the pipelined engine
+	// with a dependency-driven task graph — so everything below this
+	// point (the simulated schedule, Result, spans, metrics, quality)
+	// is engine-independent by construction.
+	var (
+		po  *phaseOutputs
+		err error
+	)
+	if cfg.Execution == ExecBarrier {
+		po, err = runBarrierEngine(&cfg, fr, workers, splits)
+	} else {
+		po, err = runPipelinedEngine(&cfg, fr, workers, splits)
 	}
-	mapRes, mapCosts, err := runPhase(fr, faults.Map, workers, cfg.NumMapTasks,
-		func(i int) (mapTaskResult, costmodel.Units, error) {
-			var w0 time.Time
-			if tracing {
-				w0 = time.Now()
-			}
-			out, cost, counters, spans, err := runMapTask(&cfg, i, splits[i])
-			if err != nil {
-				return mapTaskResult{}, 0, err
-			}
-			if tracing {
-				mapWall[i] = wallSpan{w0, time.Since(w0)}
-			}
-			return mapTaskResult{out: out, counters: counters, spans: spans}, cost, nil
-		})
 	if err != nil {
 		return nil, err
 	}
-	mapOuts := make([][][]KeyValue, cfg.NumMapTasks) // [task][partition][]kv
-	for i, r := range mapRes {
-		mapOuts[i] = r.out
-	}
+	mapRes, mapCosts := po.mapRes, po.mapCosts
+	reduceRes, reduceCosts := po.reduceRes, po.reduceCosts
+	mapWall, shufWall, reduceWall := po.mapWall, po.shufWall, po.reduceWall
 
 	jobStart := startAt
 	mapPhaseStart := jobStart + cfg.Cost.JobSetup
 	mapStarts, mapSlots, mapEnd := scheduleTasks(mapCosts, cfg.Cluster.Slots(), mapPhaseStart)
 
-	// ---- Shuffle: each map task pre-sorted its per-partition output,
-	// so a reduce task's input is a stable k-way merge of its map runs
-	// (ties broken by map-task index, reproducing the order a stable
-	// sort of the map-order concatenation would give). Partitions merge
-	// in parallel on the worker pool — in memory, or through the
-	// external spill-and-merge sorter when over the memory limit. ----
-	shufRes, _, err := runPhase(fr, faults.Shuffle, workers, cfg.NumReduceTasks,
-		func(r int) (shuffleTaskResult, costmodel.Units, error) {
-			var w0 time.Time
-			if tracing {
-				w0 = time.Now()
-			}
-			in, spilled, err := shuffleForTask(&cfg, mapOuts, r)
-			if err != nil {
-				return shuffleTaskResult{}, 0, err
-			}
-			if tracing {
-				shufWall[r] = wallSpan{w0, time.Since(w0)}
-			}
-			// The merge has no scheduled cost of its own (the reduce tasks
-			// price shuffling on the simulated clock); the attempt runtime
-			// keys timeouts and speculation off its simulated sort cost.
-			return shuffleTaskResult{in: in, spilledRuns: spilled}, cfg.Cost.ShuffleSortCost(len(in)), nil
-		})
-	if err != nil {
-		return nil, err
-	}
 	reduceIns := make([][]KeyValue, cfg.NumReduceTasks)
 	spilledRuns := make([]int64, cfg.NumReduceTasks)
-	for r, s := range shufRes {
+	for r, s := range po.shufRes {
 		reduceIns[r], spilledRuns[r] = s.in, s.spilledRuns
-	}
-
-	// ---- Reduce phase ----
-	reduceRes, reduceCosts, err := runPhase(fr, faults.Reduce, workers, cfg.NumReduceTasks,
-		func(i int) (reduceTaskResult, costmodel.Units, error) {
-			var w0 time.Time
-			if tracing {
-				w0 = time.Now()
-			}
-			out, cost, counters, spans, qobs, err := runReduceTask(&cfg, i, reduceIns[i])
-			if err != nil {
-				return reduceTaskResult{}, 0, err
-			}
-			if tracing {
-				reduceWall[i] = wallSpan{w0, time.Since(w0)}
-			}
-			return reduceTaskResult{out: out, counters: counters, spans: spans, qobs: qobs}, cost, nil
-		})
-	if err != nil {
-		return nil, err
 	}
 	reduceOuts := make([][]TimedKV, cfg.NumReduceTasks)
 	for i, r := range reduceRes {
@@ -227,6 +171,124 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 		}
 	}
 	return res, nil
+}
+
+// phaseOutputs is everything task execution produces, indexed by task.
+// Both engines (barrier and pipelined) must fill it identically: the
+// finalize half of Run derives the simulated schedule, Result, spans,
+// metrics, and quality exports from it, which is what keeps the two
+// engines byte-equivalent.
+type phaseOutputs struct {
+	mapRes      []mapTaskResult
+	mapCosts    []costmodel.Units
+	shufRes     []shuffleTaskResult
+	reduceRes   []reduceTaskResult
+	reduceCosts []costmodel.Units
+	// Host wall-clock measurements per stage; allocated (and recorded)
+	// only when tracing. Wall data never feeds the simulated timeline.
+	mapWall, shufWall, reduceWall []wallSpan
+}
+
+func newPhaseOutputs(cfg *Config) *phaseOutputs {
+	po := &phaseOutputs{}
+	if cfg.Trace != nil {
+		po.mapWall = make([]wallSpan, cfg.NumMapTasks)
+		po.shufWall = make([]wallSpan, cfg.NumReduceTasks)
+		po.reduceWall = make([]wallSpan, cfg.NumReduceTasks)
+	}
+	return po
+}
+
+// mapExec, shuffleExec, and reduceExec build the deterministic
+// per-task execution closures shared by the barrier engine, the
+// pipelined engine, and the speculation pass. Each records a host wall
+// span when `wall` is non-nil (tracing); re-executions (retries,
+// speculation) overwrite the wall measurement, never the committed
+// deterministic output.
+func mapExec(cfg *Config, splits [][]KeyValue, wall []wallSpan) func(i int) (mapTaskResult, costmodel.Units, error) {
+	return func(i int) (mapTaskResult, costmodel.Units, error) {
+		var w0 time.Time
+		if wall != nil {
+			w0 = time.Now()
+		}
+		out, cost, counters, spans, err := runMapTask(cfg, i, splits[i])
+		if err != nil {
+			return mapTaskResult{}, 0, err
+		}
+		if wall != nil {
+			wall[i] = wallSpan{w0, time.Since(w0)}
+		}
+		return mapTaskResult{out: out, counters: counters, spans: spans}, cost, nil
+	}
+}
+
+func shuffleExec(cfg *Config, mapOuts [][][]KeyValue, wall []wallSpan) func(r int) (shuffleTaskResult, costmodel.Units, error) {
+	return func(r int) (shuffleTaskResult, costmodel.Units, error) {
+		var w0 time.Time
+		if wall != nil {
+			w0 = time.Now()
+		}
+		in, spilled, err := shuffleForTask(cfg, mapOuts, r)
+		if err != nil {
+			return shuffleTaskResult{}, 0, err
+		}
+		if wall != nil {
+			wall[r] = wallSpan{w0, time.Since(w0)}
+		}
+		// The merge has no scheduled cost of its own (the reduce tasks
+		// price shuffling on the simulated clock); the attempt runtime
+		// keys timeouts and speculation off its simulated sort cost.
+		return shuffleTaskResult{in: in, spilledRuns: spilled}, cfg.Cost.ShuffleSortCost(len(in)), nil
+	}
+}
+
+func reduceExec(cfg *Config, shufRes []shuffleTaskResult, wall []wallSpan) func(i int) (reduceTaskResult, costmodel.Units, error) {
+	return func(i int) (reduceTaskResult, costmodel.Units, error) {
+		var w0 time.Time
+		if wall != nil {
+			w0 = time.Now()
+		}
+		out, cost, counters, spans, qobs, err := runReduceTask(cfg, i, shufRes[i].in)
+		if err != nil {
+			return reduceTaskResult{}, 0, err
+		}
+		if wall != nil {
+			wall[i] = wallSpan{w0, time.Since(w0)}
+		}
+		return reduceTaskResult{out: out, counters: counters, spans: spans, qobs: qobs}, cost, nil
+	}
+}
+
+// runBarrierEngine is the reference execution: three fully barriered
+// phases (map → shuffle → reduce), each a worker-pool pass over its
+// tasks. The shuffle stage stably k-way merges each partition's
+// pre-sorted map runs (ties to the lower map-task index, reproducing
+// the order a stable sort of the map-order concatenation would give) —
+// in memory, or through the external spill-and-merge sorter when over
+// the memory limit.
+func runBarrierEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]KeyValue) (*phaseOutputs, error) {
+	po := newPhaseOutputs(cfg)
+	var err error
+	po.mapRes, po.mapCosts, err = runPhase(fr, faults.Map, workers, cfg.NumMapTasks,
+		mapExec(cfg, splits, po.mapWall))
+	if err != nil {
+		return nil, err
+	}
+	mapOuts := make([][][]KeyValue, cfg.NumMapTasks) // [task][partition][]kv
+	for i, r := range po.mapRes {
+		mapOuts[i] = r.out
+	}
+	po.shufRes, _, err = runPhase(fr, faults.Shuffle, workers, cfg.NumReduceTasks,
+		shuffleExec(cfg, mapOuts, po.shufWall))
+	if err != nil {
+		return nil, err
+	}
+	po.reduceRes, po.reduceCosts, err = runPhase(fr, faults.Reduce, workers, cfg.NumReduceTasks,
+		reduceExec(cfg, po.shufRes, po.reduceWall))
+	if err != nil {
+		return nil, err
+	}
+	return po, nil
 }
 
 // mapTaskResult, shuffleTaskResult, and reduceTaskResult bundle each
@@ -333,6 +395,12 @@ func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) ([]KeyValue, int
 			n += len(mapOuts[m][r])
 		}
 	}
+	if len(runs) == 1 {
+		// Single-contributor partition: the run is already the reduce
+		// input, so skip the merge (and spill) machinery entirely. The
+		// run is aliased, not copied — reduce inputs are read-only.
+		return runs[0], 0, nil
+	}
 	if cfg.ShuffleMemLimit <= 0 || n <= cfg.ShuffleMemLimit {
 		return mergeSortedRuns(runs, n), 0, nil
 	}
@@ -382,20 +450,7 @@ func mergeSortedRuns(runs [][]KeyValue, total int) []KeyValue {
 		return runs[0]
 	case 2:
 		// Two-way fast path: the common small-job shape.
-		a, b := runs[0], runs[1]
-		out := make([]KeyValue, 0, total)
-		i, j := 0, 0
-		for i < len(a) && j < len(b) {
-			if a[i].Key <= b[j].Key { // ties go to the earlier map task
-				out = append(out, a[i])
-				i++
-			} else {
-				out = append(out, b[j])
-				j++
-			}
-		}
-		out = append(out, a[i:]...)
-		return append(out, b[j:]...)
+		return mergeTwo(runs[0], runs[1])
 	}
 	// Index-based loser tree over the run cursors: the same tournament
 	// extsort.Merger plays, specialized to slice sources so the hot loop
@@ -452,6 +507,35 @@ func mergeSortedRuns(runs [][]KeyValue, total int) []KeyValue {
 		tree[0] = winner
 	}
 	return out
+}
+
+// mergeTwo stably merges two key-sorted runs; a takes ties (it must
+// hold the lower map-task range). An empty side aliases the other run
+// unchanged — reduce inputs are read-only, so sharing is safe — which
+// makes single-contributor merges free. Pairwise merges of adjacent
+// map-index ranges compose to exactly the k-way stable merge order,
+// which is what lets the pipelined engine assemble a partition
+// incrementally without changing a byte of the result.
+func mergeTwo(a, b []KeyValue) []KeyValue {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]KeyValue, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Key <= b[j].Key { // ties go to the earlier map task
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // splitInput divides input into n contiguous, near-equal splits.

@@ -118,6 +118,27 @@ func HashPartitioner(key string, numReduce int) int {
 	return int(h % uint64(numReduce))
 }
 
+// ExecutionMode selects how the engine executes a job's tasks on the
+// host machine. Like Workers, it is purely a host-side knob: both modes
+// produce byte-identical Results, traces, counters, and quality
+// exports, because all timing comes from the simulated cost model.
+type ExecutionMode int
+
+const (
+	// ExecPipelined (the default) runs the job as a dependency-driven
+	// task graph on one shared worker pool: a partition's shuffle merge
+	// starts incrementally as its map-side sorted runs commit, and
+	// reduce task r fires the moment its merge completes — no phase
+	// barriers, so one straggling task no longer serializes the whole
+	// pipeline.
+	ExecPipelined ExecutionMode = iota
+	// ExecBarrier runs the job as three fully barriered phases
+	// (map → shuffle → reduce), each on its own worker-pool pass. Kept
+	// in-tree as the reference implementation the pipelined engine is
+	// equivalence-tested and benchmarked against.
+	ExecBarrier
+)
+
 // Cluster describes the simulated hardware: the paper runs at most two
 // concurrent map and two concurrent reduce tasks per machine (§VI-A1).
 type Cluster struct {
@@ -156,6 +177,9 @@ type Config struct {
 	// defaults to GOMAXPROCS. Purely a host-machine knob: it cannot
 	// change results or simulated timing.
 	Workers int
+	// Execution picks the pipelined task-graph engine (default) or the
+	// barriered reference engine. A host-machine knob like Workers.
+	Execution ExecutionMode
 	// ShuffleMemLimit, when > 0, bounds the records a reduce task's
 	// shuffle may buffer in host memory; beyond it, sorted runs spill
 	// to SpillDir and are k-way merged (Hadoop's spill-and-merge
@@ -216,6 +240,9 @@ func (c *Config) validate() error {
 	}
 	if q := c.Retry.SpeculationQuantile; q < 0 || q >= 1 {
 		return fmt.Errorf("mapreduce: job %q: speculation quantile %v outside [0,1)", c.Name, q)
+	}
+	if c.Execution != ExecPipelined && c.Execution != ExecBarrier {
+		return fmt.Errorf("mapreduce: job %q: unknown execution mode %d", c.Name, c.Execution)
 	}
 	return nil
 }

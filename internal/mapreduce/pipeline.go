@@ -1,0 +1,474 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"proger/internal/costmodel"
+	"proger/internal/faults"
+)
+
+// This file implements the pipelined engine (ExecPipelined): instead
+// of three barriered phase passes, the whole job becomes one static
+// dependency DAG executed on one shared worker pool. A node is
+// dispatched the moment its last dependency completes, so map output
+// flows into shuffle merges and shuffle output into reduce tasks
+// without any global barrier — a straggling map task only delays the
+// partitions it actually feeds work into, not the whole cluster.
+//
+// The graph per job:
+//
+//	map m  ──┬─▶ shuffle merge(s) for partition r ──▶ reduce r
+//	         └─▶ (speculation gate ──▶ per-task speculation checks)
+//
+// Determinism is preserved because nothing about real execution order
+// is observable: every node writes only its own task-indexed slots of
+// phaseOutputs, and the simulated schedule, Result, spans, metrics,
+// and quality exports are all derived afterwards from those outputs —
+// exactly as in the barrier engine.
+
+// nodePhase ranks graph nodes for deterministic error reporting,
+// mirroring the barrier engine's phase order.
+type nodePhase int
+
+const (
+	nodeMap nodePhase = iota
+	nodeShuffle
+	nodeReduce
+	nodeSpecMap
+	nodeSpecShuffle
+	nodeSpecReduce
+)
+
+// nodeKey identifies a node's (phase, task) for error attribution.
+// Several merge nodes may share one shuffle key; seq breaks ties.
+type nodeKey struct {
+	phase nodePhase
+	task  int
+}
+
+// dagNode is one schedulable unit of engine work.
+type dagNode struct {
+	key nodeKey
+	seq int // insertion order; error-ordering tie-break
+	run func() error
+	// waits counts unmet dependencies; mutated only under dagRun.mu.
+	waits int
+	succs []*dagNode
+}
+
+// taskGraph is a static dependency DAG. Build it single-threaded with
+// node/edge, then call execute exactly once.
+type taskGraph struct {
+	nodes []*dagNode
+}
+
+func (g *taskGraph) node(key nodeKey, run func() error) *dagNode {
+	n := &dagNode{key: key, seq: len(g.nodes), run: run}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+func (g *taskGraph) edge(from, to *dagNode) {
+	from.succs = append(from.succs, to)
+	to.waits++
+}
+
+// dagRun is the mutable state of one graph execution. Ready nodes
+// flow through the buffered `ready` channel (capacity = node count,
+// so enqueues never block); bookkeeping is guarded by mu. Completion
+// of a node happens-before dispatch of its successors, which is what
+// makes single-writer task slots safe to read downstream without
+// atomics.
+type dagRun struct {
+	ready    chan *dagNode
+	done     chan struct{}
+	mu       sync.Mutex
+	undone   int // nodes not yet completed
+	inflight int // nodes currently executing
+	failed   bool
+	failures []nodeFailure
+}
+
+type nodeFailure struct {
+	key nodeKey
+	seq int
+	err error
+}
+
+// execute runs the graph on up to `workers` goroutines. After the
+// first failure no further node is dispatched (in-flight nodes drain),
+// and every collected failure is reported, joined in deterministic
+// (phase, task, insertion) order — the same stop-dispatch-and-join
+// contract runPool gives the barrier engine. A panicking node becomes
+// a node failure with runPool's message shape rather than a dead
+// engine.
+func (g *taskGraph) execute(workers int) error {
+	if len(g.nodes) == 0 {
+		return nil
+	}
+	if workers > len(g.nodes) {
+		workers = len(g.nodes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &dagRun{
+		ready:  make(chan *dagNode, len(g.nodes)),
+		done:   make(chan struct{}),
+		undone: len(g.nodes),
+	}
+	for _, n := range g.nodes {
+		if n.waits == 0 {
+			r.ready <- n
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.work()
+		}()
+	}
+	wg.Wait()
+	if len(r.failures) == 0 {
+		return nil
+	}
+	sort.Slice(r.failures, func(i, j int) bool {
+		a, b := r.failures[i], r.failures[j]
+		if a.key.phase != b.key.phase {
+			return a.key.phase < b.key.phase
+		}
+		if a.key.task != b.key.task {
+			return a.key.task < b.key.task
+		}
+		return a.seq < b.seq
+	})
+	errs := make([]error, len(r.failures))
+	for i, f := range r.failures {
+		errs[i] = f.err
+	}
+	return errors.Join(errs...)
+}
+
+// work is one worker's dispatch loop. A queued node is only executed
+// if no failure has landed yet — after the first failure, queued nodes
+// are drained without running (stop-dispatch), in-flight nodes finish,
+// and the last completion closes `done`.
+func (r *dagRun) work() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case n := <-r.ready:
+			r.mu.Lock()
+			if r.failed {
+				r.mu.Unlock()
+				continue
+			}
+			r.inflight++
+			r.mu.Unlock()
+			// Each node runs on a fresh goroutine (the worker blocks on
+			// it, so concurrency stays capped at `workers`). This mirrors
+			// runPool's per-phase goroutines: task goroutines start with
+			// zero GC assist debt, instead of long-lived workers
+			// accumulating the whole job's debt and stalling on assists.
+			ch := make(chan error, 1)
+			go func() { ch <- runNodeSafe(n) }()
+			r.complete(n, <-ch)
+		}
+	}
+}
+
+// complete records one node's outcome and enqueues newly-ready
+// successors; when the graph can make no further progress — all nodes
+// done, or a failure landed and the in-flight tail drained — it closes
+// `done` to release the workers.
+func (r *dagRun) complete(n *dagNode, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inflight--
+	r.undone--
+	if err != nil {
+		r.failures = append(r.failures, nodeFailure{key: n.key, seq: n.seq, err: err})
+		r.failed = true
+	} else if !r.failed {
+		for _, s := range n.succs {
+			s.waits--
+			if s.waits == 0 {
+				r.ready <- s // buffered to node count; never blocks
+			}
+		}
+	}
+	if r.undone == 0 || (r.failed && r.inflight == 0) {
+		close(r.done)
+	}
+}
+
+func runNodeSafe(n *dagNode) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("mapreduce: task %d panicked: %v", n.key.task, p)
+		}
+	}()
+	return n.run()
+}
+
+// runAttempted executes one task body — through the attempt runtime's
+// retry ladder when it is active, directly otherwise — recording the
+// attempt history in att[i]. Identical to what runPhase does per task,
+// shared here so both engines produce identical attempt records.
+func runAttempted[T any](fr *faultRuntime, phase faults.Phase, att []*taskAttempts, i int,
+	exec func(i int) (T, costmodel.Units, error)) (T, costmodel.Units, error) {
+	if fr == nil {
+		return exec(i)
+	}
+	out, cost, ta, err := runTaskAttempts(fr, phase, i, func() (T, costmodel.Units, error) {
+		return exec(i)
+	})
+	att[i] = ta
+	return out, cost, err
+}
+
+// runPipelinedEngine executes the job as a dependency-driven task
+// graph, filling phaseOutputs byte-identically to runBarrierEngine.
+func runPipelinedEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]KeyValue) (*phaseOutputs, error) {
+	M, R := cfg.NumMapTasks, cfg.NumReduceTasks
+	po := newPhaseOutputs(cfg)
+	po.mapRes = make([]mapTaskResult, M)
+	po.mapCosts = make([]costmodel.Units, M)
+	po.shufRes = make([]shuffleTaskResult, R)
+	po.reduceRes = make([]reduceTaskResult, R)
+	po.reduceCosts = make([]costmodel.Units, R)
+
+	mapOuts := make([][][]KeyValue, M) // [task][partition][]kv
+	mExec := mapExec(cfg, splits, po.mapWall)
+	sExec := shuffleExec(cfg, mapOuts, po.shufWall)
+	rExec := reduceExec(cfg, po.shufRes, po.reduceWall)
+
+	// All three phases' attempt slots are allocated up front: with no
+	// barriers, tasks of different phases run interleaved, and each
+	// node writes only its own index.
+	var mapAtt, shufAtt, redAtt []*taskAttempts
+	if fr != nil {
+		mapAtt = fr.beginPhase(faults.Map, M)
+		shufAtt = fr.beginPhase(faults.Shuffle, R)
+		redAtt = fr.beginPhase(faults.Reduce, R)
+	}
+
+	g := &taskGraph{}
+	mapNodes := make([]*dagNode, M)
+	for m := 0; m < M; m++ {
+		m := m
+		mapNodes[m] = g.node(nodeKey{nodeMap, m}, func() error {
+			out, cost, err := runAttempted(fr, faults.Map, mapAtt, m, mExec)
+			if err != nil {
+				return err
+			}
+			po.mapRes[m], po.mapCosts[m] = out, cost
+			mapOuts[m] = out.out
+			return nil
+		})
+	}
+
+	// Shuffle wiring. With no fault runtime and no spill limit, each
+	// partition merges incrementally: a binary tree of pairwise stable
+	// merges over adjacent map-index ranges, each node firing as soon
+	// as its two inputs commit — partition r's input starts assembling
+	// while other map tasks are still running. Pairwise adjacent stable
+	// merges compose to exactly the k-way stable merge order, so the
+	// bytes match the barrier shuffle.
+	//
+	// With the attempt runtime or the spill path active, a partition's
+	// shuffle must remain ONE attempt-tracked unit of work — fault
+	// decisions are keyed (phase, task, attempt) and the spill decision
+	// needs the partition's total record count — so it runs as a single
+	// node (shuffleForTask) gated on all map tasks, preserving the
+	// barrier engine's attempt history and spill counts byte-for-byte.
+	//
+	// The tree trades extra intermediate copies for overlap, so it is
+	// only worth building when the host can actually run merge nodes
+	// beside still-executing map tasks: with one worker or one
+	// schedulable CPU it is pure copy overhead and the single-node
+	// k-way merge is used instead. Either way the merged bytes — and
+	// hence everything derived from them — are identical.
+	hostParallel := workers > 1 && runtime.GOMAXPROCS(0) > 1
+	premerge := fr == nil && cfg.ShuffleMemLimit <= 0 && M > 1 && hostParallel
+	shufNodes := make([]*dagNode, R)
+	for r := 0; r < R; r++ {
+		r := r
+		if premerge {
+			var wt *mergeWall
+			if po.shufWall != nil {
+				wt = &mergeWall{}
+			}
+			shufNodes[r], _ = buildMergeRange(g, po, mapNodes, mapOuts, wt, r, 0, M, true)
+		} else {
+			shufNodes[r] = g.node(nodeKey{nodeShuffle, r}, func() error {
+				out, _, err := runAttempted(fr, faults.Shuffle, shufAtt, r, sExec)
+				if err != nil {
+					return err
+				}
+				// Like the barrier engine, the merge's simulated sort cost
+				// is dropped here: reduce tasks price shuffling on the
+				// simulated clock.
+				po.shufRes[r] = out
+				return nil
+			})
+			for _, mn := range mapNodes {
+				g.edge(mn, shufNodes[r])
+			}
+		}
+	}
+
+	redNodes := make([]*dagNode, R)
+	for i := 0; i < R; i++ {
+		i := i
+		redNodes[i] = g.node(nodeKey{nodeReduce, i}, func() error {
+			out, cost, err := runAttempted(fr, faults.Reduce, redAtt, i, rExec)
+			if err != nil {
+				return err
+			}
+			po.reduceRes[i], po.reduceCosts[i] = out, cost
+			return nil
+		})
+		g.edge(shufNodes[i], redNodes[i])
+	}
+
+	if fr != nil && fr.policy.Speculation {
+		addSpeculationNodes(g, fr, faults.Map, nodeSpecMap, mapNodes, po.mapRes, po.mapCosts, mExec)
+		// The shuffle phase speculates off its simulated sort costs,
+		// which runPhase returns but both engines otherwise discard;
+		// recompute them the same way for the gate's quantile.
+		shufCosts := make([]costmodel.Units, R)
+		shufCostOf := func(i int) costmodel.Units { return cfg.Cost.ShuffleSortCost(len(po.shufRes[i].in)) }
+		addSpeculationNodesWithCosts(g, fr, faults.Shuffle, nodeSpecShuffle, shufNodes, po.shufRes, shufCosts, shufCostOf, sExec)
+		addSpeculationNodes(g, fr, faults.Reduce, nodeSpecReduce, redNodes, po.reduceRes, po.reduceCosts, rExec)
+	}
+
+	if err := g.execute(workers); err != nil {
+		return nil, err
+	}
+	return po, nil
+}
+
+// mergeWall tracks the host wall window of one partition's incremental
+// merge (first merge-node start → last merge-node end), tracing only.
+type mergeWall struct {
+	mu          sync.Mutex
+	first, last time.Time
+}
+
+func (w *mergeWall) begin() {
+	now := time.Now()
+	w.mu.Lock()
+	if w.first.IsZero() || now.Before(w.first) {
+		w.first = now
+	}
+	w.mu.Unlock()
+}
+
+func (w *mergeWall) end() {
+	now := time.Now()
+	w.mu.Lock()
+	if now.After(w.last) {
+		w.last = now
+	}
+	w.mu.Unlock()
+}
+
+func (w *mergeWall) span() wallSpan {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return wallSpan{w.first, w.last.Sub(w.first)}
+}
+
+// buildMergeRange builds partition r's incremental merge over the map
+// tasks in [lo, hi). A leaf (hi-lo == 1) is the map node itself, its
+// output the map task's pre-sorted run for r; an internal node stably
+// merges its two halves the moment both commit. The returned getter is
+// valid once the returned node has completed. The root node publishes
+// the partition's shuffleTaskResult (spilledRuns 0, matching the
+// barrier engine's in-memory path).
+func buildMergeRange(g *taskGraph, po *phaseOutputs, mapNodes []*dagNode, mapOuts [][][]KeyValue,
+	wt *mergeWall, r, lo, hi int, root bool) (*dagNode, func() []KeyValue) {
+	if hi-lo == 1 {
+		return mapNodes[lo], func() []KeyValue { return mapOuts[lo][r] }
+	}
+	mid := (lo + hi) / 2
+	ln, lget := buildMergeRange(g, po, mapNodes, mapOuts, wt, r, lo, mid, false)
+	rn, rget := buildMergeRange(g, po, mapNodes, mapOuts, wt, r, mid, hi, false)
+	out := new([]KeyValue)
+	n := g.node(nodeKey{nodeShuffle, r}, func() error {
+		if wt != nil {
+			wt.begin()
+		}
+		*out = mergeTwo(lget(), rget())
+		if wt != nil {
+			wt.end()
+		}
+		if root {
+			po.shufRes[r] = shuffleTaskResult{in: *out}
+			if wt != nil {
+				po.shufWall[r] = wt.span()
+			}
+		}
+		return nil
+	})
+	g.edge(ln, n)
+	g.edge(rn, n)
+	return n, func() []KeyValue { return *out }
+}
+
+// addSpeculationNodes wires one phase's straggler pass into the graph:
+// a gate node, dependent on every task of the phase, computes the
+// straggler threshold (the quantile needs the whole phase's cost
+// distribution — the one ordering constraint speculation genuinely
+// has); then one node per task runs the same speculateTask check the
+// barrier engine uses. Speculation nodes have no successors — a
+// winning backup is verified byte-identical to the committed output —
+// so reduce work never waits on them.
+func addSpeculationNodes[T any](g *taskGraph, fr *faultRuntime, phase faults.Phase, np nodePhase,
+	taskNodes []*dagNode, outs []T, costs []costmodel.Units, exec func(i int) (T, costmodel.Units, error)) {
+	addSpeculationNodesWithCosts(g, fr, phase, np, taskNodes, outs, costs,
+		func(i int) costmodel.Units { return costs[i] }, exec)
+}
+
+// addSpeculationNodesWithCosts is addSpeculationNodes for phases whose
+// per-task clean costs are not retained in phaseOutputs (the shuffle):
+// costOf recomputes task i's cost and the gate fills `costs` before
+// taking the quantile.
+func addSpeculationNodesWithCosts[T any](g *taskGraph, fr *faultRuntime, phase faults.Phase, np nodePhase,
+	taskNodes []*dagNode, outs []T, costs []costmodel.Units, costOf func(i int) costmodel.Units,
+	exec func(i int) (T, costmodel.Units, error)) {
+	n := len(taskNodes)
+	if n < 2 {
+		return
+	}
+	var thr costmodel.Units
+	gate := g.node(nodeKey{np, -1}, func() error {
+		for i := range costs {
+			costs[i] = costOf(i)
+		}
+		thr = quantile(costs, fr.policy.SpeculationQuantile)
+		return nil
+	})
+	for _, tn := range taskNodes {
+		g.edge(tn, gate)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		sn := g.node(nodeKey{np, i}, func() error {
+			if thr <= 0 {
+				return nil
+			}
+			return speculateTask(fr, phase, i, thr, outs[i], costs[i], exec)
+		})
+		g.edge(gate, sn)
+	}
+}

@@ -1,0 +1,278 @@
+package mapreduce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"proger/internal/faults"
+	"proger/internal/obs"
+)
+
+// ---- taskGraph unit tests ----
+
+// TestTaskGraphRespectsDependencies runs a diamond a→{b,c}→d many
+// times concurrently and asserts every observed completion order is a
+// topological order of the graph.
+func TestTaskGraphRespectsDependencies(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		var mu sync.Mutex
+		var order []string
+		mark := func(name string) func() error {
+			return func() error {
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+				return nil
+			}
+		}
+		g := &taskGraph{}
+		a := g.node(nodeKey{nodeMap, 0}, mark("a"))
+		b := g.node(nodeKey{nodeShuffle, 0}, mark("b"))
+		c := g.node(nodeKey{nodeShuffle, 1}, mark("c"))
+		d := g.node(nodeKey{nodeReduce, 0}, mark("d"))
+		g.edge(a, b)
+		g.edge(a, c)
+		g.edge(b, d)
+		g.edge(c, d)
+		if err := g.execute(4); err != nil {
+			t.Fatal(err)
+		}
+		pos := map[string]int{}
+		for i, name := range order {
+			pos[name] = i
+		}
+		if len(pos) != 4 {
+			t.Fatalf("ran %d nodes, want 4 (order %v)", len(pos), order)
+		}
+		for _, dep := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}} {
+			if pos[dep[0]] > pos[dep[1]] {
+				t.Fatalf("node %q ran before its dependency %q (order %v)", dep[1], dep[0], order)
+			}
+		}
+	}
+}
+
+// TestTaskGraphFailureStopsDispatch: once a node fails, no
+// not-yet-dispatched node runs — including ready siblings still in the
+// queue when the failure lands (workers=1 makes that deterministic).
+func TestTaskGraphFailureStopsDispatch(t *testing.T) {
+	var ran []string
+	g := &taskGraph{}
+	a := g.node(nodeKey{nodeMap, 0}, func() error {
+		ran = append(ran, "a")
+		return errors.New("boom")
+	})
+	b := g.node(nodeKey{nodeMap, 1}, func() error {
+		ran = append(ran, "b")
+		return nil
+	})
+	c := g.node(nodeKey{nodeReduce, 0}, func() error {
+		ran = append(ran, "c")
+		return nil
+	})
+	g.edge(a, c)
+	g.edge(b, c)
+	err := g.execute(1)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !reflect.DeepEqual(ran, []string{"a"}) {
+		t.Errorf("ran %v, want only the failing node", ran)
+	}
+}
+
+// TestTaskGraphPanicBecomesError: a panicking node is converted to the
+// same error shape runPool produces, not a dead process.
+func TestTaskGraphPanicBecomesError(t *testing.T) {
+	g := &taskGraph{}
+	g.node(nodeKey{nodeMap, 7}, func() error { panic("kaboom") })
+	err := g.execute(2)
+	if err == nil || !strings.Contains(err.Error(), "task 7 panicked: kaboom") {
+		t.Fatalf("err = %v, want task-7 panic error", err)
+	}
+}
+
+// TestTaskGraphFailureOrderDeterministic: failures collected from
+// concurrently running nodes are always reported in (phase, task)
+// order, no matter which finished first.
+func TestTaskGraphFailureOrderDeterministic(t *testing.T) {
+	want := "mapreduce: map task 1 failed\nmapreduce: reduce task 0 failed"
+	for trial := 0; trial < 30; trial++ {
+		g := &taskGraph{}
+		// Both roots are ready immediately and run concurrently.
+		g.node(nodeKey{nodeReduce, 0}, func() error {
+			return errors.New("mapreduce: reduce task 0 failed")
+		})
+		g.node(nodeKey{nodeMap, 1}, func() error {
+			return errors.New("mapreduce: map task 1 failed")
+		})
+		err := g.execute(2)
+		if err == nil {
+			t.Fatal("no error")
+		}
+		if got := err.Error(); got != want {
+			// Both may not always fail (first failure stops dispatch only
+			// for queued nodes; these two are usually both in flight). If
+			// only one landed, it must still be a clean single error.
+			if got != "mapreduce: map task 1 failed" && got != "mapreduce: reduce task 0 failed" {
+				t.Fatalf("trial %d: err = %q", trial, got)
+			}
+		}
+	}
+}
+
+// TestTaskGraphWorkerClamp: degenerate worker counts still complete.
+func TestTaskGraphWorkerClamp(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 100} {
+		n := 0
+		g := &taskGraph{}
+		g.node(nodeKey{nodeMap, 0}, func() error { n++; return nil })
+		if err := g.execute(workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n != 1 {
+			t.Fatalf("workers=%d: node ran %d times", workers, n)
+		}
+	}
+	if err := (&taskGraph{}).execute(4); err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+}
+
+// ---- barrier ↔ pipelined equivalence ----
+
+// forceHostParallel raises GOMAXPROCS to at least 2 for the test's
+// duration so the pipelined engine's incremental-premerge path (gated
+// on host parallelism) is exercised even on single-CPU machines.
+func forceHostParallel(t *testing.T) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < 2 {
+		runtime.GOMAXPROCS(2)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+// pipelineVariants returns named config mutations covering the engine
+// paths that diverge structurally between the two execution modes:
+// the incremental premerge (plain), the combiner path, the spill path
+// (single shuffle node), and skewed task counts.
+func pipelineVariants() map[string]func(*Config) {
+	return map[string]func(*Config){
+		"plain":       func(cfg *Config) {},
+		"combiner":    func(cfg *Config) { cfg.Combine = sumCombiner },
+		"spill":       func(cfg *Config) { cfg.ShuffleMemLimit = 2 },
+		"singlemap":   func(cfg *Config) { cfg.NumMapTasks = 1 },
+		"manyreduce":  func(cfg *Config) { cfg.NumReduceTasks = 5 },
+		"singleslots": func(cfg *Config) { cfg.Cluster = Cluster{Machines: 1, SlotsPerMachine: 1} },
+	}
+}
+
+// TestPipelinedMatchesBarrier: the full Result — output bytes,
+// timestamps, counters, schedule, slot assignments — must be identical
+// between the barriered reference engine and the pipelined engine, for
+// every variant × worker count.
+func TestPipelinedMatchesBarrier(t *testing.T) {
+	forceHostParallel(t)
+	for name, mutate := range pipelineVariants() {
+		for _, workers := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(t *testing.T) {
+				bCfg := wordCountConfig(workers)
+				mutate(&bCfg)
+				bCfg.Execution = ExecBarrier
+				pCfg := wordCountConfig(workers)
+				mutate(&pCfg)
+				pCfg.Execution = ExecPipelined
+
+				bRes, err := Run(bCfg, wordCountInput(), 0)
+				if err != nil {
+					t.Fatalf("barrier: %v", err)
+				}
+				pRes, err := Run(pCfg, wordCountInput(), 0)
+				if err != nil {
+					t.Fatalf("pipelined: %v", err)
+				}
+				if !reflect.DeepEqual(bRes, pRes) {
+					t.Errorf("Result diverged between engines:\nbarrier:   %+v\npipelined: %+v", bRes, pRes)
+				}
+			})
+		}
+	}
+}
+
+// TestPipelinedMatchesBarrierUnderFaults extends the equivalence to
+// the attempt runtime: with deterministic fault injection, retries,
+// and speculation active, both engines must produce the identical
+// Result at every worker count.
+func TestPipelinedMatchesBarrierUnderFaults(t *testing.T) {
+	forceHostParallel(t)
+	for _, rate := range []float64{0, 0.5} {
+		for _, workers := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("rate=%v/workers=%d", rate, workers), func(t *testing.T) {
+				run := func(mode ExecutionMode) *Result {
+					cfg := wordCountConfig(workers)
+					cfg.Execution = mode
+					if rate > 0 {
+						cfg.Faults = faults.NewSeeded(11, rate)
+						cfg.Retry = RetryPolicy{MaxRetries: 3, Speculation: true}
+					}
+					res, err := Run(cfg, wordCountInput(), 0)
+					if err != nil {
+						t.Fatalf("mode=%v: %v", mode, err)
+					}
+					return res
+				}
+				bRes := run(ExecBarrier)
+				pRes := run(ExecPipelined)
+				if !reflect.DeepEqual(bRes, pRes) {
+					t.Errorf("Result diverged under faults:\nbarrier:   %+v\npipelined: %+v", bRes, pRes)
+				}
+			})
+		}
+	}
+}
+
+// TestPipelinedTraceMatchesBarrier: the simulated-clock Chrome trace
+// export must be byte-identical across engines and worker counts —
+// the pipelined engine's different host interleaving must leave no
+// fingerprint on the exported timeline.
+func TestPipelinedTraceMatchesBarrier(t *testing.T) {
+	forceHostParallel(t)
+	export := func(mode ExecutionMode, workers int) []byte {
+		cfg := wordCountConfig(workers)
+		cfg.Execution = mode
+		cfg.Trace = obs.New()
+		cfg.Metrics = obs.NewRegistry()
+		if _, err := Run(cfg, wordCountInput(), 0); err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := cfg.Trace.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	ref := export(ExecBarrier, 1)
+	for _, workers := range []int{1, 4, 8} {
+		if got := export(ExecPipelined, workers); !bytes.Equal(got, ref) {
+			t.Errorf("pipelined workers=%d: trace JSON differs from barrier reference", workers)
+		}
+	}
+}
+
+// TestPipelinedErrorPropagates: task errors surface through the graph
+// with the same wrapping as the barrier engine's runPool.
+func TestPipelinedErrorPropagates(t *testing.T) {
+	cfg := wordCountConfig(4)
+	cfg.Execution = ExecPipelined
+	cfg.NewMapper = func() Mapper { return failingMapper{} }
+	_, err := Run(cfg, wordCountInput(), 0)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want map failure", err)
+	}
+}

@@ -277,6 +277,18 @@ var NewSeededFaults = faults.NewSeeded
 // when Options.Faults is set.
 type RetryPolicy = mapreduce.RetryPolicy
 
+// ExecutionMode selects how each job's tasks execute on the host
+// machine (Options.Execution). A host knob like Options.Workers:
+// both modes produce byte-identical results, traces, and telemetry.
+type ExecutionMode = mapreduce.ExecutionMode
+
+// Execution modes: the dependency-driven pipelined engine (default,
+// no phase barriers) and the three-phase barrier reference engine.
+const (
+	ExecPipelined = mapreduce.ExecPipelined
+	ExecBarrier   = mapreduce.ExecBarrier
+)
+
 // ---- Observability ----
 
 // Tracer collects timeline spans from a pipeline run. Attach one via

@@ -47,6 +47,12 @@ go build ./...
 echo "== go test -race (fault runtime) =="
 go test -race -count=1 ./internal/mapreduce ./internal/faults
 
+# The pipelined task-graph scheduler is the most concurrency-dense code
+# in the repo (one shared pool, cross-phase interleaving, incremental
+# merges); hammer it repeatedly under the race detector.
+echo "== go test -race (pipelined scheduler) =="
+go test -race -count=3 -run 'TaskGraph|Pipelined' ./internal/mapreduce
+
 echo "== go test -race =="
 go test -race ./...
 
