@@ -76,6 +76,8 @@ func main() {
 	sampleEvery := flag.Float64("sample-every", 0, "progressive-recall sampling interval in cost units for -quality-out (0 = total time / 64)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	engine := flag.String("engine", "pipelined", "host execution engine: pipelined (dependency-driven task graph) | barrier (three barriered phases); results are identical")
+	memBudget := flag.String("mem-budget", "", "cap tracked shuffle/statistics memory at this size (e.g. 64M, 2G; K/M/G suffixes), spilling compressed runs to disk when exceeded; results are identical")
+	spillDir := flag.String("spill-dir", "", "directory for spill files (default system temp; only used with -mem-budget)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -105,6 +107,12 @@ func main() {
 		retry = proger.RetryPolicy{MaxRetries: *maxRetries, Speculation: true}
 	}
 	execMode := pickEngine(*engine)
+	budgetBytes := parseSize(*memBudget)
+	if budgetBytes > 0 && metrics == nil {
+		// The budget pressure summary reads registry gauges, so a budget
+		// implies a registry even when no metrics output was requested.
+		metrics = proger.NewMetricsRegistry()
+	}
 
 	ds, gt := loadDataset(*input, *generate, *n, *seed, *truthPath)
 	fams := buildFamilies(ds, blocks, *generate)
@@ -130,6 +138,8 @@ func main() {
 			Trace:            tracer,
 			Metrics:          metrics,
 			Quality:          qrec,
+			MemBudget:        budgetBytes,
+			SpillDir:         *spillDir,
 		})
 	} else {
 		opts := proger.Options{
@@ -146,6 +156,8 @@ func main() {
 			Trace:           tracer,
 			Metrics:         metrics,
 			Quality:         qrec,
+			MemBudget:       budgetBytes,
+			SpillDir:        *spillDir,
 		}
 		if gt != nil {
 			// Train the duplicate model on a disjoint sample when the
@@ -166,6 +178,14 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "proger: %d duplicate pairs in %.0f simulated cost units\n",
 		len(res.Duplicates), res.TotalTime)
+	if budgetBytes > 0 && metrics != nil {
+		fmt.Fprintf(os.Stderr, "proger: memory budget %d B: peak %.0f B tracked, %.0f B charged, %d forced spills (%.0f B spilled)\n",
+			budgetBytes,
+			metrics.Gauge(proger.GaugeMemBudgetPeakBytes).Value(),
+			metrics.Gauge(proger.GaugeMemBudgetChargedBytes).Value(),
+			metrics.Counter(proger.CounterBudgetForcedSpills).Value(),
+			float64(metrics.Counter(proger.CounterBudgetSpilledBytes).Value()))
+	}
 	if *showReport {
 		printReport(res)
 		if err := report.WriteRunSummary(os.Stderr, tracer, metrics, qrec); err != nil {
@@ -423,6 +443,28 @@ func pickScheduler(name string) proger.SchedulerKind {
 	}
 	log.Fatalf("unknown scheduler %q (want ours, nosplit, or lpt)", name)
 	return proger.SchedulerOurs
+}
+
+// parseSize parses a byte size with an optional K/M/G suffix ("64M",
+// "2G", "512"). Empty means no budget.
+func parseSize(s string) int64 {
+	if s == "" {
+		return 0
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || v <= 0 {
+		log.Fatalf("bad -mem-budget %q (want a positive size like 512K, 64M, or 2G)", s)
+	}
+	return v * mult
 }
 
 func pickEngine(name string) proger.ExecutionMode {

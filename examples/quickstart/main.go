@@ -23,6 +23,8 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
 	maxRetries := flag.Int("max-retries", 3, "per-task retry budget when -fault-rate > 0")
 	barrier := flag.Bool("barrier", false, "use the barriered reference engine instead of the pipelined default (results are identical)")
+	memBudget := flag.Int64("mem-budget", 0, "cap tracked shuffle/statistics memory at this many bytes, spilling compressed runs to disk (0 = all in memory; results are identical)")
+	spillDir := flag.String("spill-dir", "", "directory for spill files (default system temp; only used with -mem-budget)")
 	flag.Parse()
 
 	var (
@@ -84,6 +86,11 @@ func main() {
 	if *barrier {
 		opts.Execution = proger.ExecBarrier
 	}
+	// Out-of-core knob: a memory budget forces shuffle buffers and the
+	// Job-1 statistics through compressed disk runs. Like -barrier and
+	// -fault-rate, the output below is identical with or without it.
+	opts.MemBudget = *memBudget
+	opts.SpillDir = *spillDir
 	res, err := proger.Resolve(ds, opts)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,159 @@
+package blocking
+
+// StatsHolder keeps the Job-1 block statistics resident under the
+// process-wide memory budget. The statistics live across the whole
+// pipeline — Job 2's schedule generation reloads them long after Job 1
+// finished — which makes them a prime eviction candidate when the
+// shuffle needs headroom. The holder registers a spillable budget
+// account: under pressure the stats serialize to one file (statsio
+// codec) and the in-memory index is dropped; Acquire transparently
+// reloads and re-charges them.
+//
+// With a nil manager the holder is pure pass-through: no accounting,
+// no spilling, no temp files.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"proger/internal/membudget"
+)
+
+// statsMemBytes approximates the resident size of the stats index:
+// per-block map entry and struct overhead plus key/child payloads.
+// Like the shuffle's estimator, it is deliberately cheap — the budget
+// enforces on tracked bytes, not allocator truth.
+func statsMemBytes(st *Stats) int64 {
+	if st == nil {
+		return 0
+	}
+	var b int64
+	for id, s := range st.Blocks {
+		b += 64 + int64(len(id.Key)) + int64(len(s.ID.Key))
+		for _, ck := range s.ChildKeys {
+			b += 16 + int64(len(ck))
+		}
+	}
+	return b
+}
+
+// StatsHolder owns a *Stats that may be spilled to disk between uses.
+type StatsHolder struct {
+	mu     sync.Mutex
+	stats  *Stats // nil while spilled
+	path   string // spill file; "" while resident
+	dir    string // lazily created private temp dir
+	parent string
+	acct   *membudget.Account
+	bytes  int64
+	pins   int
+}
+
+// NewStatsHolder wraps st under mgr's budget, spilling into a private
+// directory under parent (system temp when empty). The initial
+// residency is charged immediately — which may itself force other
+// holders to spill.
+func NewStatsHolder(st *Stats, mgr *membudget.Manager, parent string) (*StatsHolder, error) {
+	h := &StatsHolder{stats: st, parent: parent, bytes: statsMemBytes(st)}
+	h.acct = mgr.NewAccount("blocking/stats", h.spill)
+	if err := h.acct.Charge(h.bytes); err != nil {
+		h.acct.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// Acquire returns the resident stats, reloading them from the spill
+// file if the budget evicted them, and pins them resident until the
+// matching Release. Pinning happens before the reload is charged, so
+// the charge can never pick this holder as its own victim.
+func (h *StatsHolder) Acquire() (*Stats, error) {
+	h.mu.Lock()
+	h.pins++
+	if h.stats != nil {
+		st := h.stats
+		h.mu.Unlock()
+		return st, nil
+	}
+	path := h.path
+	h.mu.Unlock()
+	f, err := os.Open(path)
+	if err != nil {
+		h.unpin()
+		return nil, fmt.Errorf("blocking: reloading spilled stats: %w", err)
+	}
+	st, err := ReadStats(f)
+	f.Close()
+	if err != nil {
+		h.unpin()
+		return nil, fmt.Errorf("blocking: reloading spilled stats: %w", err)
+	}
+	if err := h.acct.Charge(h.bytes); err != nil {
+		h.unpin()
+		return nil, err
+	}
+	h.mu.Lock()
+	h.stats = st
+	h.path = ""
+	h.mu.Unlock()
+	return st, nil
+}
+
+// Release unpins the stats, making them evictable again.
+func (h *StatsHolder) Release() { h.unpin() }
+
+func (h *StatsHolder) unpin() {
+	h.mu.Lock()
+	h.pins--
+	h.mu.Unlock()
+}
+
+// spill is the budget callback: serialize the stats to disk, drop the
+// index, and report the freed bytes. Pinned or already-spilled stats
+// report no progress.
+func (h *StatsHolder) spill() (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.pins > 0 || h.stats == nil {
+		return 0, nil
+	}
+	if h.dir == "" {
+		dir, err := os.MkdirTemp(h.parent, "proger-stats-*")
+		if err != nil {
+			return 0, err
+		}
+		h.dir = dir
+	}
+	path := filepath.Join(h.dir, "stats.spill")
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteStats(f, h.stats); err != nil {
+		f.Close()
+		os.Remove(path)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return 0, err
+	}
+	h.stats = nil
+	h.path = path
+	return h.bytes, nil
+}
+
+// Close releases the account and removes any spill artifacts.
+func (h *StatsHolder) Close() error {
+	h.mu.Lock()
+	dir := h.dir
+	h.dir, h.path, h.stats = "", "", nil
+	h.mu.Unlock()
+	h.acct.Close()
+	if dir != "" {
+		return os.RemoveAll(dir)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package blocking
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"proger/internal/membudget"
+)
+
+func holderStats() *Stats {
+	return NewStats([]*BlockStat{
+		{ID: BlockID{Family: 0, Level: 1, Key: "root"}, Size: 10, Uncov: 45, ChildKeys: []string{"a", "b"}},
+		{ID: BlockID{Family: 0, Level: 2, Key: "a"}, Size: 6, Uncov: 15},
+		{ID: BlockID{Family: 0, Level: 2, Key: "b"}, Size: 4, Uncov: 6},
+	})
+}
+
+// TestStatsHolderSpillAndReload: a forced spill drops the index to one
+// file; Acquire reloads an identical Stats and re-charges it.
+func TestStatsHolderSpillAndReload(t *testing.T) {
+	mgr := membudget.New(1 << 20)
+	dir := t.TempDir()
+	st := holderStats()
+	h, err := NewStatsHolder(st, mgr, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if mgr.Used() == 0 {
+		t.Fatal("holder charged nothing for resident stats")
+	}
+	freed, err := h.spill()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 {
+		t.Fatal("spill freed nothing")
+	}
+	got, err := h.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	// Compare canonical encodings (decode yields empty slices where the
+	// originals had nil ones).
+	var a, b bytes.Buffer
+	if err := WriteStats(&a, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStats(&b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("reloaded stats diverged from originals")
+	}
+}
+
+// TestStatsHolderPinnedStatsRefuseToSpill: between Acquire and Release
+// the spill callback must report no progress.
+func TestStatsHolderPinnedStatsRefuseToSpill(t *testing.T) {
+	mgr := membudget.New(1 << 20)
+	h, err := NewStatsHolder(holderStats(), mgr, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if freed, _ := h.spill(); freed != 0 {
+		t.Fatalf("pinned stats spilled %d bytes", freed)
+	}
+	h.Release()
+	if freed, _ := h.spill(); freed == 0 {
+		t.Fatal("unpinned stats refused to spill")
+	}
+}
+
+// TestStatsHolderBudgetPressureEvictsStats: charging another account
+// past the budget must evict the (larger) stats holder through the
+// manager, and Close must remove the spill artifacts.
+func TestStatsHolderBudgetPressureEvictsStats(t *testing.T) {
+	st := holderStats()
+	size := statsMemBytes(st)
+	mgr := membudget.New(size + 64)
+	dir := t.TempDir()
+	h, err := NewStatsHolder(st, mgr, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := mgr.NewAccount("pressure", nil)
+	if err := other.Charge(128); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.ForcedSpills() != 1 {
+		t.Fatalf("forced spills = %d, want 1 (stats eviction)", mgr.ForcedSpills())
+	}
+	if got, err := h.Acquire(); err != nil || len(got.Blocks) != len(st.Blocks) {
+		t.Fatalf("reload after eviction: %v", err)
+	}
+	h.Release()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("stats spill artifacts left after Close: %v", entries)
+	}
+}
+
+// TestStatsHolderNilManagerPassThrough: without a budget the holder is
+// inert — no files, no accounting, stats always resident.
+func TestStatsHolderNilManagerPassThrough(t *testing.T) {
+	st := holderStats()
+	h, err := NewStatsHolder(st, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != st {
+		t.Fatal("nil-manager holder should hand back the original pointer")
+	}
+	h.Release()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

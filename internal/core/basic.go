@@ -9,6 +9,7 @@ import (
 	"proger/internal/mapreduce"
 	"proger/internal/match"
 	"proger/internal/mechanism"
+	"proger/internal/membudget"
 	"proger/internal/obs"
 	"proger/internal/obs/quality"
 	"proger/internal/progress"
@@ -153,6 +154,10 @@ func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
 		popcornThreshold: opts.PopcornThreshold,
 		popcornWindow:    opts.PopcornWindow,
 	}
+	var mgr *membudget.Manager
+	if opts.MemBudget > 0 {
+		mgr = membudget.New(opts.MemBudget)
+	}
 	cfg := mapreduce.Config{
 		Name:           "basic-progressive-er",
 		NewMapper:      func() mapreduce.Mapper { return &BasicMapper{side: side} },
@@ -168,6 +173,8 @@ func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
 		Trace:          opts.Trace,
 		Metrics:        opts.Metrics,
 		Quality:        opts.Quality,
+		MemBudget:      mgr,
+		SpillDir:       opts.SpillDir,
 	}
 	jobRes, err := mapreduce.Run(cfg, blocking.MakeJob1Input(ds), 0)
 	if err != nil {
@@ -175,6 +182,10 @@ func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
 	}
 	if m := opts.Metrics; m != nil {
 		m.Gauge(GaugePipelineTotalTime).Set(float64(jobRes.End))
+		if mgr != nil {
+			m.Gauge(GaugeMemBudgetPeakBytes).Set(float64(mgr.Peak()))
+			m.Gauge(GaugeMemBudgetChargedBytes).Set(float64(mgr.ChargedTotal()))
+		}
 	}
 	res := &Result{
 		Duplicates: entity.PairSet{},

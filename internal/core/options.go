@@ -96,6 +96,16 @@ type Options struct {
 	// curve and the calibration report. Deterministic across Workers
 	// and fault injection, like Trace. Nil disables at zero cost.
 	Quality *quality.Recorder
+	// MemBudget, when > 0, caps the tracked bytes held in memory by
+	// both jobs' shuffles and the Job-1 block statistics: a
+	// process-wide budget manager spills the largest holders to
+	// compressed disk runs when the cap is exceeded. A host knob like
+	// Workers — results, traces, and quality telemetry are identical
+	// with or without it. 0 keeps everything in memory.
+	MemBudget int64
+	// SpillDir is where budget- and limit-forced spill files live
+	// (system temp when empty).
+	SpillDir string
 }
 
 func (o *Options) validate() error {
@@ -164,6 +174,9 @@ type BasicOptions struct {
 	// Quality mirrors Options.Quality. The baseline has no schedule, so
 	// only realizations are recorded (curve yes, calibration join no).
 	Quality *quality.Recorder
+	// MemBudget and SpillDir mirror Options.MemBudget / Options.SpillDir.
+	MemBudget int64
+	SpillDir  string
 }
 
 func (o *BasicOptions) validate() error {

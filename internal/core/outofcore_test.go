@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"proger/internal/datagen"
+	"proger/internal/estimate"
+	"proger/internal/mapreduce"
+	"proger/internal/mechanism"
+	"proger/internal/obs"
+	"proger/internal/obs/quality"
+	"proger/internal/sched"
+)
+
+// These tests pin the PR-6 hard constraint end to end: the memory
+// budget and its spill storage are host knobs only. A budget tight
+// enough to force both jobs' shuffles and the Job-1 statistics through
+// compressed disk runs must reproduce the in-memory pipeline's Result,
+// Chrome trace bytes, and quality-telemetry JSON exactly.
+
+// outOfCoreRun resolves the People toy dataset with full telemetry
+// under the given engine/workers/budget and returns the Result plus
+// the exported trace and quality bytes and the metrics registry.
+func outOfCoreRun(t *testing.T, mode mapreduce.ExecutionMode, workers int, budget int64) (*Result, []byte, []byte, *obs.Registry) {
+	t.Helper()
+	ds, _ := datagen.People()
+	opts := Options{
+		Families:        peopleFamilies(),
+		Matcher:         peopleMatcher(),
+		Mechanism:       mechanism.SN{},
+		Policy:          estimate.CiteSeerXPolicy(),
+		Machines:        2,
+		SlotsPerMachine: 2,
+		Scheduler:       sched.Ours,
+		Workers:         workers,
+		Execution:       mode,
+		Trace:           obs.New(),
+		Metrics:         obs.NewRegistry(),
+		Quality:         quality.NewRecorder(),
+		MemBudget:       budget,
+	}
+	if budget > 0 {
+		opts.SpillDir = t.TempDir()
+	}
+	res, err := Resolve(ds, opts)
+	if err != nil {
+		t.Fatalf("mode=%v workers=%d budget=%d: %v", mode, workers, budget, err)
+	}
+	var trace, qual bytes.Buffer
+	if err := opts.Trace.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := opts.Quality.Export(0).WriteJSON(&qual); err != nil {
+		t.Fatal(err)
+	}
+	return res, trace.Bytes(), qual.Bytes(), opts.Metrics
+}
+
+// TestResolveBudgetMatchesInMemory compares the out-of-core pipeline
+// against the in-memory reference at every engine × workers point. The
+// 1 KiB budget is far below the People shuffle volume, so every
+// reduce-partition store spills; the full Result, trace bytes, and
+// quality JSON must still be byte-identical.
+func TestResolveBudgetMatchesInMemory(t *testing.T) {
+	refRes, refTrace, refQual, _ := outOfCoreRun(t, mapreduce.ExecBarrier, 1, 0)
+	sawPressure := false
+	for _, mode := range []mapreduce.ExecutionMode{mapreduce.ExecBarrier, mapreduce.ExecPipelined} {
+		for _, workers := range []int{1, 8} {
+			name := fmt.Sprintf("mode=%d/workers=%d", mode, workers)
+			t.Run(name, func(t *testing.T) {
+				res, trace, qual, m := outOfCoreRun(t, mode, workers, 1<<10)
+				if !reflect.DeepEqual(res, refRes) {
+					t.Error("Result diverged from in-memory reference")
+				}
+				if !bytes.Equal(trace, refTrace) {
+					t.Error("Chrome trace JSON diverged from in-memory reference")
+				}
+				if !bytes.Equal(qual, refQual) {
+					t.Error("quality-telemetry JSON diverged from in-memory reference")
+				}
+				if m.Counter(mapreduce.CounterBudgetForcedSpills).Value() > 0 {
+					sawPressure = true
+				}
+				if m.Gauge(GaugeMemBudgetChargedBytes).Value() <= 0 {
+					t.Error("charged-bytes gauge not set under a budget")
+				}
+			})
+		}
+	}
+	if !sawPressure {
+		t.Error("no configuration recorded a forced spill — the budget never bit")
+	}
+}
+
+// TestResolveBasicBudgetMatchesInMemory covers the Basic baseline's
+// single job under a tight budget.
+func TestResolveBasicBudgetMatchesInMemory(t *testing.T) {
+	ds, _ := datagen.People()
+	run := func(mode mapreduce.ExecutionMode, workers int, budget int64) *Result {
+		opts := BasicOptions{
+			Families:        peopleFamilies(),
+			Matcher:         peopleMatcher(),
+			Mechanism:       mechanism.SN{},
+			Window:          5,
+			Machines:        2,
+			SlotsPerMachine: 2,
+			Workers:         workers,
+			Execution:       mode,
+			MemBudget:       budget,
+		}
+		if budget > 0 {
+			opts.SpillDir = t.TempDir()
+		}
+		res, err := ResolveBasic(ds, opts)
+		if err != nil {
+			t.Fatalf("mode=%v workers=%d budget=%d: %v", mode, workers, budget, err)
+		}
+		return res
+	}
+	ref := run(mapreduce.ExecBarrier, 1, 0)
+	for _, mode := range []mapreduce.ExecutionMode{mapreduce.ExecBarrier, mapreduce.ExecPipelined} {
+		for _, workers := range []int{1, 8} {
+			res := run(mode, workers, 1<<10)
+			if !reflect.DeepEqual(res, ref) {
+				t.Errorf("mode=%d workers=%d: Basic result diverged under budget", mode, workers)
+			}
+		}
+	}
+}

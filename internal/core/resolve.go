@@ -9,6 +9,7 @@ import (
 	"proger/internal/entity"
 	"proger/internal/estimate"
 	"proger/internal/mapreduce"
+	"proger/internal/membudget"
 	"proger/internal/progress"
 	"proger/internal/sched"
 )
@@ -64,6 +65,10 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 		opts.Families = truncateToMainFunctions(opts.Families)
 	}
 	cluster := mapreduce.Cluster{Machines: opts.Machines, SlotsPerMachine: opts.SlotsPerMachine}
+	var mgr *membudget.Manager
+	if opts.MemBudget > 0 {
+		mgr = membudget.New(opts.MemBudget)
+	}
 
 	// ---- Job 1: progressive blocking + statistics ----
 	job1Cfg := blocking.Job1Config(opts.Families, cluster, opts.Cost)
@@ -73,6 +78,8 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 	job1Cfg.Retry = opts.Retry
 	job1Cfg.Trace = opts.Trace
 	job1Cfg.Metrics = opts.Metrics
+	job1Cfg.MemBudget = mgr
+	job1Cfg.SpillDir = opts.SpillDir
 	job1Res, err := mapreduce.Run(job1Cfg, blocking.MakeJob1Input(ds), 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: job 1: %w", err)
@@ -81,11 +88,25 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: job 1: %w", err)
 	}
+	// The block statistics live until the end of the pipeline; under a
+	// memory budget they become an eviction candidate whenever the
+	// shuffle needs headroom, so hold them through a spillable holder
+	// and pin them only while schedule generation reads them.
+	holder, err := blocking.NewStatsHolder(stats, mgr, opts.SpillDir)
+	if err != nil {
+		return nil, fmt.Errorf("core: job 1: %w", err)
+	}
+	defer holder.Close()
 
 	// ---- Schedule generation (executed by each Job-2 map task in the
 	// paper; computed once here, with its cost charged per map task in
 	// Job2Mapper.Setup) ----
+	stats, err = holder.Acquire()
+	if err != nil {
+		return nil, fmt.Errorf("core: schedule generation: %w", err)
+	}
 	trees, err := stats.BuildForests(opts.Families)
+	holder.Release()
 	if err != nil {
 		return nil, fmt.Errorf("core: building forests: %w", err)
 	}
@@ -152,6 +173,8 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 		Trace:          opts.Trace,
 		Metrics:        opts.Metrics,
 		Quality:        opts.Quality,
+		MemBudget:      mgr,
+		SpillDir:       opts.SpillDir,
 	}
 	job2Res, err := mapreduce.Run(job2Cfg, blocking.MakeJob1Input(ds), job1Res.End)
 	if err != nil {
@@ -159,6 +182,10 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 	}
 	if m := opts.Metrics; m != nil {
 		m.Gauge(GaugePipelineTotalTime).Set(float64(job2Res.End))
+		if mgr != nil {
+			m.Gauge(GaugeMemBudgetPeakBytes).Set(float64(mgr.Peak()))
+			m.Gauge(GaugeMemBudgetChargedBytes).Set(float64(mgr.ChargedTotal()))
+		}
 	}
 
 	res := &Result{

@@ -8,6 +8,10 @@
 // Stability matters: the engine requires that records with equal keys
 // surface in insertion order (map-task order), so every record carries
 // a sequence number that breaks key ties during the merge.
+//
+// Run files are compressed and CRC-framed (see compress.go); the
+// record codec is exported as RunWriter/RunReader for callers that
+// manage their own runs.
 package extsort
 
 import (
@@ -16,7 +20,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
 )
 
@@ -26,16 +29,23 @@ type Record struct {
 	Value []byte
 }
 
-// Sorter accumulates records and sorts them, spilling to dir when more
-// than memLimit records are buffered. A memLimit ≤ 0 never spills.
+// Sorter accumulates records and sorts them, spilling runs into a
+// unique temporary directory under parent when more than memLimit
+// records are buffered. A memLimit ≤ 0 never spills. Close removes the
+// temporary directory; concurrent Sorters never share spill paths.
 type Sorter struct {
-	dir      string
+	parent   string
+	dir      string // lazily created per-Sorter temp dir
 	memLimit int
 
 	buf    []seqRecord
 	seq    uint64
 	runs   []string
 	sorted bool
+
+	// createRun is a test seam for injecting write failures; nil means
+	// "create a fresh file in the per-Sorter temp dir".
+	createRun func() (io.WriteCloser, string, error)
 }
 
 type seqRecord struct {
@@ -43,10 +53,31 @@ type seqRecord struct {
 	seq uint64
 }
 
-// NewSorter creates a sorter spilling into dir (created if needed when
-// the first spill happens).
-func NewSorter(dir string, memLimit int) *Sorter {
-	return &Sorter{dir: dir, memLimit: memLimit}
+// NewSorter creates a sorter spilling into a fresh private directory
+// under parent (the system temp dir when parent is empty), created on
+// first spill.
+func NewSorter(parent string, memLimit int) *Sorter {
+	return &Sorter{parent: parent, memLimit: memLimit}
+}
+
+// newRunFile opens a fresh run file, creating the per-Sorter temp dir
+// on first use.
+func (s *Sorter) newRunFile() (io.WriteCloser, string, error) {
+	if s.createRun != nil {
+		return s.createRun()
+	}
+	if s.dir == "" {
+		dir, err := os.MkdirTemp(s.parent, "proger-extsort-*")
+		if err != nil {
+			return nil, "", fmt.Errorf("extsort: %w", err)
+		}
+		s.dir = dir
+	}
+	f, err := os.CreateTemp(s.dir, "run-*.spill")
+	if err != nil {
+		return nil, "", fmt.Errorf("extsort: %w", err)
+	}
+	return f, f.Name(), nil
 }
 
 // Add buffers one record, spilling a sorted run if the budget is full.
@@ -83,30 +114,15 @@ func (s *Sorter) AddSortedRun(recs []Record) error {
 		}
 		return nil
 	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return fmt.Errorf("extsort: %w", err)
-	}
-	f, err := os.CreateTemp(s.dir, "run-*.spill")
-	if err != nil {
-		return fmt.Errorf("extsort: %w", err)
-	}
-	w := bufio.NewWriter(f)
-	for _, r := range recs {
-		if err := writeRecord(w, seqRecord{Record: r, seq: s.seq}); err != nil {
-			f.Close()
-			return err
+	return s.writeRun(func(rw *RunWriter) error {
+		for _, r := range recs {
+			if err := rw.WriteRecord(s.seq, r.Key, r.Value); err != nil {
+				return err
+			}
+			s.seq++
 		}
-		s.seq++
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("extsort: flushing run: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("extsort: closing run: %w", err)
-	}
-	s.runs = append(s.runs, f.Name())
-	return nil
+		return nil
+	})
 }
 
 // Len returns the number of records added so far.
@@ -124,33 +140,53 @@ func sortBuf(buf []seqRecord) {
 	})
 }
 
+// writeRun opens a run file, streams records through emit, and
+// registers the file. On any failure the partial run file is removed
+// before returning, so errors never leak files.
+func (s *Sorter) writeRun(emit func(*RunWriter) error) error {
+	wc, name, err := s.newRunFile()
+	if err != nil {
+		return err
+	}
+	rw := NewRunWriter(wc)
+	fail := func(err error) error {
+		wc.Close()
+		if name != "" {
+			os.Remove(name)
+		}
+		return err
+	}
+	if err := emit(rw); err != nil {
+		return fail(err)
+	}
+	if err := rw.Flush(); err != nil {
+		return fail(fmt.Errorf("extsort: flushing run: %w", err))
+	}
+	if err := wc.Close(); err != nil {
+		if name != "" {
+			os.Remove(name)
+		}
+		return fmt.Errorf("extsort: closing run: %w", err)
+	}
+	s.runs = append(s.runs, name)
+	return nil
+}
+
 func (s *Sorter) spill() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return fmt.Errorf("extsort: %w", err)
-	}
 	sortBuf(s.buf)
-	f, err := os.CreateTemp(s.dir, "run-*.spill")
-	if err != nil {
-		return fmt.Errorf("extsort: %w", err)
-	}
-	w := bufio.NewWriter(f)
-	for _, r := range s.buf {
-		if err := writeRecord(w, r); err != nil {
-			f.Close()
-			return err
+	if err := s.writeRun(func(rw *RunWriter) error {
+		for _, r := range s.buf {
+			if err := rw.WriteRecord(r.seq, r.Key, r.Value); err != nil {
+				return err
+			}
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("extsort: flushing run: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("extsort: closing run: %w", err)
-	}
-	s.runs = append(s.runs, f.Name())
 	s.buf = s.buf[:0]
 	return nil
 }
@@ -172,7 +208,7 @@ func (s *Sorter) Sort() (*Iterator, error) {
 			return nil, fmt.Errorf("extsort: %w", err)
 		}
 		it.files = append(it.files, f)
-		it.readers = append(it.readers, bufio.NewReaderSize(f, 1<<16))
+		it.readers = append(it.readers, NewRunReader(f))
 	}
 	if err := it.init(); err != nil {
 		it.Close()
@@ -181,7 +217,7 @@ func (s *Sorter) Sort() (*Iterator, error) {
 	return it, nil
 }
 
-// Close removes all spill files.
+// Close removes all spill files and the per-Sorter temp dir.
 func (s *Sorter) Close() error {
 	var first error
 	for _, run := range s.runs {
@@ -190,6 +226,12 @@ func (s *Sorter) Close() error {
 		}
 	}
 	s.runs = nil
+	if s.dir != "" {
+		if err := os.RemoveAll(s.dir); err != nil && first == nil {
+			first = err
+		}
+		s.dir = ""
+	}
 	return first
 }
 
@@ -217,7 +259,10 @@ func writeRecord(w *bufio.Writer, r seqRecord) error {
 func readRecord(r *bufio.Reader) (seqRecord, error) {
 	seq, err := binary.ReadUvarint(r)
 	if err != nil {
-		return seqRecord{}, err // io.EOF signals clean end of run
+		if err == io.EOF {
+			return seqRecord{}, io.EOF // clean end of run
+		}
+		return seqRecord{}, fmt.Errorf("extsort: truncated run (seq): %w", err)
 	}
 	kl, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -245,7 +290,7 @@ type Iterator struct {
 	mem     []seqRecord
 	memPos  int
 	files   []*os.File
-	readers []*bufio.Reader
+	readers []*RunReader
 	merger  *Merger[seqRecord]
 	err     error
 	inited  bool
@@ -268,7 +313,7 @@ func (it *Iterator) init() error {
 	for _, r := range it.readers {
 		r := r
 		pulls = append(pulls, func() (seqRecord, bool) {
-			rec, err := readRecord(r)
+			rec, err := r.read()
 			if err == io.EOF {
 				return seqRecord{}, false
 			}
@@ -341,7 +386,3 @@ func (it *Iterator) Close() error {
 	it.files = nil
 	return first
 }
-
-// SortDir returns a usable default spill directory under the system
-// temp dir.
-func SortDir() string { return filepath.Join(os.TempDir(), "proger-extsort") }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -170,9 +169,14 @@ func TestCloseRemovesSpillFiles(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	left, _ := filepath.Glob(filepath.Join(dir, "*.spill"))
+	// Close must remove the per-Sorter temp dir too, leaving the parent
+	// exactly as it found it.
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(left) != 0 {
-		t.Errorf("spill files left behind: %v", left)
+		t.Errorf("spill artifacts left behind: %v", left)
 	}
 }
 

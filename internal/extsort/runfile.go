@@ -1,0 +1,63 @@
+package extsort
+
+// RunWriter/RunReader are the run-file record codec: length-prefixed
+// (seq, key, value) records layered over the compressed block framing
+// in compress.go. They are exported so the MapReduce shuffle can write
+// its own pre-sorted spill runs (tagging records with a merge priority
+// in the seq field) without going through a Sorter.
+
+import (
+	"bufio"
+	"io"
+)
+
+// RunWriter encodes records into a compressed, CRC-framed run stream.
+// Flush must be called before the underlying writer is closed; records
+// written after Flush are lost.
+type RunWriter struct {
+	fw *blockWriter
+	w  *bufio.Writer
+}
+
+// NewRunWriter wraps w. The caller retains ownership of w and must
+// close it (after Flush) itself.
+func NewRunWriter(w io.Writer) *RunWriter {
+	fw := newBlockWriter(w)
+	return &RunWriter{fw: fw, w: bufio.NewWriterSize(fw, 1<<15)}
+}
+
+// WriteRecord appends one record. seq is the stable-merge tiebreaker
+// surfaced again by RunReader.Next.
+func (rw *RunWriter) WriteRecord(seq uint64, key string, value []byte) error {
+	return writeRecord(rw.w, seqRecord{Record: Record{Key: key, Value: value}, seq: seq})
+}
+
+// Flush drains buffered records and emits the final partial block.
+func (rw *RunWriter) Flush() error {
+	if err := rw.w.Flush(); err != nil {
+		return err
+	}
+	return rw.fw.Close()
+}
+
+// RunReader decodes a stream produced by RunWriter.
+type RunReader struct {
+	r *bufio.Reader
+}
+
+// NewRunReader wraps r; the caller retains ownership of r.
+func NewRunReader(r io.Reader) *RunReader {
+	return &RunReader{r: bufio.NewReaderSize(newBlockReader(r), 1<<15)}
+}
+
+// Next returns the next record, or io.EOF at the clean end of the
+// stream. Any other error means a truncated or corrupt run.
+func (rr *RunReader) Next() (seq uint64, key string, value []byte, err error) {
+	rec, err := rr.read()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return rec.seq, rec.Key, rec.Value, nil
+}
+
+func (rr *RunReader) read() (seqRecord, error) { return readRecord(rr.r) }

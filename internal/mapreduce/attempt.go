@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"reflect"
 	"slices"
 
 	"proger/internal/costmodel"
@@ -209,11 +208,13 @@ func runTaskAttempts[T any](fr *faultRuntime, phase faults.Phase, task int,
 			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", a, err))
 			now += cost + fr.backoff(a)
 		case f.Kind == faults.Crash:
+			discardAttemptOutput(out) // valid output, thrown away by the injected crash
 			d := cost * crashFraction
 			ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeCrash, Start: now, Dur: d})
 			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: injected crash", a))
 			now += d + fr.backoff(a)
 		case f.Kind == faults.Hang:
+			discardAttemptOutput(out)
 			d := fr.timeout(cost)
 			ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeTimeout, Start: now, Dur: d})
 			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: hung, killed at timeout %v", a, d))
@@ -229,6 +230,7 @@ func runTaskAttempts[T any](fr *faultRuntime, phase faults.Phase, task int,
 			}
 			if to := fr.timeout(cost); dur > to {
 				// Slowed past the attempt timeout: killed like a hang.
+				discardAttemptOutput(out)
 				ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeTimeout, Start: now, Dur: to})
 				attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: straggling, killed at timeout %v", a, to))
 				now += to + fr.backoff(a)
@@ -332,6 +334,9 @@ func speculateTask[T any](fr *faultRuntime, phase faults.Phase, i int, thr costm
 	specIdx := fr.policy.MaxRetries + 2 // first attempt index past the retry ladder
 	f := fr.decide(phase, i, specIdx)
 	specOut, specCost, err := exec(i)
+	// Whatever the race outcome, the speculative output never replaces
+	// the committed one — release any host resources it holds.
+	defer discardAttemptOutput(specOut)
 	launch := ta.commitStart + thr // straggling detected thr units in
 	rec := attemptRecord{Attempt: specIdx, Speculative: true, Start: launch}
 	switch {
@@ -357,7 +362,7 @@ func speculateTask[T any](fr *faultRuntime, phase faults.Phase, i int, thr costm
 			// timeline and the original is killed. Its output is verified
 			// byte-identical, so the already-published task output needs
 			// no replacement.
-			if specCost != cost || !reflect.DeepEqual(specOut, out) {
+			if specCost != cost || !attemptOutputsEqual(specOut, out) {
 				return fmt.Errorf("mapreduce: %s task %d speculative attempt diverged from committed attempt", phase, i)
 			}
 			ta.records[ta.committed].Killed = true

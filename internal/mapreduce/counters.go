@@ -41,6 +41,14 @@ const (
 	CounterTaskRetries        = "mr.attempt.retried"
 	CounterTaskSpeculations   = "mr.attempt.speculated"
 	CounterTaskAttemptsKilled = "mr.attempt.killed"
+	// Budget-forced spill activity across this job's shuffle stores:
+	// how often the process-wide memory budget (Config.MemBudget)
+	// squeezed buffered runs to disk and how many tracked bytes moved.
+	// Memory pressure is a host condition, so — like the spill counts
+	// above — these report only through Config.Metrics, never
+	// Result.Counters.
+	CounterBudgetForcedSpills = "mr.membudget.forced_spills"
+	CounterBudgetSpilledBytes = "mr.membudget.spilled_bytes"
 
 	// HistTaskCostUnits is the registry histogram of per-task simulated
 	// costs (map and reduce), fed by the engine at the end of each job.

@@ -11,8 +11,8 @@ import (
 	"time"
 
 	"proger/internal/costmodel"
-	"proger/internal/extsort"
 	"proger/internal/faults"
+	"proger/internal/membudget"
 	"proger/internal/obs"
 	"proger/internal/obs/quality"
 )
@@ -56,6 +56,17 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	} else {
 		po, err = runPipelinedEngine(&cfg, fr, workers, splits)
 	}
+	if po != nil {
+		// Reduce inputs may hold host resources (spill files, budget
+		// accounts); settle them even when an engine errors out partway.
+		defer func() {
+			for _, s := range po.shufRes {
+				if s.in != nil {
+					s.in.Close()
+				}
+			}
+		}()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -67,10 +78,13 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	mapPhaseStart := jobStart + cfg.Cost.JobSetup
 	mapStarts, mapSlots, mapEnd := scheduleTasks(mapCosts, cfg.Cluster.Slots(), mapPhaseStart)
 
-	reduceIns := make([][]KeyValue, cfg.NumReduceTasks)
+	reduceLens := make([]int, cfg.NumReduceTasks)
 	spilledRuns := make([]int64, cfg.NumReduceTasks)
 	for r, s := range po.shufRes {
-		reduceIns[r], spilledRuns[r] = s.in, s.spilledRuns
+		if s.in != nil {
+			reduceLens[r] = s.in.Len()
+		}
+		spilledRuns[r] = s.spilledRuns
 	}
 	reduceOuts := make([][]TimedKV, cfg.NumReduceTasks)
 	for i, r := range reduceRes {
@@ -138,7 +152,7 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 		for i, r := range reduceRes {
 			reduceSpans[i] = r.spans
 		}
-		emitJobSpans(&cfg, fr, res, splits, reduceIns, spilledRuns,
+		emitJobSpans(&cfg, fr, res, splits, reduceLens, spilledRuns,
 			mapSpans, reduceSpans, mapWall, shufWall, reduceWall)
 	}
 	if m := cfg.Metrics; m != nil {
@@ -151,6 +165,20 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 			spilledTotal += n
 		}
 		m.Counter(CounterShuffleSpilledRuns).Add(spilledTotal)
+		if cfg.MemBudget != nil {
+			// Budget-forced spill stats are pure memory-pressure artifacts
+			// of the host — registry-only, like the spill counts above.
+			var forced, bytes int64
+			for _, s := range po.shufRes {
+				if st, ok := s.in.(*spillStore); ok {
+					f, b := st.budgetStats()
+					forced += f
+					bytes += b
+				}
+			}
+			m.Counter(CounterBudgetForcedSpills).Add(forced)
+			m.Counter(CounterBudgetSpilledBytes).Add(bytes)
+		}
 		h := m.Histogram(HistTaskCostUnits)
 		for _, c := range mapCosts {
 			h.Observe(float64(c))
@@ -238,7 +266,7 @@ func shuffleExec(cfg *Config, mapOuts [][][]KeyValue, wall []wallSpan) func(r in
 		// The merge has no scheduled cost of its own (the reduce tasks
 		// price shuffling on the simulated clock); the attempt runtime
 		// keys timeouts and speculation off its simulated sort cost.
-		return shuffleTaskResult{in: in, spilledRuns: spilled}, cfg.Cost.ShuffleSortCost(len(in)), nil
+		return shuffleTaskResult{in: in, spilledRuns: spilled}, cfg.Cost.ShuffleSortCost(in.Len()), nil
 	}
 }
 
@@ -272,21 +300,41 @@ func runBarrierEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]Key
 	po.mapRes, po.mapCosts, err = runPhase(fr, faults.Map, workers, cfg.NumMapTasks,
 		mapExec(cfg, splits, po.mapWall))
 	if err != nil {
-		return nil, err
+		return po, err
 	}
 	mapOuts := make([][][]KeyValue, cfg.NumMapTasks) // [task][partition][]kv
 	for i, r := range po.mapRes {
 		mapOuts[i] = r.out
 	}
+	// The barrier engine materializes every map output before the shuffle
+	// starts — charge that residency so the budget can squeeze other
+	// holders (shuffle stores, blocking stats) to compensate. The account
+	// is unspillable (the engine's structure requires the bytes) and is
+	// settled once the shuffle stores own the data.
+	var mapAcct *membudget.Account
+	if cfg.MemBudget != nil {
+		mapAcct = cfg.MemBudget.NewAccount(cfg.Name+"/map-output", nil)
+		var held int64
+		for _, mo := range mapOuts {
+			for _, p := range mo {
+				held += kvRunBytes(p)
+			}
+		}
+		if err := mapAcct.Charge(held); err != nil {
+			return po, err
+		}
+	}
+	defer mapAcct.Close()
 	po.shufRes, _, err = runPhase(fr, faults.Shuffle, workers, cfg.NumReduceTasks,
 		shuffleExec(cfg, mapOuts, po.shufWall))
 	if err != nil {
-		return nil, err
+		return po, err
 	}
+	mapAcct.Close()
 	po.reduceRes, po.reduceCosts, err = runPhase(fr, faults.Reduce, workers, cfg.NumReduceTasks,
 		reduceExec(cfg, po.shufRes, po.reduceWall))
 	if err != nil {
-		return nil, err
+		return po, err
 	}
 	return po, nil
 }
@@ -302,7 +350,7 @@ type mapTaskResult struct {
 }
 
 type shuffleTaskResult struct {
-	in          []KeyValue
+	in          reduceInput
 	spilledRuns int64
 }
 
@@ -328,7 +376,7 @@ type wallSpan struct {
 // on the simulated clock as task-local "shuffle" spans). With the
 // attempt runtime active, every task attempt additionally gets an
 // "attempt" span on the shadow attempt timeline.
-func emitJobSpans(cfg *Config, fr *faultRuntime, res *Result, splits, reduceIns [][]KeyValue, spilledRuns []int64,
+func emitJobSpans(cfg *Config, fr *faultRuntime, res *Result, splits [][]KeyValue, reduceLens []int, spilledRuns []int64,
 	mapSpans, reduceSpans [][]obs.Span, mapWall, shufWall, reduceWall []wallSpan) {
 	tr := cfg.Trace
 	pid := tr.PID(cfg.Name)
@@ -349,13 +397,13 @@ func emitJobSpans(cfg *Config, fr *faultRuntime, res *Result, splits, reduceIns 
 		})
 		rebase(mapSpans[i], res.MapSlots[i], res.MapStarts[i])
 	}
-	for r := range reduceIns {
+	for r := range reduceLens {
 		tr.Add(obs.Span{
 			Cat: "shuffle", Name: fmt.Sprintf("shuffle merge r%d (host)", r),
 			PID: pid, TID: res.ReduceSlots[r],
 			Start: res.MapEnd, Dur: 0,
 			WallStart: shufWall[r].start, WallDur: shufWall[r].dur,
-			Args: []obs.Arg{obs.A("records", len(reduceIns[r])), obs.A("spilled_runs", spilledRuns[r])},
+			Args: []obs.Arg{obs.A("records", reduceLens[r]), obs.A("spilled_runs", spilledRuns[r])},
 		})
 	}
 	for i, cost := range res.ReduceTaskCosts {
@@ -364,7 +412,7 @@ func emitJobSpans(cfg *Config, fr *faultRuntime, res *Result, splits, reduceIns 
 			PID: pid, TID: res.ReduceSlots[i],
 			Start: res.ReduceStarts[i], Dur: cost,
 			WallStart: reduceWall[i].start, WallDur: reduceWall[i].dur,
-			Args: []obs.Arg{obs.A("records", len(reduceIns[i]))},
+			Args: []obs.Arg{obs.A("records", reduceLens[i])},
 		})
 		rebase(reduceSpans[i], res.ReduceSlots[i], res.ReduceStarts[i])
 	}
@@ -383,59 +431,69 @@ func emitJobSpans(cfg *Config, fr *faultRuntime, res *Result, splits, reduceIns 
 
 // shuffleForTask assembles reduce task r's sorted input by merging the
 // pre-sorted per-partition runs the map tasks produced, also reporting
-// how many runs went through the external spiller. With ShuffleMemLimit
-// set, the runs stream through the external sorter (spilled to disk
-// as-is, never re-sorted) instead of merging in memory.
-func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) ([]KeyValue, int64, error) {
-	var n int
-	runs := make([][]KeyValue, 0, cfg.NumMapTasks)
+// how many runs went through the deterministic (ShuffleMemLimit-driven)
+// spiller. Storage mode is a host decision with no effect on the record
+// sequence: an in-memory merge, a forced-to-disk store (ShuffleMemLimit
+// exceeded), or a budget-governed store that buffers in memory until
+// the process-wide manager squeezes it out.
+func shuffleForTask(cfg *Config, mapOuts [][][]KeyValue, r int) (reduceInput, int64, error) {
+	var n, nonEmpty int
 	for m := 0; m < cfg.NumMapTasks; m++ {
 		if len(mapOuts[m][r]) > 0 {
-			runs = append(runs, mapOuts[m][r])
+			nonEmpty++
 			n += len(mapOuts[m][r])
 		}
 	}
-	if len(runs) == 1 {
+	if nonEmpty == 1 && cfg.MemBudget == nil {
 		// Single-contributor partition: the run is already the reduce
 		// input, so skip the merge (and spill) machinery entirely. The
 		// run is aliased, not copied — reduce inputs are read-only.
-		return runs[0], 0, nil
-	}
-	if cfg.ShuffleMemLimit <= 0 || n <= cfg.ShuffleMemLimit {
-		return mergeSortedRuns(runs, n), 0, nil
-	}
-	dir := cfg.SpillDir
-	if dir == "" {
-		dir = extsort.SortDir()
-	}
-	sorter := extsort.NewSorter(dir, cfg.ShuffleMemLimit)
-	defer sorter.Close()
-	for _, run := range runs {
-		recs := make([]extsort.Record, len(run))
-		for i, kv := range run {
-			recs[i] = extsort.Record{Key: kv.Key, Value: kv.Value}
-		}
-		if err := sorter.AddSortedRun(recs); err != nil {
-			return nil, 0, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
+		for m := 0; m < cfg.NumMapTasks; m++ {
+			if len(mapOuts[m][r]) > 0 {
+				return memInput{kvs: mapOuts[m][r]}, 0, nil
+			}
 		}
 	}
-	it, err := sorter.Sort()
-	if err != nil {
-		return nil, 0, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
-	}
-	defer it.Close()
-	in := make([]KeyValue, 0, n)
-	for {
-		rec, ok, err := it.Next()
-		if err != nil {
-			return nil, 0, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", cfg.Name, r, err)
+	if cfg.ShuffleMemLimit > 0 && n > cfg.ShuffleMemLimit && nonEmpty > 1 {
+		// Deterministic spill: every run goes to disk, exactly as many
+		// runs as contribute — the count the trace reports.
+		st := newSpillStore(cfg, nil, r, true)
+		if err := addPartitionRuns(st, cfg, mapOuts, r); err != nil {
+			st.Close()
+			return nil, 0, err
 		}
-		if !ok {
-			break
-		}
-		in = append(in, KeyValue{Key: rec.Key, Value: rec.Value})
+		return st, st.spilledRuns, nil
 	}
-	return in, int64(len(runs)), nil
+	if cfg.MemBudget != nil {
+		// Budget-governed store: runs buffer in memory charged against
+		// the process-wide budget; pressure (not this job's config)
+		// decides what actually reaches disk, so the deterministic
+		// spilled-run count stays zero.
+		st := newSpillStore(cfg, cfg.MemBudget, r, false)
+		if err := addPartitionRuns(st, cfg, mapOuts, r); err != nil {
+			st.Close()
+			return nil, 0, err
+		}
+		return st, 0, nil
+	}
+	runs := make([][]KeyValue, 0, nonEmpty)
+	for m := 0; m < cfg.NumMapTasks; m++ {
+		if len(mapOuts[m][r]) > 0 {
+			runs = append(runs, mapOuts[m][r])
+		}
+	}
+	return memInput{kvs: mergeSortedRuns(runs, n)}, 0, nil
+}
+
+// addPartitionRuns feeds every map task's partition-r run into the
+// store, tagged with its map index as merge priority.
+func addPartitionRuns(st *spillStore, cfg *Config, mapOuts [][][]KeyValue, r int) error {
+	for m := 0; m < cfg.NumMapTasks; m++ {
+		if err := st.addRun(m, mapOuts[m][r]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // mergeSortedRuns stably merges key-sorted runs given in priority
@@ -709,7 +767,7 @@ func (e *reduceEmitter) Emit(key string, value []byte) {
 	})
 }
 
-func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.Units, Counters, []obs.Span, []quality.BlockObs, error) {
+func runReduceTask(cfg *Config, index int, in reduceInput) ([]TimedKV, costmodel.Units, Counters, []obs.Span, []quality.BlockObs, error) {
 	ctx := &TaskContext{
 		Job:       cfg.Name,
 		Type:      ReduceTask,
@@ -721,16 +779,20 @@ func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.
 		tracing:   cfg.Trace != nil,
 		quality:   cfg.Quality != nil,
 	}
+	n := 0
+	if in != nil {
+		n = in.Len()
+	}
 	ctx.Charge(cfg.Cost.TaskStartup)
 	// Framework shuffle cost: reading and merge-sorting this task's
 	// input. (The real sort already happened in Run; here we only
 	// account its simulated price.)
 	shufStart := ctx.Now()
-	ctx.Charge(cfg.Cost.ReadRecord * costmodel.Units(len(in)))
-	ctx.Charge(cfg.Cost.ShuffleSortCost(len(in)))
+	ctx.Charge(cfg.Cost.ReadRecord * costmodel.Units(n))
+	ctx.Charge(cfg.Cost.ShuffleSortCost(n))
 	if ctx.Tracing() {
 		ctx.Span("shuffle", fmt.Sprintf("shuffle r%d", index), shufStart, ctx.Now(),
-			obs.A("records", len(in)))
+			obs.A("records", n))
 	}
 
 	reducer := cfg.NewReducer()
@@ -738,27 +800,54 @@ func runReduceTask(cfg *Config, index int, in []KeyValue) ([]TimedKV, costmodel.
 	if err := reducer.Setup(ctx); err != nil {
 		return nil, 0, nil, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d setup: %w", cfg.Name, index, err)
 	}
+	// Stream the input and feed the reducer one key group at a time —
+	// the group buffer, not the whole partition, bounds the resident
+	// records when the input lives on disk.
 	var values [][]byte // scratch, reused across groups (see Reducer contract)
 	groups := 0
-	for lo := 0; lo < len(in); {
-		hi := lo + 1
-		for hi < len(in) && in[hi].Key == in[lo].Key {
-			hi++
+	if n > 0 {
+		it, err := in.Iter()
+		if err != nil {
+			return nil, 0, nil, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d input: %w", cfg.Name, index, err)
 		}
-		values = values[:0]
-		for i := lo; i < hi; i++ {
-			values = append(values, in[i].Value)
+		defer it.Close()
+		var curKey string
+		have := false
+		flush := func() error {
+			if !have {
+				return nil
+			}
+			if err := reducer.Reduce(ctx, curKey, values, emitter); err != nil {
+				return fmt.Errorf("mapreduce: %s reduce task %d key %q: %w", cfg.Name, index, curKey, err)
+			}
+			groups++
+			return nil
 		}
-		if err := reducer.Reduce(ctx, in[lo].Key, values, emitter); err != nil {
-			return nil, 0, nil, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d key %q: %w", cfg.Name, index, in[lo].Key, err)
+		for {
+			kv, ok, err := it.Next()
+			if err != nil {
+				return nil, 0, nil, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d input: %w", cfg.Name, index, err)
+			}
+			if !ok {
+				break
+			}
+			if !have || kv.Key != curKey {
+				if err := flush(); err != nil {
+					return nil, 0, nil, nil, nil, err
+				}
+				curKey, have = kv.Key, true
+				values = values[:0]
+			}
+			values = append(values, kv.Value)
 		}
-		groups++
-		lo = hi
+		if err := flush(); err != nil {
+			return nil, 0, nil, nil, nil, err
+		}
 	}
 	if err := reducer.Cleanup(ctx, emitter); err != nil {
 		return nil, 0, nil, nil, nil, fmt.Errorf("mapreduce: %s reduce task %d cleanup: %w", cfg.Name, index, err)
 	}
-	ctx.Inc(CounterReduceInRecords, int64(len(in)))
+	ctx.Inc(CounterReduceInRecords, int64(n))
 	ctx.Inc(CounterReduceInGroups, int64(groups))
 	ctx.Inc(CounterReduceOutRecords, int64(len(emitter.out)))
 	return emitter.out, ctx.Now(), ctx.counters, ctx.spans, ctx.qobs, nil

@@ -22,6 +22,7 @@ import (
 
 	"proger/internal/costmodel"
 	"proger/internal/faults"
+	"proger/internal/membudget"
 	"proger/internal/obs"
 	"proger/internal/obs/quality"
 )
@@ -187,6 +188,15 @@ type Config struct {
 	ShuffleMemLimit int
 	// SpillDir receives shuffle spill files; os.TempDir()-based default.
 	SpillDir string
+	// MemBudget, when non-nil, is the process-wide memory budget
+	// manager governing out-of-core execution: reduce inputs buffer in
+	// budget-charged stores, and the manager forces the largest holders
+	// to spill compressed runs to SpillDir when the total tracked bytes
+	// would exceed the budget. Purely a host-machine knob, like Workers:
+	// what reaches disk depends on memory pressure, but the record
+	// sequences — and therefore Result, traces, and quality exports —
+	// are byte-identical to the in-memory run.
+	MemBudget *membudget.Manager
 	// Faults, when non-nil, injects deterministic simulated task
 	// failures (crash/hang/slow) into the attempt runtime — see
 	// internal/faults. A chaos/testing knob like Workers: injected

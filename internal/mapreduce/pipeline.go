@@ -251,6 +251,24 @@ func runPipelinedEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]K
 	sExec := shuffleExec(cfg, mapOuts, po.shufWall)
 	rExec := reduceExec(cfg, po.shufRes, po.reduceWall)
 
+	// Out-of-core mode: with a memory budget (and no fault runtime or
+	// deterministic spill limit claiming the shuffle as attempt-tracked
+	// work), every partition gets a budget-governed store up front. Map
+	// nodes feed their committed runs straight into the stores and drop
+	// their output buffers, so a map task's records stay referenced only
+	// through the stores — and the budget manager decides what stays
+	// resident. The stores are published into shufRes before execution
+	// so Run can settle them even if the graph errors out.
+	budgetMode := cfg.MemBudget != nil && fr == nil && cfg.ShuffleMemLimit <= 0
+	var stores []*spillStore
+	if budgetMode {
+		stores = make([]*spillStore, R)
+		for r := 0; r < R; r++ {
+			stores[r] = newSpillStore(cfg, cfg.MemBudget, r, false)
+			po.shufRes[r] = shuffleTaskResult{in: stores[r]}
+		}
+	}
+
 	// All three phases' attempt slots are allocated up front: with no
 	// barriers, tasks of different phases run interleaved, and each
 	// node writes only its own index.
@@ -272,6 +290,18 @@ func runPipelinedEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]K
 			}
 			po.mapRes[m], po.mapCosts[m] = out, cost
 			mapOuts[m] = out.out
+			if budgetMode {
+				// Hand the committed runs to the partition stores and drop
+				// the task's own references: from here on, residency of
+				// this map task's records is the budget manager's call.
+				for r := 0; r < R; r++ {
+					if err := stores[r].addRun(m, out.out[r]); err != nil {
+						return err
+					}
+				}
+				mapOuts[m] = nil
+				po.mapRes[m].out = nil
+			}
 			return nil
 		})
 	}
@@ -298,11 +328,19 @@ func runPipelinedEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]K
 	// k-way merge is used instead. Either way the merged bytes — and
 	// hence everything derived from them — are identical.
 	hostParallel := workers > 1 && runtime.GOMAXPROCS(0) > 1
-	premerge := fr == nil && cfg.ShuffleMemLimit <= 0 && M > 1 && hostParallel
+	premerge := fr == nil && cfg.ShuffleMemLimit <= 0 && !budgetMode && M > 1 && hostParallel
 	shufNodes := make([]*dagNode, R)
 	for r := 0; r < R; r++ {
 		r := r
-		if premerge {
+		if budgetMode {
+			// The store already holds (or spilled) every run by the time
+			// all map nodes committed; the node is pure dependency glue
+			// keeping reduce r gated on the complete shuffle input.
+			shufNodes[r] = g.node(nodeKey{nodeShuffle, r}, func() error { return nil })
+			for _, mn := range mapNodes {
+				g.edge(mn, shufNodes[r])
+			}
+		} else if premerge {
 			var wt *mergeWall
 			if po.shufWall != nil {
 				wt = &mergeWall{}
@@ -346,13 +384,13 @@ func runPipelinedEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]K
 		// which runPhase returns but both engines otherwise discard;
 		// recompute them the same way for the gate's quantile.
 		shufCosts := make([]costmodel.Units, R)
-		shufCostOf := func(i int) costmodel.Units { return cfg.Cost.ShuffleSortCost(len(po.shufRes[i].in)) }
+		shufCostOf := func(i int) costmodel.Units { return cfg.Cost.ShuffleSortCost(po.shufRes[i].in.Len()) }
 		addSpeculationNodesWithCosts(g, fr, faults.Shuffle, nodeSpecShuffle, shufNodes, po.shufRes, shufCosts, shufCostOf, sExec)
 		addSpeculationNodes(g, fr, faults.Reduce, nodeSpecReduce, redNodes, po.reduceRes, po.reduceCosts, rExec)
 	}
 
 	if err := g.execute(workers); err != nil {
-		return nil, err
+		return po, err // po carries live stores; Run settles them
 	}
 	return po, nil
 }
@@ -413,7 +451,7 @@ func buildMergeRange(g *taskGraph, po *phaseOutputs, mapNodes []*dagNode, mapOut
 			wt.end()
 		}
 		if root {
-			po.shufRes[r] = shuffleTaskResult{in: *out}
+			po.shufRes[r] = shuffleTaskResult{in: memInput{kvs: *out}}
 			if wt != nil {
 				po.shufWall[r] = wt.span()
 			}

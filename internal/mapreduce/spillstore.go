@@ -1,0 +1,513 @@
+package mapreduce
+
+// The pluggable shuffle storage layer. A reduce task's input is a
+// reduceInput — either an in-memory record slice (memInput, the
+// classic path) or a spillStore holding sorted runs that may live in
+// memory, on disk, or both. Which one a partition gets is a pure
+// host-machine decision (ShuffleMemLimit, MemBudget); the record
+// sequence every implementation yields is byte-identical, which is
+// what keeps Result/trace/quality bytes independent of storage mode.
+//
+// Ordering invariant: every run is tagged with a priority — its map
+// task index — and all merges compare (key, prio). Because one run is
+// ingested exactly once and moved between memory and disk only whole,
+// a given prio lives in exactly one source at any time, so merging
+// arbitrary groupings of runs reproduces exactly the stable
+// (key, map-index) order of the barrier engine's in-memory k-way
+// merge, no matter when or how runs were spilled.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"sync"
+
+	"proger/internal/extsort"
+	"proger/internal/membudget"
+)
+
+// reduceInput is a reduce task's shuffled, merge-sorted input.
+// Iter may be called multiple times (retries, speculation) and
+// concurrently (a speculative shuffle check can overlap the reduce
+// task); each call yields an independent pass over the same records.
+type reduceInput interface {
+	Len() int
+	Iter() (kvIter, error)
+	Close() error
+}
+
+// kvIter streams records in (key, map-index) order.
+type kvIter interface {
+	Next() (KeyValue, bool, error)
+	Close() error
+}
+
+// memInput is the in-memory reduceInput: a fully merged record slice.
+type memInput struct {
+	kvs []KeyValue
+}
+
+func (m memInput) Len() int              { return len(m.kvs) }
+func (m memInput) Iter() (kvIter, error) { return &memIter{kvs: m.kvs}, nil }
+func (m memInput) Close() error          { return nil }
+
+type memIter struct {
+	kvs []KeyValue
+	pos int
+}
+
+func (it *memIter) Next() (KeyValue, bool, error) {
+	if it.pos >= len(it.kvs) {
+		return KeyValue{}, false, nil
+	}
+	kv := it.kvs[it.pos]
+	it.pos++
+	return kv, true, nil
+}
+
+func (it *memIter) Close() error { return nil }
+
+// kvMemOverhead approximates the per-record bookkeeping bytes beyond
+// the key/value payloads (string + slice headers, padding). Budget
+// accounting is deliberately approximate — see membudget.
+const kvMemOverhead = 48
+
+// kvRunBytes estimates the resident size of one run.
+func kvRunBytes(kvs []KeyValue) int64 {
+	b := int64(len(kvs)) * kvMemOverhead
+	for _, kv := range kvs {
+		b += int64(len(kv.Key)) + int64(len(kv.Value))
+	}
+	return b
+}
+
+// prioKV is a record tagged with its run's merge priority.
+type prioKV struct {
+	prio uint64
+	kv   KeyValue
+}
+
+func prioKVCmp(a, b prioKV) int {
+	if a.kv.Key != b.kv.Key {
+		if a.kv.Key < b.kv.Key {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.prio < b.prio:
+		return -1
+	case a.prio > b.prio:
+		return 1
+	}
+	return 0
+}
+
+// spillRun is one map task's pre-sorted contribution, held in memory.
+// charged marks that its bytes are recorded with the budget account; a
+// forced spill moves only charged runs (an uncharged run's reservation
+// is still in flight, and spilling it would corrupt the ledger).
+type spillRun struct {
+	prio    uint64
+	kvs     []KeyValue
+	bytes   int64
+	charged bool
+}
+
+// spillStore is the disk-capable reduceInput. Runs are ingested whole
+// (addRun); in forceDisk mode each goes straight to its own run file
+// (the deterministic ShuffleMemLimit path), otherwise runs buffer in
+// memory charged against the budget account, and a budget-forced spill
+// merges everything buffered into one compressed run file. Iter k-way
+// merges memory and disk sources by (key, prio).
+type spillStore struct {
+	job       string
+	r         int
+	parent    string // spill parent dir; "" = system temp
+	forceDisk bool
+	acct      *membudget.Account
+
+	mu       sync.Mutex
+	tmpDir   string
+	memRuns  []*spillRun
+	memBytes int64 // charged resident bytes
+	files    []string
+	total    int
+	readers  int // live iterators; pins memory runs against spilling
+	closed   bool
+
+	// spilledRuns is the deterministic ShuffleMemLimit-driven count the
+	// trace reports; forcedSpills/spilledBytes are budget-pressure
+	// driven and reported only through the metrics registry.
+	spilledRuns  int64
+	forcedSpills int64
+	spilledBytes int64
+}
+
+// newSpillStore creates a store for reduce partition r. With mgr
+// non-nil (and forceDisk false) buffered bytes are charged to a fresh
+// budget account whose forced-spill callback flushes the buffer.
+func newSpillStore(cfg *Config, mgr *membudget.Manager, r int, forceDisk bool) *spillStore {
+	st := &spillStore{job: cfg.Name, r: r, parent: cfg.SpillDir, forceDisk: forceDisk}
+	if !forceDisk {
+		st.acct = mgr.NewAccount(fmt.Sprintf("%s/shuffle-%d", cfg.Name, r), st.budgetSpill)
+	}
+	return st
+}
+
+// addRun ingests one map task's pre-sorted run for this partition.
+// Safe for concurrent callers (pipelined map tasks commit in any
+// order); prio disjointness keeps the merged order independent of
+// ingestion order. The run is published before its bytes are charged —
+// so a concurrent charge that picks this store as victim always sees a
+// spillable buffer — but stays uncharged (unspillable) until the
+// reservation lands, keeping the ledger exact. Self-spill during the
+// charge is safe for the same reason: only settled runs move.
+func (st *spillStore) addRun(prio int, kvs []KeyValue) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	b := kvRunBytes(kvs)
+	run := &spillRun{prio: uint64(prio), kvs: kvs, bytes: b}
+	if st.forceDisk {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if err := st.writeRunFileLocked([]*spillRun{run}); err != nil {
+			return err
+		}
+		st.spilledRuns++
+		st.total += len(kvs)
+		return nil
+	}
+	st.mu.Lock()
+	st.memRuns = append(st.memRuns, run)
+	st.total += len(kvs)
+	st.mu.Unlock()
+	if err := st.acct.Charge(b); err != nil {
+		st.mu.Lock()
+		for i, r := range st.memRuns {
+			if r == run {
+				st.memRuns = append(st.memRuns[:i], st.memRuns[i+1:]...)
+				st.total -= len(kvs)
+				break
+			}
+		}
+		st.mu.Unlock()
+		return err
+	}
+	st.mu.Lock()
+	run.charged = true
+	st.memBytes += b
+	st.mu.Unlock()
+	return nil
+}
+
+// budgetSpill is the membudget callback: flush the charged buffered
+// runs into one merged run file and report the bytes freed. Live
+// iterators pin the buffer (their merge cursors point into it), so a
+// store being read reports no progress instead of corrupting the pass.
+func (st *spillStore) budgetSpill() (int64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed || st.readers > 0 || st.memBytes == 0 {
+		return 0, nil
+	}
+	var settled, pending []*spillRun
+	for _, r := range st.memRuns {
+		if r.charged {
+			settled = append(settled, r)
+		} else {
+			pending = append(pending, r)
+		}
+	}
+	if len(settled) == 0 {
+		return 0, nil
+	}
+	if err := st.writeRunFileLocked(settled); err != nil {
+		return 0, err
+	}
+	freed := st.memBytes
+	st.memRuns = pending
+	st.memBytes = 0
+	st.forcedSpills++
+	st.spilledBytes += freed
+	return freed, nil
+}
+
+// writeRunFileLocked merges the given runs by (key, prio) into one new
+// compressed run file. A failed write removes the partial file. Caller
+// holds st.mu.
+func (st *spillStore) writeRunFileLocked(runs []*spillRun) error {
+	if st.tmpDir == "" {
+		dir, err := os.MkdirTemp(st.parent, "proger-shuffle-*")
+		if err != nil {
+			return fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", st.job, st.r, err)
+		}
+		st.tmpDir = dir
+	}
+	f, err := os.CreateTemp(st.tmpDir, "run-*.spill")
+	if err != nil {
+		return fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", st.job, st.r, err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", st.job, st.r, err)
+	}
+	pulls := make([]func() (prioKV, bool), len(runs))
+	for i, run := range runs {
+		run := run
+		pos := 0
+		pulls[i] = func() (prioKV, bool) {
+			if pos >= len(run.kvs) {
+				return prioKV{}, false
+			}
+			rec := prioKV{prio: run.prio, kv: run.kvs[pos]}
+			pos++
+			return rec, true
+		}
+	}
+	merger := extsort.NewMerger(pulls, prioKVCmp)
+	rw := extsort.NewRunWriter(f)
+	for {
+		rec, ok := merger.Next()
+		if !ok {
+			break
+		}
+		if err := rw.WriteRecord(rec.prio, rec.kv.Key, rec.kv.Value); err != nil {
+			return fail(err)
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", st.job, st.r, err)
+	}
+	st.files = append(st.files, f.Name())
+	return nil
+}
+
+// budgetStats reports the budget-pressure spill activity (forced spill
+// count, bytes moved to disk) for the metrics registry.
+func (st *spillStore) budgetStats() (int64, int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.forcedSpills, st.spilledBytes
+}
+
+// Len implements reduceInput.
+func (st *spillStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.total
+}
+
+// Iter implements reduceInput: an independent merged pass over all
+// memory and disk runs. Concurrent passes are safe — each opens its
+// own file handles, and live passes pin the memory buffer.
+func (st *spillStore) Iter() (kvIter, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, fmt.Errorf("mapreduce: %s shuffle for reduce %d: Iter after Close", st.job, st.r)
+	}
+	it := &storeIter{st: st}
+	pulls := make([]func() (prioKV, bool), 0, len(st.memRuns)+len(st.files))
+	for _, run := range st.memRuns {
+		run := run
+		pos := 0
+		pulls = append(pulls, func() (prioKV, bool) {
+			if pos >= len(run.kvs) {
+				return prioKV{}, false
+			}
+			rec := prioKV{prio: run.prio, kv: run.kvs[pos]}
+			pos++
+			return rec, true
+		})
+	}
+	for _, path := range st.files {
+		f, err := os.Open(path)
+		if err != nil {
+			it.closeFiles()
+			return nil, fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", st.job, st.r, err)
+		}
+		it.fhs = append(it.fhs, f)
+		rr := extsort.NewRunReader(f)
+		pulls = append(pulls, func() (prioKV, bool) {
+			seq, key, val, err := rr.Next()
+			if err == io.EOF {
+				return prioKV{}, false
+			}
+			if err != nil {
+				if it.err == nil {
+					it.err = fmt.Errorf("mapreduce: %s shuffle for reduce %d: %w", st.job, st.r, err)
+				}
+				return prioKV{}, false
+			}
+			return prioKV{prio: seq, kv: KeyValue{Key: key, Value: val}}, true
+		})
+	}
+	it.merger = extsort.NewMerger(pulls, prioKVCmp)
+	st.readers++
+	return it, nil
+}
+
+type storeIter struct {
+	st     *spillStore
+	fhs    []*os.File
+	merger *extsort.Merger[prioKV]
+	err    error
+	done   bool
+}
+
+func (it *storeIter) Next() (KeyValue, bool, error) {
+	if it.err != nil {
+		return KeyValue{}, false, it.err
+	}
+	rec, ok := it.merger.Next()
+	if it.err != nil {
+		return KeyValue{}, false, it.err
+	}
+	if !ok {
+		return KeyValue{}, false, nil
+	}
+	return rec.kv, true, nil
+}
+
+func (it *storeIter) closeFiles() {
+	for _, f := range it.fhs {
+		f.Close()
+	}
+	it.fhs = nil
+}
+
+func (it *storeIter) Close() error {
+	if it.done {
+		return nil
+	}
+	it.done = true
+	it.closeFiles()
+	it.st.mu.Lock()
+	it.st.readers--
+	it.st.mu.Unlock()
+	return nil
+}
+
+// Close implements reduceInput: removes run files, drops the buffer,
+// and settles the budget account.
+func (st *spillStore) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	files := st.files
+	tmp := st.tmpDir
+	st.files, st.tmpDir = nil, ""
+	st.memRuns = nil
+	st.memBytes = 0
+	st.mu.Unlock()
+	st.acct.Close()
+	var first error
+	for _, path := range files {
+		if err := os.Remove(path); err != nil && first == nil && !os.IsNotExist(err) {
+			first = err
+		}
+	}
+	if tmp != "" {
+		if err := os.RemoveAll(tmp); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// attemptComparer lets a task output type define value equality for
+// the speculation self-check; outputs holding host resources (file
+// paths, accounts) can't use reflect.DeepEqual.
+type attemptComparer interface {
+	attemptEqual(other any) bool
+}
+
+// discardable lets a task output release host resources when the
+// attempt runtime throws it away (crashed/hung/killed attempts and
+// every speculative duplicate).
+type discardable interface {
+	discard()
+}
+
+// attemptOutputsEqual compares two attempts' outputs, preferring the
+// type's own equality over reflect.DeepEqual.
+func attemptOutputsEqual[T any](a, b T) bool {
+	if c, ok := any(a).(attemptComparer); ok {
+		return c.attemptEqual(any(b))
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// discardAttemptOutput releases a discarded attempt output's host
+// resources, if it holds any.
+func discardAttemptOutput[T any](out T) {
+	if d, ok := any(out).(discardable); ok {
+		d.discard()
+	}
+}
+
+// attemptEqual implements attemptComparer: two shuffle outputs are
+// equal when they yield the same record sequence, regardless of
+// storage mode.
+func (s shuffleTaskResult) attemptEqual(other any) bool {
+	o, ok := other.(shuffleTaskResult)
+	if !ok {
+		return false
+	}
+	if s.spilledRuns != o.spilledRuns {
+		return false
+	}
+	return reduceInputsEqual(s.in, o.in)
+}
+
+// discard implements discardable.
+func (s shuffleTaskResult) discard() {
+	if s.in != nil {
+		s.in.Close()
+	}
+}
+
+// reduceInputsEqual streams both inputs and compares record by record.
+func reduceInputsEqual(a, b reduceInput) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.Len() != b.Len() {
+		return false
+	}
+	ita, err := a.Iter()
+	if err != nil {
+		return false
+	}
+	defer ita.Close()
+	itb, err := b.Iter()
+	if err != nil {
+		return false
+	}
+	defer itb.Close()
+	for {
+		ka, oka, ea := ita.Next()
+		kb, okb, eb := itb.Next()
+		if ea != nil || eb != nil || oka != okb {
+			return false
+		}
+		if !oka {
+			return true
+		}
+		if ka.Key != kb.Key || !bytes.Equal(ka.Value, kb.Value) {
+			return false
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"proger/internal/membudget"
+	"proger/internal/obs"
+)
+
+// storeConfig builds a minimal Config for driving a spillStore
+// directly in tests.
+func storeConfig(t *testing.T, budget int64) (*Config, *membudget.Manager) {
+	t.Helper()
+	mgr := membudget.New(budget)
+	return &Config{Name: "store-test", SpillDir: t.TempDir(), MemBudget: mgr}, mgr
+}
+
+// storeRuns builds map-task runs with shared keys so that the stable
+// (key, map-index) merge order is observable in the values.
+func storeRuns(mapTasks, perRun int) [][]KeyValue {
+	runs := make([][]KeyValue, mapTasks)
+	for m := range runs {
+		run := make([]KeyValue, perRun)
+		for i := range run {
+			run[i] = KeyValue{
+				Key:   fmt.Sprintf("k%02d", i%5),
+				Value: []byte(fmt.Sprintf("m%d-i%d", m, i)),
+			}
+		}
+		sortByKeyStable(run)
+		runs[m] = run
+	}
+	return runs
+}
+
+func drainInput(t *testing.T, in reduceInput) []KeyValue {
+	t.Helper()
+	it, err := in.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var out []KeyValue
+	for {
+		kv, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, kv)
+	}
+}
+
+// TestSpillStoreMatchesMemoryMerge: whatever mix of buffered and
+// spilled runs the store holds, iteration yields exactly the stable
+// k-way merge the in-memory shuffle produces — including when runs
+// arrive out of map-index order and a forced spill lands mid-ingest.
+func TestSpillStoreMatchesMemoryMerge(t *testing.T) {
+	runs := storeRuns(5, 40)
+	var total int
+	sorted := make([][]KeyValue, len(runs))
+	for m, run := range runs {
+		sorted[m] = run
+		total += len(run)
+	}
+	want := mergeSortedRuns(sorted, total)
+
+	cfg, _ := storeConfig(t, 1<<30) // roomy: no pressure unless forced
+	st := newSpillStore(cfg, cfg.MemBudget, 0, false)
+	defer st.Close()
+	// Ingest out of order, spilling the buffer partway through.
+	order := []int{3, 0, 4}
+	for _, m := range order {
+		if err := st.addRun(m, runs[m]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if freed, err := st.budgetSpill(); err != nil || freed == 0 {
+		t.Fatalf("budgetSpill freed %d, err %v", freed, err)
+	}
+	for _, m := range []int{2, 1} {
+		if err := st.addRun(m, runs[m]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != total {
+		t.Fatalf("Len = %d, want %d", st.Len(), total)
+	}
+	got := drainInput(t, st)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("spill store merge order diverged from in-memory stable merge")
+	}
+	// A second pass must yield the same records (iterators are
+	// independent).
+	if again := drainInput(t, st); !reflect.DeepEqual(again, want) {
+		t.Fatal("second iteration diverged")
+	}
+}
+
+// TestSpillStoreIterPinsBuffer: a live iterator holds merge cursors
+// into the memory runs, so a budget spill must report no progress
+// instead of mutating them.
+func TestSpillStoreIterPinsBuffer(t *testing.T) {
+	cfg, _ := storeConfig(t, 1<<30)
+	st := newSpillStore(cfg, cfg.MemBudget, 0, false)
+	defer st.Close()
+	if err := st.addRun(0, storeRuns(1, 10)[0]); err != nil {
+		t.Fatal(err)
+	}
+	it, err := st.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed, err := st.budgetSpill(); err != nil || freed != 0 {
+		t.Fatalf("spill under live iterator freed %d, err %v — must be pinned", freed, err)
+	}
+	it.Close()
+	if freed, err := st.budgetSpill(); err != nil || freed == 0 {
+		t.Fatalf("spill after iterator close freed %d, err %v", freed, err)
+	}
+}
+
+// TestSpillStoreCloseRemovesFiles: Close deletes run files, the temp
+// dir, and settles the budget account.
+func TestSpillStoreCloseRemovesFiles(t *testing.T) {
+	cfg, mgr := storeConfig(t, 1<<30)
+	st := newSpillStore(cfg, cfg.MemBudget, 3, false)
+	if err := st.addRun(0, storeRuns(1, 50)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.budgetSpill(); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.files) == 0 {
+		t.Fatal("spill produced no run file")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Used() != 0 {
+		t.Fatalf("tracked bytes after Close = %d, want 0", mgr.Used())
+	}
+	entries, err := os.ReadDir(cfg.SpillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = filepath.Join(cfg.SpillDir, e.Name())
+		}
+		t.Errorf("spill artifacts left after Close: %v", names)
+	}
+}
+
+// TestForceDiskStoreCountsRuns: the deterministic ShuffleMemLimit path
+// writes one file per ingested run and reports that count.
+func TestForceDiskStoreCountsRuns(t *testing.T) {
+	cfg := &Config{Name: "force", SpillDir: t.TempDir()}
+	st := newSpillStore(cfg, nil, 0, true)
+	defer st.Close()
+	runs := storeRuns(3, 20)
+	for m, run := range runs {
+		if err := st.addRun(m, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.spilledRuns != 3 || len(st.files) != 3 {
+		t.Fatalf("spilledRuns=%d files=%d, want 3/3", st.spilledRuns, len(st.files))
+	}
+	want := mergeSortedRuns(runs, 60)
+	if got := drainInput(t, st); !reflect.DeepEqual(got, want) {
+		t.Fatal("force-disk merge diverged from in-memory stable merge")
+	}
+}
+
+// TestBudgetRunMatchesMemoryRun is the storage-mode equivalence
+// property at the job level: a tiny budget that forces everything
+// through compressed disk runs must reproduce the in-memory Result —
+// output bytes, timestamps, counters, schedule — exactly, across both
+// engines and worker counts, and the Chrome trace bytes too.
+func TestBudgetRunMatchesMemoryRun(t *testing.T) {
+	forceHostParallel(t)
+	type outcome struct {
+		res   *Result
+		trace []byte
+	}
+	run := func(mode ExecutionMode, workers int, budget int64) outcome {
+		cfg := wordCountConfig(workers)
+		cfg.Execution = mode
+		cfg.Trace = obs.New()
+		cfg.Metrics = obs.NewRegistry()
+		if budget > 0 {
+			cfg.MemBudget = membudget.New(budget)
+			cfg.SpillDir = t.TempDir()
+		}
+		res, err := Run(cfg, wordCountInput(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := cfg.Trace.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{res: res, trace: b.Bytes()}
+	}
+	for _, mode := range []ExecutionMode{ExecPipelined, ExecBarrier} {
+		for _, workers := range []int{1, 8} {
+			name := fmt.Sprintf("mode=%v/workers=%d", mode, workers)
+			base := run(mode, workers, 0)
+			tight := run(mode, workers, 64) // ~one small run; everything spills
+			if !reflect.DeepEqual(base.res, tight.res) {
+				t.Errorf("%s: Result diverged between memory and budget-spill runs", name)
+			}
+			if !bytes.Equal(base.trace, tight.trace) {
+				t.Errorf("%s: trace bytes diverged between memory and budget-spill runs", name)
+			}
+		}
+	}
+}
+
+// TestBudgetRunRecordsPressure: with a budget far below the shuffle
+// volume (but above any single run, so enforcement can always make
+// room), the manager must observe spills while the tracked peak stays
+// under the budget.
+func TestBudgetRunRecordsPressure(t *testing.T) {
+	var in []KeyValue
+	for i := 0; i < 300; i++ {
+		line := fmt.Sprintf("w%03d w%03d w%03d w%03d w%03d w%03d",
+			i%40, (i+7)%40, (i+13)%40, i%9, (i+3)%9, (i+5)%9)
+		in = append(in, KeyValue{Key: fmt.Sprint(i), Value: []byte(line)})
+	}
+	cfg := wordCountConfig(4)
+	cfg.NumMapTasks = 4
+	cfg.NumReduceTasks = 3
+	cfg.Execution = ExecPipelined
+	mgr := membudget.New(32 << 10)
+	cfg.MemBudget = mgr
+	cfg.SpillDir = t.TempDir()
+	cfg.Metrics = obs.NewRegistry()
+	if _, err := Run(cfg, in, 0); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.ForcedSpills() == 0 {
+		t.Error("no forced spills under a tight budget")
+	}
+	if mgr.Peak() > mgr.Budget() {
+		t.Errorf("tracked peak %d exceeded budget %d", mgr.Peak(), mgr.Budget())
+	}
+	if mgr.ChargedTotal() <= mgr.Budget() {
+		t.Errorf("charged total %d should exceed the %d budget for this workload", mgr.ChargedTotal(), mgr.Budget())
+	}
+	if cfg.Metrics.Counter(CounterBudgetForcedSpills).Value() == 0 {
+		t.Error("budget spill counter not exported to the registry")
+	}
+}

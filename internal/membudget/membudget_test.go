@@ -1,0 +1,207 @@
+package membudget
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilManagerIsInert(t *testing.T) {
+	var m *Manager
+	if m.Budget() != 0 || m.Used() != 0 || m.Peak() != 0 {
+		t.Error("nil manager reported nonzero state")
+	}
+	a := m.NewAccount("x", nil)
+	if a != nil {
+		t.Fatal("nil manager returned a live account")
+	}
+	if err := a.Charge(100); err != nil {
+		t.Fatal(err)
+	}
+	a.Release(100)
+	a.Close()
+	if New(0) != nil || New(-5) != nil {
+		t.Error("non-positive budget should yield a nil manager")
+	}
+}
+
+func TestChargeReleaseTracking(t *testing.T) {
+	m := New(1000)
+	a := m.NewAccount("a", nil)
+	b := m.NewAccount("b", nil)
+	if err := a.Charge(300); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Charge(400); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Used(); got != 700 {
+		t.Errorf("Used = %d, want 700", got)
+	}
+	a.Release(100)
+	if got := m.Used(); got != 600 {
+		t.Errorf("Used after release = %d, want 600", got)
+	}
+	if got := m.Peak(); got != 700 {
+		t.Errorf("Peak = %d, want 700", got)
+	}
+	if got := m.ChargedTotal(); got != 700 {
+		t.Errorf("ChargedTotal = %d, want 700", got)
+	}
+	b.Close()
+	if got := m.Used(); got != 200 {
+		t.Errorf("Used after Close = %d, want 200", got)
+	}
+}
+
+func TestChargeForcesLargestSpill(t *testing.T) {
+	m := New(1000)
+	var spilledA, spilledB bool
+	var a, b *Account
+	a = m.NewAccount("small", func() (int64, error) {
+		spilledA = true
+		return 200, nil
+	})
+	b = m.NewAccount("large", func() (int64, error) {
+		spilledB = true
+		return 600, nil
+	})
+	if err := a.Charge(200); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Charge(600); err != nil {
+		t.Fatal(err)
+	}
+	// 800 used; charging 300 more must spill the LARGEST holder (b)
+	// and leave a alone.
+	c := m.NewAccount("new", nil)
+	if err := c.Charge(300); err != nil {
+		t.Fatal(err)
+	}
+	if !spilledB || spilledA {
+		t.Errorf("spills: a=%v b=%v, want only b", spilledA, spilledB)
+	}
+	if got := m.Used(); got != 500 {
+		t.Errorf("Used = %d, want 500 (200 + 300)", got)
+	}
+	if got := m.Peak(); got > 1000 {
+		t.Errorf("Peak %d exceeded budget 1000 — enforcement must precede recording", got)
+	}
+	if m.ForcedSpills() != 1 || m.SpilledBytes() != 600 {
+		t.Errorf("spill stats: %d spills, %d bytes", m.ForcedSpills(), m.SpilledBytes())
+	}
+}
+
+func TestChargeCascadesAcrossVictims(t *testing.T) {
+	m := New(100)
+	mk := func(n int64) *Account {
+		var a *Account
+		a = m.NewAccount("h", func() (int64, error) {
+			u := a.Used()
+			return u, nil
+		})
+		if err := a.Charge(n); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	mk(40)
+	mk(30)
+	mk(25) // 95 used
+	fresh := m.NewAccount("fresh", nil)
+	if err := fresh.Charge(90); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peak(); got > 100 {
+		t.Errorf("peak %d exceeded budget", got)
+	}
+	if m.ForcedSpills() < 2 {
+		t.Errorf("expected a cascade of spills, got %d", m.ForcedSpills())
+	}
+}
+
+func TestUnspillableOvershootAllowed(t *testing.T) {
+	m := New(100)
+	a := m.NewAccount("pinned", nil)
+	if err := a.Charge(250); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Used(); got != 250 {
+		t.Errorf("Used = %d, want 250 (overshoot permitted when nothing can spill)", got)
+	}
+}
+
+func TestZeroFreedVictimNotRetriedWithinCharge(t *testing.T) {
+	m := New(100)
+	calls := 0
+	a := m.NewAccount("stuck", func() (int64, error) {
+		calls++
+		return 0, nil // pinned: refuses to free anything
+	})
+	if err := a.Charge(80); err != nil {
+		t.Fatal(err)
+	}
+	b := m.NewAccount("b", nil)
+	if err := b.Charge(50); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("zero-freed victim called %d times in one charge, want 1", calls)
+	}
+	if got := m.Used(); got != 130 {
+		t.Errorf("Used = %d, want 130", got)
+	}
+}
+
+func TestSpillErrorPropagates(t *testing.T) {
+	m := New(100)
+	boom := errors.New("disk full")
+	a := m.NewAccount("bad", func() (int64, error) { return 0, boom })
+	if err := a.Charge(80); err != nil {
+		t.Fatal(err)
+	}
+	b := m.NewAccount("b", nil)
+	err := b.Charge(50)
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("Charge error = %v, want wrapped %v", err, boom)
+	}
+}
+
+func TestConcurrentChargersStayUnderBudget(t *testing.T) {
+	const budget = 10000
+	m := New(budget)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var a *Account
+			var mu sync.Mutex
+			held := int64(0)
+			a = m.NewAccount("g", func() (int64, error) {
+				mu.Lock()
+				freed := held
+				held = 0
+				mu.Unlock()
+				return freed, nil
+			})
+			defer a.Close()
+			for i := 0; i < 200; i++ {
+				if err := a.Charge(100); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				held += 100
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Peak(); got > budget {
+		t.Errorf("concurrent peak %d exceeded budget %d", got, budget)
+	}
+	if got := m.ChargedTotal(); got != 8*200*100 {
+		t.Errorf("ChargedTotal = %d, want %d", got, 8*200*100)
+	}
+}

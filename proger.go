@@ -309,6 +309,16 @@ var NewTracer = obs.New
 // NewMetricsRegistry creates an enabled metrics registry.
 var NewMetricsRegistry = obs.NewRegistry
 
+// Memory-budget telemetry keys (set only when Options.MemBudget > 0):
+// the high-water mark of tracked bytes, the cumulative bytes charged
+// (raw shuffle + statistics volume), and the spills the budget forced.
+const (
+	GaugeMemBudgetPeakBytes    = core.GaugeMemBudgetPeakBytes
+	GaugeMemBudgetChargedBytes = core.GaugeMemBudgetChargedBytes
+	CounterBudgetForcedSpills  = mapreduce.CounterBudgetForcedSpills
+	CounterBudgetSpilledBytes  = mapreduce.CounterBudgetSpilledBytes
+)
+
 // QualityRecorder collects quality telemetry from a pipeline run: the
 // schedule's per-block predictions and per-task plans plus Job 2's
 // realized per-block resolutions. Attach one via Options.Quality (or

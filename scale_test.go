@@ -56,3 +56,71 @@ func TestScalePipeline(t *testing.T) {
 	t.Logf("scale run: %d entities, %d true pairs, final recall %.3f, total %.0f units",
 		ds.Len(), gt.NumDupPairs(), curve.FinalRecall(), res.TotalTime)
 }
+
+// TestScaleOutOfCore runs the pipeline at scale under a memory budget
+// a small fraction of the raw shuffle volume (skipped with -short).
+// It guards the out-of-core contract: the workload completes with the
+// tracked peak held under the budget while total charged bytes exceed
+// it several times over, and the result — every duplicate event and
+// timestamp, hence the progressive-recall curve — is identical to the
+// unconstrained in-memory run.
+func TestScaleOutOfCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	const n = 12000
+	const budget = 1 << 20 // 1 MiB, far below the shuffle volume
+	ds, gt := proger.GeneratePublications(n, 77)
+	run := func(budgetBytes int64, spillDir string) (*proger.Result, *proger.MetricsRegistry) {
+		metrics := proger.NewMetricsRegistry()
+		res, err := proger.Resolve(ds, proger.Options{
+			Families: proger.CiteSeerXFamilies(ds.Schema),
+			Matcher: proger.MustMatcher(0.75,
+				proger.Rule{Attr: 0, Weight: 0.5, Kind: proger.EditDistance},
+				proger.Rule{Attr: 1, Weight: 0.3, Kind: proger.EditDistance, MaxChars: 350},
+				proger.Rule{Attr: 2, Weight: 0.2, Kind: proger.EditDistance},
+			),
+			Mechanism:       proger.SN,
+			Policy:          proger.CiteSeerXPolicy(),
+			Machines:        10,
+			SlotsPerMachine: 2,
+			Metrics:         metrics,
+			MemBudget:       budgetBytes,
+			SpillDir:        spillDir,
+		})
+		if err != nil {
+			t.Fatalf("Resolve (budget %d): %v", budgetBytes, err)
+		}
+		return res, metrics
+	}
+	ref, _ := run(0, "")
+	res, metrics := run(budget, t.TempDir())
+
+	if len(res.Events) != len(ref.Events) {
+		t.Fatalf("budget run found %d events, in-memory %d", len(res.Events), len(ref.Events))
+	}
+	for i := range res.Events {
+		if res.Events[i] != ref.Events[i] {
+			t.Fatalf("event %d diverged under budget: %+v vs %+v", i, res.Events[i], ref.Events[i])
+		}
+	}
+	if res.TotalTime != ref.TotalTime {
+		t.Errorf("total time %v under budget, want %v", res.TotalTime, ref.TotalTime)
+	}
+	peak := int64(metrics.Gauge(proger.GaugeMemBudgetPeakBytes).Value())
+	charged := int64(metrics.Gauge(proger.GaugeMemBudgetChargedBytes).Value())
+	if peak > budget {
+		t.Errorf("tracked peak %d B exceeded the %d B budget", peak, budget)
+	}
+	if charged < 4*budget {
+		t.Errorf("charged total %d B < 4× budget %d B — workload too small to prove out-of-core operation", charged, budget)
+	}
+	spills := metrics.Counter(proger.CounterBudgetForcedSpills).Value()
+	if spills == 0 {
+		t.Error("no forced spills at scale under a 1 MiB budget")
+	}
+	curve := proger.BuildCurve(res.EventsAgainst(gt.IsDup), gt.NumDupPairs(), res.TotalTime)
+	t.Logf("out-of-core scale run: %d entities, budget %d B, peak %d B, charged %d B (%.1f× budget), %d forced spills, %d B spilled, final recall %.3f",
+		ds.Len(), int64(budget), peak, charged, float64(charged)/float64(budget),
+		spills, metrics.Counter(proger.CounterBudgetSpilledBytes).Value(), curve.FinalRecall())
+}

@@ -56,4 +56,23 @@ go test -race -count=3 -run 'TaskGraph|Pipelined' ./internal/mapreduce
 echo "== go test -race =="
 go test -race ./...
 
+# Bounded-memory smoke: the same workload with and without a tight
+# memory budget must produce byte-identical duplicate pairs and quality
+# telemetry, and the budget run must actually have spilled.
+echo "== bounded-memory smoke =="
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+go run ./cmd/proger -generate publications -n 1200 -seed 3 -machines 4 \
+    -out "$smoke/base.tsv" -quality-out "$smoke/base-quality.json" 2>/dev/null
+go run ./cmd/proger -generate publications -n 1200 -seed 3 -machines 4 \
+    -mem-budget 64K -spill-dir "$smoke" -metrics-out "$smoke/budget.prom" \
+    -out "$smoke/budget.tsv" -quality-out "$smoke/budget-quality.json" 2>/dev/null
+cmp "$smoke/base.tsv" "$smoke/budget.tsv" || {
+    echo "bounded-memory run changed the duplicate pairs"; exit 1; }
+cmp "$smoke/base-quality.json" "$smoke/budget-quality.json" || {
+    echo "bounded-memory run changed the quality telemetry"; exit 1; }
+grep -q '^mr_membudget_forced_spills [1-9]' "$smoke/budget.prom" || {
+    echo "64K budget forced no spills — the smoke test is not exercising out-of-core paths"
+    exit 1; }
+
 echo "check: OK"
