@@ -22,8 +22,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
 	"os"
 	"strconv"
 	"strings"
@@ -74,14 +72,18 @@ func main() {
 	metricsPath := flag.String("metrics-out", "", "write run metrics in Prometheus text format to this path")
 	qualityOut := flag.String("quality-out", "", "write quality telemetry (progressive-recall curve + calibration report) to this path; a .csv suffix writes the curve as CSV, anything else the full export as JSON")
 	sampleEvery := flag.Float64("sample-every", 0, "progressive-recall sampling interval in cost units for -quality-out (0 = total time / 64)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
+	statusAddr := flag.String("status", "", "serve the live status server on this address while the run executes: /healthz, /progress, /tasks, /membudget, /metrics, /debug/pprof (\":0\" picks a free port)")
+	pprofAddr := flag.String("pprof", "", "alias for -status (the status server includes /debug/pprof)")
+	eventsPath := flag.String("events", "", "write a structured JSON event log (one event per line: run/job lifecycle, task transitions, retries, speculation, shuffle merges and spills) to this path; \"-\" writes to stderr")
+	showProgress := flag.Bool("progress", false, "render a single-line live progress indicator on stderr while the run executes")
 	engine := flag.String("engine", "pipelined", "host execution engine: pipelined (dependency-driven task graph) | barrier (three barriered phases); results are identical")
 	memBudget := flag.String("mem-budget", "", "cap tracked shuffle/statistics memory at this size (e.g. 64M, 2G; K/M/G suffixes), spilling compressed runs to disk when exceeded; results are identical")
 	spillDir := flag.String("spill-dir", "", "directory for spill files (default system temp; only used with -mem-budget)")
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		go servePprof(*pprofAddr)
+	serveAddr := *statusAddr
+	if serveAddr == "" {
+		serveAddr = *pprofAddr
 	}
 	var (
 		tracer  *proger.Tracer
@@ -91,11 +93,41 @@ func main() {
 	if *tracePath != "" {
 		tracer = proger.NewTracer()
 	}
-	if *metricsPath != "" || *showReport {
+	if *metricsPath != "" || *showReport || serveAddr != "" {
 		metrics = proger.NewMetricsRegistry()
 	}
-	if *qualityOut != "" || *showReport {
+	if *qualityOut != "" || *showReport || serveAddr != "" {
 		qrec = proger.NewQualityRecorder()
+	}
+
+	var elog *proger.LiveEventLog
+	var eventsSink *bufio.Writer
+	if *eventsPath != "" {
+		w := io.Writer(os.Stderr)
+		if *eventsPath != "-" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			eventsSink = bufio.NewWriter(f)
+			w = eventsSink
+		}
+		elog = proger.NewLiveEventLog(w)
+	}
+	var lvRun *proger.LiveRun
+	if serveAddr != "" || elog != nil || *showProgress || *showReport {
+		// -report also wants a live hub: the run summary's membudget
+		// pressure section reads the attached manager's snapshot.
+		lvRun = proger.NewLiveRun(elog)
+	}
+	if serveAddr != "" {
+		srv, err := proger.ServeStatus(serveAddr, lvRun, metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "proger: status listening on http://%s/\n", srv.Addr())
 	}
 
 	var (
@@ -119,6 +151,16 @@ func main() {
 	matcher := buildMatcher(ds, rules, *threshold, *generate)
 	mechanism := pickMechanism(*mech)
 
+	elog.Emit(proger.EventRunStart,
+		proger.EventKV("entities", ds.Len()),
+		proger.EventKV("mode", runMode(*basic)),
+		proger.EventKV("machines", *machines),
+		proger.EventKV("slots", *slots))
+	renderer := (*proger.LiveProgressRenderer)(nil)
+	if *showProgress {
+		renderer = proger.StartLiveProgress(os.Stderr, lvRun, 0)
+	}
+
 	var (
 		res *proger.Result
 		err error
@@ -138,6 +180,7 @@ func main() {
 			Trace:            tracer,
 			Metrics:          metrics,
 			Quality:          qrec,
+			Live:             lvRun,
 			MemBudget:        budgetBytes,
 			SpillDir:         *spillDir,
 		})
@@ -156,6 +199,7 @@ func main() {
 			Trace:           tracer,
 			Metrics:         metrics,
 			Quality:         qrec,
+			Live:            lvRun,
 			MemBudget:       budgetBytes,
 			SpillDir:        *spillDir,
 		}
@@ -168,9 +212,17 @@ func main() {
 		}
 		res, err = proger.Resolve(ds, opts)
 	}
+	lvRun.Finish(err)
+	renderer.Stop()
 	if err != nil {
+		elog.Emit(proger.EventRunEnd, proger.EventKV("error", err.Error()))
+		flushEvents(eventsSink)
 		log.Fatal(err)
 	}
+	elog.Emit(proger.EventRunEnd,
+		proger.EventKV("dups", len(res.Duplicates)),
+		proger.EventKV("total_cost", res.TotalTime))
+	flushEvents(eventsSink)
 
 	writePairs(*out, res)
 	if *clustersOut != "" {
@@ -188,7 +240,7 @@ func main() {
 	}
 	if *showReport {
 		printReport(res)
-		if err := report.WriteRunSummary(os.Stderr, tracer, metrics, qrec); err != nil {
+		if err := report.WriteRunSummary(os.Stderr, tracer, metrics, qrec, lvRun.Budget()); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -541,12 +593,20 @@ func writeFileWith(path string, write func(io.Writer) error) {
 	}
 }
 
-// servePprof exposes the standard net/http/pprof handlers for profiling
-// the host-side execution (goroutines, heap, CPU) of a run.
-func servePprof(addr string) {
-	fmt.Fprintf(os.Stderr, "proger: pprof listening on http://%s/debug/pprof/\n", addr)
-	if err := http.ListenAndServe(addr, nil); err != nil {
-		log.Printf("pprof server: %v", err)
+func runMode(basic bool) string {
+	if basic {
+		return "basic"
+	}
+	return "pipeline"
+}
+
+// flushEvents flushes the buffered -events sink, if any.
+func flushEvents(w *bufio.Writer) {
+	if w == nil {
+		return
+	}
+	if err := w.Flush(); err != nil {
+		log.Printf("event log: %v", err)
 	}
 }
 

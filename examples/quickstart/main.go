@@ -25,6 +25,7 @@ func main() {
 	barrier := flag.Bool("barrier", false, "use the barriered reference engine instead of the pipelined default (results are identical)")
 	memBudget := flag.Int64("mem-budget", 0, "cap tracked shuffle/statistics memory at this many bytes, spilling compressed runs to disk (0 = all in memory; results are identical)")
 	spillDir := flag.String("spill-dir", "", "directory for spill files (default system temp; only used with -mem-budget)")
+	statusAddr := flag.String("status", "", "serve the live status server (/healthz, /progress, /tasks, /membudget, /metrics, /debug/pprof) on this address while the run executes")
 	flag.Parse()
 
 	var (
@@ -40,6 +41,19 @@ func main() {
 	}
 	if *qualityPath != "" {
 		quality = proger.NewQualityRecorder()
+	}
+	var lvRun *proger.LiveRun
+	if *statusAddr != "" {
+		if metrics == nil {
+			metrics = proger.NewMetricsRegistry()
+		}
+		lvRun = proger.NewLiveRun(nil)
+		srv, err := proger.ServeStatus(*statusAddr, lvRun, metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "status listening on http://%s/\n", srv.Addr())
 	}
 
 	// The Table-I dataset: nine people records, six real-world people.
@@ -75,6 +89,7 @@ func main() {
 		Trace:           tracer,
 		Metrics:         metrics,
 		Quality:         quality,
+		Live:            lvRun,
 	}
 	// Chaos knob: deterministic fault injection. The attempt runtime
 	// retries, times out, and speculates around injected faults — the
@@ -92,6 +107,7 @@ func main() {
 	opts.MemBudget = *memBudget
 	opts.SpillDir = *spillDir
 	res, err := proger.Resolve(ds, opts)
+	lvRun.Finish(err)
 	if err != nil {
 		log.Fatal(err)
 	}

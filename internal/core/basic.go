@@ -158,6 +158,8 @@ func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
 	if opts.MemBudget > 0 {
 		mgr = membudget.New(opts.MemBudget)
 	}
+	opts.Live.AttachBudget(mgr)
+	opts.Live.AttachQuality(opts.Quality)
 	cfg := mapreduce.Config{
 		Name:           "basic-progressive-er",
 		NewMapper:      func() mapreduce.Mapper { return &BasicMapper{side: side} },
@@ -173,6 +175,7 @@ func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
 		Trace:          opts.Trace,
 		Metrics:        opts.Metrics,
 		Quality:        opts.Quality,
+		Live:           opts.Live,
 		MemBudget:      mgr,
 		SpillDir:       opts.SpillDir,
 	}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"proger/internal/datagen"
+	"proger/internal/estimate"
+	"proger/internal/faults"
+	"proger/internal/mapreduce"
+	"proger/internal/mechanism"
+	"proger/internal/obs"
+	"proger/internal/obs/live"
+	"proger/internal/obs/quality"
+	"proger/internal/sched"
+)
+
+// liveOpts returns People-toy pipeline options with a live hub wired.
+func liveOpts(run *live.Run, workers int) Options {
+	return Options{
+		Families:        peopleFamilies(),
+		Matcher:         peopleMatcher(),
+		Mechanism:       mechanism.SN{},
+		Policy:          estimate.CiteSeerXPolicy(),
+		Machines:        2,
+		SlotsPerMachine: 2,
+		Scheduler:       sched.Ours,
+		Workers:         workers,
+		Live:            run,
+	}
+}
+
+// TestLiveEndpointsUnderFaultedRun hammers /tasks and /progress from
+// concurrent readers while an 8-worker faulted, speculating pipeline
+// publishes into the hub — the race-detector gate for the snapshot
+// layer — and simultaneously checks that the live recall estimate and
+// streamed duplicate count are monotonically nondecreasing.
+func TestLiveEndpointsUnderFaultedRun(t *testing.T) {
+	ds, _ := datagen.People()
+	run := live.NewRun(nil)
+	q := quality.NewRecorder()
+	run.AttachQuality(q)
+	opts := liveOpts(run, 8)
+	opts.Quality = q
+	opts.Faults = faults.NewSeeded(1, 0.5)
+	opts.Retry = mapreduce.RetryPolicy{MaxRetries: 3, Speculation: true}
+
+	srv, err := live.Serve("127.0.0.1:0", run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var readErrs []string
+	hammer := func(path string) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(base + path)
+			if err != nil {
+				mu.Lock()
+				readErrs = append(readErrs, err.Error())
+				mu.Unlock()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	wg.Add(4)
+	go hammer("/tasks")
+	go hammer("/tasks")
+	go hammer("/progress")
+	go hammer("/membudget")
+
+	// Monotonicity watcher: direct snapshots, tighter loop than HTTP.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var lastRecall float64
+		var lastDups int64
+		for {
+			s := run.Progress()
+			if s.RecallEstimate < lastRecall {
+				mu.Lock()
+				readErrs = append(readErrs, "recall decreased")
+				mu.Unlock()
+			}
+			if s.Dups < lastDups {
+				mu.Lock()
+				readErrs = append(readErrs, "dups decreased")
+				mu.Unlock()
+			}
+			lastRecall, lastDups = s.RecallEstimate, s.Dups
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	res, err := Resolve(ds, opts)
+	run.Finish(err)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readErrs) > 0 {
+		t.Fatalf("concurrent readers failed: %v", readErrs)
+	}
+	if len(res.Duplicates) == 0 {
+		t.Fatal("no duplicates found")
+	}
+	s := run.Progress()
+	if s.Dups == 0 || s.BlocksResolved == 0 {
+		t.Errorf("live totals empty after run: %+v", s)
+	}
+	var attempts int64
+	for _, j := range s.Jobs {
+		attempts += j.Retries + j.Speculations
+	}
+	if attempts == 0 {
+		t.Error("rate-0.5 faulted run recorded no retries or speculations")
+	}
+}
+
+// TestLiveDoesNotChangeArtifacts pins the tentpole determinism gate at
+// the pipeline level: Result events, Chrome trace bytes, and quality
+// JSON are byte-identical with the live hub + event log enabled and
+// disabled, across engines and worker counts.
+func TestLiveDoesNotChangeArtifacts(t *testing.T) {
+	refRes, refTrace, refQual := equivRun(t, mapreduce.ExecBarrier, 1, 0)
+	ds, _ := datagen.People()
+	for _, mode := range []mapreduce.ExecutionMode{mapreduce.ExecBarrier, mapreduce.ExecPipelined} {
+		for _, workers := range []int{1, 8} {
+			var events bytes.Buffer
+			run := live.NewRun(live.NewEventLog(&events))
+			opts := liveOpts(run, workers)
+			opts.Execution = mode
+			opts.Trace = obs.New()
+			opts.Metrics = obs.NewRegistry()
+			opts.Quality = quality.NewRecorder()
+			res, err := Resolve(ds, opts)
+			run.Finish(err)
+			if err != nil {
+				t.Fatalf("mode=%v workers=%d: %v", mode, workers, err)
+			}
+			if !reflect.DeepEqual(res.Events, refRes.Events) || res.TotalTime != refRes.TotalTime {
+				t.Errorf("mode=%v workers=%d: live hub changed the result", mode, workers)
+			}
+			var trace, qual bytes.Buffer
+			if err := opts.Trace.WriteChromeTrace(&trace); err != nil {
+				t.Fatal(err)
+			}
+			if err := opts.Quality.Export(0).WriteJSON(&qual); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(trace.Bytes(), refTrace) {
+				t.Errorf("mode=%v workers=%d: live hub changed the trace bytes", mode, workers)
+			}
+			if !bytes.Equal(qual.Bytes(), refQual) {
+				t.Errorf("mode=%v workers=%d: live hub changed the quality bytes", mode, workers)
+			}
+			if events.Len() == 0 {
+				t.Errorf("mode=%v workers=%d: no events recorded", mode, workers)
+			}
+		}
+	}
+}
+
+// deterministicEventKey strips the wall-clock fields (seq, wall_ms)
+// from one event line and re-marshals the rest with sorted keys.
+func deterministicEventKey(t *testing.T, line []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatalf("event line %q: %v", line, err)
+	}
+	delete(m, "seq")
+	delete(m, "wall_ms")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// eventMultiset returns the sorted deterministic-subset lines of an
+// event stream.
+func eventMultiset(t *testing.T, raw []byte) []string {
+	t.Helper()
+	var keys []string
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		keys = append(keys, deterministicEventKey(t, sc.Bytes()))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestEventLogDeterministicSubset runs the barrier engine at 1 and 8
+// workers and checks the event streams agree exactly once the
+// wall-clock fields are stripped: same events, same counts, only the
+// interleaving differs.
+func TestEventLogDeterministicSubset(t *testing.T) {
+	ds, _ := datagen.People()
+	streams := map[int][]string{}
+	for _, workers := range []int{1, 8} {
+		var events bytes.Buffer
+		run := live.NewRun(live.NewEventLog(&events))
+		opts := liveOpts(run, workers)
+		opts.Execution = mapreduce.ExecBarrier
+		_, err := Resolve(ds, opts)
+		run.Finish(err)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		streams[workers] = eventMultiset(t, events.Bytes())
+	}
+	if len(streams[1]) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if !reflect.DeepEqual(streams[1], streams[8]) {
+		t.Errorf("event multisets diverge across workers:\n1: %d lines\n8: %d lines",
+			len(streams[1]), len(streams[8]))
+		for i := range streams[1] {
+			if i < len(streams[8]) && streams[1][i] != streams[8][i] {
+				t.Errorf("first divergence:\n  w1: %s\n  w8: %s", streams[1][i], streams[8][i])
+				break
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"proger/internal/match"
 	"proger/internal/mechanism"
 	"proger/internal/obs"
+	"proger/internal/obs/live"
 	"proger/internal/obs/quality"
 	"proger/internal/sched"
 )
@@ -96,6 +97,14 @@ type Options struct {
 	// curve and the calibration report. Deterministic across Workers
 	// and fault injection, like Trace. Nil disables at zero cost.
 	Quality *quality.Recorder
+	// Live, when non-nil, receives in-flight execution state from both
+	// jobs (task DAG transitions, retry/speculation activity, streamed
+	// per-block resolutions) plus the quality recorder and memory-budget
+	// manager attachments that denominate its recall/ETA estimates —
+	// the feed behind the live status server. Write-only from the run's
+	// perspective: results and every post-run artifact are byte-
+	// identical with or without it. Nil disables at zero cost.
+	Live *live.Run
 	// MemBudget, when > 0, caps the tracked bytes held in memory by
 	// both jobs' shuffles and the Job-1 block statistics: a
 	// process-wide budget manager spills the largest holders to
@@ -174,6 +183,10 @@ type BasicOptions struct {
 	// Quality mirrors Options.Quality. The baseline has no schedule, so
 	// only realizations are recorded (curve yes, calibration join no).
 	Quality *quality.Recorder
+	// Live mirrors Options.Live. With no schedule there are no predicted
+	// totals, so /progress reports raw streamed counts without a recall
+	// estimate.
+	Live *live.Run
 	// MemBudget and SpillDir mirror Options.MemBudget / Options.SpillDir.
 	MemBudget int64
 	SpillDir  string

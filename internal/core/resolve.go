@@ -69,6 +69,11 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 	if opts.MemBudget > 0 {
 		mgr = membudget.New(opts.MemBudget)
 	}
+	// Attach the run-scoped telemetry sources to the live layer before
+	// any job starts, so /membudget and the recall denominators are
+	// readable from the first scrape.
+	opts.Live.AttachBudget(mgr)
+	opts.Live.AttachQuality(opts.Quality)
 
 	// ---- Job 1: progressive blocking + statistics ----
 	job1Cfg := blocking.Job1Config(opts.Families, cluster, opts.Cost)
@@ -78,6 +83,7 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 	job1Cfg.Retry = opts.Retry
 	job1Cfg.Trace = opts.Trace
 	job1Cfg.Metrics = opts.Metrics
+	job1Cfg.Live = opts.Live
 	job1Cfg.MemBudget = mgr
 	job1Cfg.SpillDir = opts.SpillDir
 	job1Res, err := mapreduce.Run(job1Cfg, blocking.MakeJob1Input(ds), 0)
@@ -173,6 +179,7 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 		Trace:          opts.Trace,
 		Metrics:        opts.Metrics,
 		Quality:        opts.Quality,
+		Live:           opts.Live,
 		MemBudget:      mgr,
 		SpillDir:       opts.SpillDir,
 	}

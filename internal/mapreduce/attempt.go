@@ -9,6 +9,7 @@ import (
 	"proger/internal/costmodel"
 	"proger/internal/faults"
 	"proger/internal/obs"
+	"proger/internal/obs/live"
 )
 
 // RetryPolicy configures the attempt runtime: how often a failed task
@@ -107,6 +108,11 @@ type faultRuntime struct {
 	// each worker writes only its own task index, so no locking is
 	// needed.
 	phases map[faults.Phase][]*taskAttempts
+	// live is the run's live-introspection handle (nil when off): the
+	// attempt runtime reports retries, speculative launches, and
+	// permanent task failures through it. Set once in Run before any
+	// engine goroutine starts.
+	live *live.Job
 }
 
 // newFaultRuntime builds the attempt runtime for cfg, or nil when the
@@ -206,18 +212,21 @@ func runTaskAttempts[T any](fr *faultRuntime, phase faults.Phase, task int,
 		case err != nil:
 			ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeError, Start: now, Dur: cost})
 			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", a, err))
+			fr.live.Retry(live.Phase(phase), task, a, outcomeError)
 			now += cost + fr.backoff(a)
 		case f.Kind == faults.Crash:
 			discardAttemptOutput(out) // valid output, thrown away by the injected crash
 			d := cost * crashFraction
 			ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeCrash, Start: now, Dur: d})
 			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: injected crash", a))
+			fr.live.Retry(live.Phase(phase), task, a, outcomeCrash)
 			now += d + fr.backoff(a)
 		case f.Kind == faults.Hang:
 			discardAttemptOutput(out)
 			d := fr.timeout(cost)
 			ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeTimeout, Start: now, Dur: d})
 			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: hung, killed at timeout %v", a, d))
+			fr.live.Retry(live.Phase(phase), task, a, outcomeTimeout)
 			now += d + fr.backoff(a)
 		default:
 			dur, outcome := cost, outcomeOK
@@ -233,6 +242,7 @@ func runTaskAttempts[T any](fr *faultRuntime, phase faults.Phase, task int,
 				discardAttemptOutput(out)
 				ta.records = append(ta.records, attemptRecord{Attempt: a, Outcome: outcomeTimeout, Start: now, Dur: to})
 				attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: straggling, killed at timeout %v", a, to))
+				fr.live.Retry(live.Phase(phase), task, a, outcomeTimeout)
 				now += to + fr.backoff(a)
 				continue
 			}
@@ -242,8 +252,13 @@ func runTaskAttempts[T any](fr *faultRuntime, phase faults.Phase, task int,
 			return out, cost, ta, nil
 		}
 	}
-	return zero, 0, ta, fmt.Errorf("mapreduce: %s task %d failed after %d attempts: %w",
+	err := fmt.Errorf("mapreduce: %s task %d failed after %d attempts: %w",
 		phase, task, maxAttempts, errors.Join(attemptErrs...))
+	// The ladder is exhausted: the exec-level transitions above left the
+	// task re-entered as running (or done, for a final discarded
+	// attempt); pin its terminal live state to failed.
+	fr.live.TaskFailed(live.Phase(phase), task, err)
+	return zero, 0, ta, err
 }
 
 // runPhase executes one engine phase of n tasks on the worker pool.
@@ -333,6 +348,7 @@ func speculateTask[T any](fr *faultRuntime, phase faults.Phase, i int, thr costm
 	}
 	specIdx := fr.policy.MaxRetries + 2 // first attempt index past the retry ladder
 	f := fr.decide(phase, i, specIdx)
+	fr.live.Speculate(live.Phase(phase), i)
 	specOut, specCost, err := exec(i)
 	// Whatever the race outcome, the speculative output never replaces
 	// the committed one — release any host resources it holds.

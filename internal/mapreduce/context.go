@@ -6,6 +6,7 @@ import (
 
 	"proger/internal/costmodel"
 	"proger/internal/obs"
+	"proger/internal/obs/live"
 	"proger/internal/obs/quality"
 )
 
@@ -53,6 +54,12 @@ type TaskContext struct {
 	// attempt's observations reach the recorder under fault injection.
 	quality bool
 	qobs    []quality.BlockObs
+	// lv is Config.Live for reduce tasks: block observations stream
+	// into it the moment they are recorded (not at job end), feeding
+	// the live progressive-recall estimate. Unlike qobs, the stream is
+	// per-execution — a retried or speculated attempt feeds it again —
+	// so it is advisory by design, never part of any artifact.
+	lv *live.Run
 }
 
 // Charge adds cost units to the task's local clock. All task work that
@@ -101,17 +108,21 @@ func (c *TaskContext) Span(cat, name string, start, end costmodel.Units, args ..
 	})
 }
 
-// QualityOn reports whether the job is collecting quality telemetry.
+// QualityOn reports whether the job is collecting quality telemetry —
+// through the quality recorder, the live introspection layer, or both.
 // Guard BlockObs construction behind it so telemetry costs nothing
 // when disabled, mirroring Tracing.
-func (c *TaskContext) QualityOn() bool { return c.quality }
+func (c *TaskContext) QualityOn() bool { return c.quality || c.lv.Enabled() }
 
 // ObserveBlock records one resolved block's realization with Start/End
 // on the task's *local* simulated clock (ctx.Now() values). The engine
 // rebases it onto the global timeline — and stamps the owning task —
-// once the task's scheduled start is known. No-op when quality
-// telemetry is disabled.
+// once the task's scheduled start is known. With live introspection
+// attached, the observation additionally streams into the live layer
+// immediately (duration is clock-base independent, so no rebasing is
+// needed there). No-op when both sinks are disabled.
 func (c *TaskContext) ObserveBlock(o quality.BlockObs) {
+	c.lv.ObserveResolution(o.Compared, o.Dups, float64(o.End-o.Start))
 	if !c.quality {
 		return
 	}

@@ -14,6 +14,7 @@ import (
 	"proger/internal/faults"
 	"proger/internal/membudget"
 	"proger/internal/obs"
+	"proger/internal/obs/live"
 	"proger/internal/obs/quality"
 )
 
@@ -42,6 +43,15 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 	fr := newFaultRuntime(&cfg)
 	splits := splitInput(input, cfg.NumMapTasks)
 
+	// Live introspection: register the job's task DAG and hand every
+	// execution layer the publication handle. lj is nil when live
+	// introspection is off — all its methods no-op — and nothing below
+	// ever reads it back, so it cannot perturb the deterministic run.
+	lj := cfg.Live.StartJob(cfg.Name, cfg.NumMapTasks, cfg.NumReduceTasks)
+	if fr != nil {
+		fr.live = lj
+	}
+
 	// Task execution: both engines fill an identical phaseOutputs — the
 	// barrier engine with three phase-pool passes, the pipelined engine
 	// with a dependency-driven task graph — so everything below this
@@ -52,9 +62,9 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 		err error
 	)
 	if cfg.Execution == ExecBarrier {
-		po, err = runBarrierEngine(&cfg, fr, workers, splits)
+		po, err = runBarrierEngine(&cfg, fr, lj, workers, splits)
 	} else {
-		po, err = runPipelinedEngine(&cfg, fr, workers, splits)
+		po, err = runPipelinedEngine(&cfg, fr, lj, workers, splits)
 	}
 	if po != nil {
 		// Reduce inputs may hold host resources (spill files, budget
@@ -68,6 +78,7 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 		}()
 	}
 	if err != nil {
+		lj.End(err)
 		return nil, err
 	}
 	mapRes, mapCosts := po.mapRes, po.mapCosts
@@ -198,6 +209,7 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 			m.Counter(CounterTaskAttemptsKilled).Add(st.killed)
 		}
 	}
+	lj.End(nil)
 	return res, nil
 }
 
@@ -232,32 +244,40 @@ func newPhaseOutputs(cfg *Config) *phaseOutputs {
 // pipelined engine, and the speculation pass. Each records a host wall
 // span when `wall` is non-nil (tracing); re-executions (retries,
 // speculation) overwrite the wall measurement, never the committed
-// deterministic output.
-func mapExec(cfg *Config, splits [][]KeyValue, wall []wallSpan) func(i int) (mapTaskResult, costmodel.Units, error) {
+// deterministic output. Live task-state publication sits here too —
+// the one wrap point both engines and every attempt share — so each
+// *execution* (first attempt, retry, speculative backup) reports its
+// own start/done/failed transition.
+func mapExec(cfg *Config, lj *live.Job, splits [][]KeyValue, wall []wallSpan) func(i int) (mapTaskResult, costmodel.Units, error) {
 	return func(i int) (mapTaskResult, costmodel.Units, error) {
+		lj.TaskStart(live.PhaseMap, i)
 		var w0 time.Time
 		if wall != nil {
 			w0 = time.Now()
 		}
 		out, cost, counters, spans, err := runMapTask(cfg, i, splits[i])
 		if err != nil {
+			lj.TaskFailed(live.PhaseMap, i, err)
 			return mapTaskResult{}, 0, err
 		}
 		if wall != nil {
 			wall[i] = wallSpan{w0, time.Since(w0)}
 		}
+		lj.TaskDone(live.PhaseMap, i, float64(cost), len(splits[i]))
 		return mapTaskResult{out: out, counters: counters, spans: spans}, cost, nil
 	}
 }
 
-func shuffleExec(cfg *Config, mapOuts [][][]KeyValue, wall []wallSpan) func(r int) (shuffleTaskResult, costmodel.Units, error) {
+func shuffleExec(cfg *Config, lj *live.Job, mapOuts [][][]KeyValue, wall []wallSpan) func(r int) (shuffleTaskResult, costmodel.Units, error) {
 	return func(r int) (shuffleTaskResult, costmodel.Units, error) {
+		lj.TaskStart(live.PhaseShuffle, r)
 		var w0 time.Time
 		if wall != nil {
 			w0 = time.Now()
 		}
 		in, spilled, err := shuffleForTask(cfg, mapOuts, r)
 		if err != nil {
+			lj.TaskFailed(live.PhaseShuffle, r, err)
 			return shuffleTaskResult{}, 0, err
 		}
 		if wall != nil {
@@ -266,23 +286,33 @@ func shuffleExec(cfg *Config, mapOuts [][][]KeyValue, wall []wallSpan) func(r in
 		// The merge has no scheduled cost of its own (the reduce tasks
 		// price shuffling on the simulated clock); the attempt runtime
 		// keys timeouts and speculation off its simulated sort cost.
-		return shuffleTaskResult{in: in, spilledRuns: spilled}, cfg.Cost.ShuffleSortCost(in.Len()), nil
+		cost := cfg.Cost.ShuffleSortCost(in.Len())
+		lj.SpilledRuns(r, spilled)
+		lj.TaskDone(live.PhaseShuffle, r, float64(cost), in.Len())
+		return shuffleTaskResult{in: in, spilledRuns: spilled}, cost, nil
 	}
 }
 
-func reduceExec(cfg *Config, shufRes []shuffleTaskResult, wall []wallSpan) func(i int) (reduceTaskResult, costmodel.Units, error) {
+func reduceExec(cfg *Config, lj *live.Job, shufRes []shuffleTaskResult, wall []wallSpan) func(i int) (reduceTaskResult, costmodel.Units, error) {
 	return func(i int) (reduceTaskResult, costmodel.Units, error) {
+		lj.TaskStart(live.PhaseReduce, i)
 		var w0 time.Time
 		if wall != nil {
 			w0 = time.Now()
 		}
 		out, cost, counters, spans, qobs, err := runReduceTask(cfg, i, shufRes[i].in)
 		if err != nil {
+			lj.TaskFailed(live.PhaseReduce, i, err)
 			return reduceTaskResult{}, 0, err
 		}
 		if wall != nil {
 			wall[i] = wallSpan{w0, time.Since(w0)}
 		}
+		records := 0
+		if shufRes[i].in != nil {
+			records = shufRes[i].in.Len()
+		}
+		lj.TaskDone(live.PhaseReduce, i, float64(cost), records)
 		return reduceTaskResult{out: out, counters: counters, spans: spans, qobs: qobs}, cost, nil
 	}
 }
@@ -294,11 +324,11 @@ func reduceExec(cfg *Config, shufRes []shuffleTaskResult, wall []wallSpan) func(
 // the order a stable sort of the map-order concatenation would give) —
 // in memory, or through the external spill-and-merge sorter when over
 // the memory limit.
-func runBarrierEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]KeyValue) (*phaseOutputs, error) {
+func runBarrierEngine(cfg *Config, fr *faultRuntime, lj *live.Job, workers int, splits [][]KeyValue) (*phaseOutputs, error) {
 	po := newPhaseOutputs(cfg)
 	var err error
 	po.mapRes, po.mapCosts, err = runPhase(fr, faults.Map, workers, cfg.NumMapTasks,
-		mapExec(cfg, splits, po.mapWall))
+		mapExec(cfg, lj, splits, po.mapWall))
 	if err != nil {
 		return po, err
 	}
@@ -326,13 +356,13 @@ func runBarrierEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]Key
 	}
 	defer mapAcct.Close()
 	po.shufRes, _, err = runPhase(fr, faults.Shuffle, workers, cfg.NumReduceTasks,
-		shuffleExec(cfg, mapOuts, po.shufWall))
+		shuffleExec(cfg, lj, mapOuts, po.shufWall))
 	if err != nil {
 		return po, err
 	}
 	mapAcct.Close()
 	po.reduceRes, po.reduceCosts, err = runPhase(fr, faults.Reduce, workers, cfg.NumReduceTasks,
-		reduceExec(cfg, po.shufRes, po.reduceWall))
+		reduceExec(cfg, lj, po.shufRes, po.reduceWall))
 	if err != nil {
 		return po, err
 	}
@@ -778,6 +808,7 @@ func runReduceTask(cfg *Config, index int, in reduceInput) ([]TimedKV, costmodel
 		counters:  Counters{},
 		tracing:   cfg.Trace != nil,
 		quality:   cfg.Quality != nil,
+		lv:        cfg.Live,
 	}
 	n := 0
 	if in != nil {

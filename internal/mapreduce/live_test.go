@@ -1,0 +1,176 @@
+package mapreduce
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"proger/internal/obs"
+	"proger/internal/obs/live"
+)
+
+// gatedMapper blocks the first Map call until released, pinning the
+// job at a deterministic mid-run point for scrape tests.
+type gatedMapper struct {
+	MapperBase
+	gate *mapGate
+}
+
+type mapGate struct {
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (m gatedMapper) Map(ctx *TaskContext, rec KeyValue, emit Emitter) error {
+	m.gate.once.Do(func() {
+		close(m.gate.entered)
+		<-m.gate.release
+	})
+	return wordCountMapper{}.Map(ctx, rec, emit)
+}
+
+// promLine matches one sample of the Prometheus text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$`)
+
+func checkPromText(t *testing.T, text string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid Prometheus line %q", line)
+		}
+	}
+}
+
+// TestLiveMidRunScrape pins a map task mid-flight, scrapes every
+// status endpoint while the job is provably in progress, and then
+// verifies the final /metrics scrape converges byte-for-byte to the
+// post-run Prometheus export.
+func TestLiveMidRunScrape(t *testing.T) {
+	gate := &mapGate{entered: make(chan struct{}), release: make(chan struct{})}
+	reg := obs.NewRegistry()
+	run := live.NewRun(nil)
+	cfg := wordCountConfig(2)
+	cfg.NewMapper = func() Mapper { return gatedMapper{gate: gate} }
+	cfg.Metrics = reg
+	cfg.Live = run
+
+	srv, err := live.Serve("127.0.0.1:0", run, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	type runOut struct {
+		res *Result
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := Run(cfg, wordCountInput(), 0)
+		done <- runOut{res, err}
+	}()
+
+	select {
+	case <-gate.entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("mapper never entered the gate")
+	}
+
+	// Mid-run: the gated map task is running, so the job cannot be
+	// complete; every endpoint must still answer with valid payloads.
+	checkPromText(t, get("/metrics"))
+	if body := get("/healthz"); !strings.Contains(body, "running") {
+		t.Errorf("mid-run /healthz = %q", body)
+	}
+	progress := get("/progress")
+	if !strings.Contains(progress, `"name": "wordcount"`) {
+		t.Errorf("mid-run /progress = %q", progress)
+	}
+	if tasks := get("/tasks"); !strings.Contains(tasks, `"running"`) {
+		t.Errorf("mid-run /tasks shows no running task: %q", tasks)
+	}
+
+	close(gate.release)
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	run.Finish(nil)
+
+	// Convergence: the live scrape and the post-run export are the
+	// same bytes.
+	final := get("/metrics")
+	checkPromText(t, final)
+	var exported bytes.Buffer
+	if err := reg.WritePrometheus(&exported); err != nil {
+		t.Fatal(err)
+	}
+	if final != exported.String() {
+		t.Errorf("final scrape diverges from post-run export:\nscrape:\n%s\nexport:\n%s", final, exported.String())
+	}
+	if body := get("/healthz"); !strings.Contains(body, "done") {
+		t.Errorf("post-run /healthz = %q", body)
+	}
+}
+
+// TestLiveDoesNotChangeResults pins the write-only contract at the
+// engine level: identical Result with and without a live hub attached.
+func TestLiveDoesNotChangeResults(t *testing.T) {
+	plain, err := Run(wordCountConfig(4), wordCountInput(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events bytes.Buffer
+	cfg := wordCountConfig(4)
+	cfg.Live = live.NewRun(live.NewEventLog(&events))
+	wired, err := Run(cfg, wordCountInput(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outputsEqual(plain, wired) {
+		t.Error("live hub changed the job output")
+	}
+	if plain.End != wired.End {
+		t.Errorf("live hub changed job end: %v vs %v", plain.End, wired.End)
+	}
+	if events.Len() == 0 {
+		t.Error("no events recorded")
+	}
+}
+
+func outputsEqual(a, b *Result) bool {
+	if len(a.Output) != len(b.Output) {
+		return false
+	}
+	for i := range a.Output {
+		if a.Output[i].Key != b.Output[i].Key ||
+			!bytes.Equal(a.Output[i].Value, b.Output[i].Value) ||
+			a.Output[i].Global != b.Output[i].Global {
+			return false
+		}
+	}
+	return true
+}

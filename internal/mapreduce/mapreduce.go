@@ -24,6 +24,7 @@ import (
 	"proger/internal/faults"
 	"proger/internal/membudget"
 	"proger/internal/obs"
+	"proger/internal/obs/live"
 	"proger/internal/obs/quality"
 )
 
@@ -227,6 +228,15 @@ type Config struct {
 	// they are immune to fault injection and worker count by
 	// construction. Nil disables at zero cost.
 	Quality *quality.Recorder
+	// Live, when non-nil, receives in-flight execution state: per-task
+	// DAG node transitions, attempt/retry/speculation activity, shuffle
+	// merge/spill progress, and per-block resolution realizations as
+	// they happen — the feed behind the status server's /progress and
+	// /tasks endpoints. Strictly write-only from the engine's side
+	// (nothing in the run reads it back), so Result, traces, metrics,
+	// and quality exports are byte-identical with or without it. Nil
+	// disables at zero cost.
+	Live *live.Run
 }
 
 func (c *Config) validate() error {

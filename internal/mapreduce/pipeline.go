@@ -10,6 +10,7 @@ import (
 
 	"proger/internal/costmodel"
 	"proger/internal/faults"
+	"proger/internal/obs/live"
 )
 
 // This file implements the pipelined engine (ExecPipelined): instead
@@ -237,7 +238,7 @@ func runAttempted[T any](fr *faultRuntime, phase faults.Phase, att []*taskAttemp
 
 // runPipelinedEngine executes the job as a dependency-driven task
 // graph, filling phaseOutputs byte-identically to runBarrierEngine.
-func runPipelinedEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]KeyValue) (*phaseOutputs, error) {
+func runPipelinedEngine(cfg *Config, fr *faultRuntime, lj *live.Job, workers int, splits [][]KeyValue) (*phaseOutputs, error) {
 	M, R := cfg.NumMapTasks, cfg.NumReduceTasks
 	po := newPhaseOutputs(cfg)
 	po.mapRes = make([]mapTaskResult, M)
@@ -247,9 +248,9 @@ func runPipelinedEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]K
 	po.reduceCosts = make([]costmodel.Units, R)
 
 	mapOuts := make([][][]KeyValue, M) // [task][partition][]kv
-	mExec := mapExec(cfg, splits, po.mapWall)
-	sExec := shuffleExec(cfg, mapOuts, po.shufWall)
-	rExec := reduceExec(cfg, po.shufRes, po.reduceWall)
+	mExec := mapExec(cfg, lj, splits, po.mapWall)
+	sExec := shuffleExec(cfg, lj, mapOuts, po.shufWall)
+	rExec := reduceExec(cfg, lj, po.shufRes, po.reduceWall)
 
 	// Out-of-core mode: with a memory budget (and no fault runtime or
 	// deterministic spill limit claiming the shuffle as attempt-tracked
@@ -335,8 +336,15 @@ func runPipelinedEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]K
 		if budgetMode {
 			// The store already holds (or spilled) every run by the time
 			// all map nodes committed; the node is pure dependency glue
-			// keeping reduce r gated on the complete shuffle input.
-			shufNodes[r] = g.node(nodeKey{nodeShuffle, r}, func() error { return nil })
+			// keeping reduce r gated on the complete shuffle input. It still
+			// reports a live shuffle transition so the /tasks table shows
+			// partition assembly completing (zero cost: the reduce tasks
+			// price shuffling on the simulated clock).
+			shufNodes[r] = g.node(nodeKey{nodeShuffle, r}, func() error {
+				lj.TaskStart(live.PhaseShuffle, r)
+				lj.TaskDone(live.PhaseShuffle, r, 0, stores[r].Len())
+				return nil
+			})
 			for _, mn := range mapNodes {
 				g.edge(mn, shufNodes[r])
 			}
@@ -345,7 +353,7 @@ func runPipelinedEngine(cfg *Config, fr *faultRuntime, workers int, splits [][]K
 			if po.shufWall != nil {
 				wt = &mergeWall{}
 			}
-			shufNodes[r], _ = buildMergeRange(g, po, mapNodes, mapOuts, wt, r, 0, M, true)
+			shufNodes[r], _ = buildMergeRange(g, po, lj, mapNodes, mapOuts, wt, r, 0, M, true)
 		} else {
 			shufNodes[r] = g.node(nodeKey{nodeShuffle, r}, func() error {
 				out, _, err := runAttempted(fr, faults.Shuffle, shufAtt, r, sExec)
@@ -433,14 +441,14 @@ func (w *mergeWall) span() wallSpan {
 // valid once the returned node has completed. The root node publishes
 // the partition's shuffleTaskResult (spilledRuns 0, matching the
 // barrier engine's in-memory path).
-func buildMergeRange(g *taskGraph, po *phaseOutputs, mapNodes []*dagNode, mapOuts [][][]KeyValue,
+func buildMergeRange(g *taskGraph, po *phaseOutputs, lj *live.Job, mapNodes []*dagNode, mapOuts [][][]KeyValue,
 	wt *mergeWall, r, lo, hi int, root bool) (*dagNode, func() []KeyValue) {
 	if hi-lo == 1 {
 		return mapNodes[lo], func() []KeyValue { return mapOuts[lo][r] }
 	}
 	mid := (lo + hi) / 2
-	ln, lget := buildMergeRange(g, po, mapNodes, mapOuts, wt, r, lo, mid, false)
-	rn, rget := buildMergeRange(g, po, mapNodes, mapOuts, wt, r, mid, hi, false)
+	ln, lget := buildMergeRange(g, po, lj, mapNodes, mapOuts, wt, r, lo, mid, false)
+	rn, rget := buildMergeRange(g, po, lj, mapNodes, mapOuts, wt, r, mid, hi, false)
 	out := new([]KeyValue)
 	n := g.node(nodeKey{nodeShuffle, r}, func() error {
 		if wt != nil {
@@ -456,6 +464,7 @@ func buildMergeRange(g *taskGraph, po *phaseOutputs, mapNodes []*dagNode, mapOut
 				po.shufWall[r] = wt.span()
 			}
 		}
+		lj.MergeCommitted(r, root)
 		return nil
 	})
 	g.edge(ln, n)

@@ -266,3 +266,33 @@ func (m *Manager) SpilledBytes() int64 {
 	defer m.mu.Unlock()
 	return m.spilledBytes
 }
+
+// Stats is a single-lock snapshot of the manager's pressure telemetry,
+// for live introspection and run summaries. Fields mirror the
+// individual getters.
+type Stats struct {
+	Budget       int64 `json:"budget_bytes"`
+	Used         int64 `json:"used_bytes"`
+	Peak         int64 `json:"peak_bytes"`
+	ChargedTotal int64 `json:"charged_total_bytes"`
+	ForcedSpills int64 `json:"forced_spills"`
+	SpilledBytes int64 `json:"spilled_bytes"`
+}
+
+// Snapshot returns all pressure counters under one lock acquisition,
+// so the fields are mutually consistent. Zero for a nil manager.
+func (m *Manager) Snapshot() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Budget:       m.budget,
+		Used:         m.used,
+		Peak:         m.peak,
+		ChargedTotal: m.charged,
+		ForcedSpills: m.forcedSpills,
+		SpilledBytes: m.spilledBytes,
+	}
+}

@@ -1,0 +1,97 @@
+package live
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Event names. Like the telemetry counter keys, these are exported
+// constants so emit sites never embed string literals (the check.sh
+// lint enforces it).
+const (
+	EventRunStart      = "run.start"
+	EventRunEnd        = "run.end"
+	EventJobStart      = "job.start"
+	EventJobEnd        = "job.end"
+	EventTaskStart     = "task.start"
+	EventTaskDone      = "task.done"
+	EventTaskFailed    = "task.failed"
+	EventTaskRetry     = "task.retry"
+	EventTaskSpeculate = "task.speculate"
+	EventShuffleMerged = "shuffle.merge"
+	EventShuffleSpill  = "shuffle.spill"
+)
+
+// EventLog is a structured JSON event stream over log/slog: one JSON
+// object per line, `event` naming the event, followed by the emitter's
+// attributes. Events split into two field classes:
+//
+//   - the *deterministic subset* — event name plus emitter attributes
+//     (job, phase, task, cost_units, …), all derived from the simulated
+//     execution and identical across hosts for a fixed engine/worker
+//     topology;
+//   - *wall-clock fields*, segregated under reserved names: `seq` (a
+//     process-local emission sequence number) and `wall_ms` (host
+//     milliseconds since the log was created). Strip these two keys and
+//     what remains is the deterministic subset.
+//
+// Emission order between concurrent tasks follows host scheduling, so
+// determinism of the *set* of events (not their order) is the
+// contract; scripts/tracecheck -events validates the structure. The
+// slog JSON handler serializes writes internally, so an EventLog is
+// safe for concurrent emitters.
+type EventLog struct {
+	logger    *slog.Logger
+	wallStart time.Time
+
+	// mu serializes seq assignment with the handler write so seq is
+	// strictly increasing in output order (the slog handler alone would
+	// only serialize the writes, not the numbering).
+	mu  sync.Mutex
+	seq int64
+}
+
+// NewEventLog returns an event log writing JSON lines to w. Nil is a
+// valid disabled log (Emit no-ops).
+func NewEventLog(w io.Writer) *EventLog {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) > 0 {
+				return a
+			}
+			switch a.Key {
+			case slog.TimeKey, slog.LevelKey:
+				// Wall-clock time is carried by wall_ms instead, and the
+				// level carries no information (every event is Info).
+				return slog.Attr{}
+			case slog.MessageKey:
+				return slog.String("event", a.Value.String())
+			}
+			return a
+		},
+	})
+	return &EventLog{logger: slog.New(h), wallStart: time.Now()}
+}
+
+// KV builds one event attribute. It exists so emit sites read as
+// KV("task", i) rather than importing slog themselves.
+func KV(key string, value any) slog.Attr { return slog.Any(key, value) }
+
+// Emit writes one event line: the deterministic attributes first, then
+// the segregated wall-clock fields seq and wall_ms. Safe on a nil log
+// and from concurrent goroutines.
+func (l *EventLog) Emit(event string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	attrs = append(attrs,
+		slog.Int64("seq", l.seq),
+		slog.Int64("wall_ms", time.Since(l.wallStart).Milliseconds()))
+	l.logger.LogAttrs(context.Background(), slog.LevelInfo, event, attrs...)
+}

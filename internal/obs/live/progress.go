@@ -1,0 +1,112 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressRenderer periodically redraws a single status line (carriage
+// return, no newline) for interactive runs:
+//
+//	progress: maps 12/16 reduces 3/4 | dups 1042 recall~0.87 | mem 1.2MB spills 3
+//
+// It is presentation-only wall-clock machinery, started by the
+// binaries when stderr is interactive and a live Run exists; it reads
+// the same snapshots the HTTP endpoints serve.
+type ProgressRenderer struct {
+	w        io.Writer
+	run      *Run
+	interval time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// StartProgress launches a renderer drawing to w every interval
+// (default 500ms when interval ≤ 0). Returns nil (a no-op handle) when
+// run is nil.
+func StartProgress(w io.Writer, run *Run, interval time.Duration) *ProgressRenderer {
+	if run == nil || w == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	p := &ProgressRenderer{w: w, run: run, interval: interval, stop: make(chan struct{})}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *ProgressRenderer) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.draw()
+		}
+	}
+}
+
+func (p *ProgressRenderer) draw() {
+	s := p.run.Progress()
+	var mapsDone, mapsTotal, redDone, redTotal int
+	for _, j := range s.Jobs {
+		for _, ph := range j.Phases {
+			switch ph.Phase {
+			case PhaseMap:
+				mapsDone += ph.Done
+				mapsTotal += ph.Tasks
+			case PhaseReduce:
+				redDone += ph.Done
+				redTotal += ph.Tasks
+			}
+		}
+	}
+	line := fmt.Sprintf("progress: maps %d/%d reduces %d/%d | dups %d",
+		mapsDone, mapsTotal, redDone, redTotal, s.Dups)
+	if s.PredictedDups > 0 {
+		line += fmt.Sprintf(" recall~%.2f", s.RecallEstimate)
+	}
+	if b := p.run.Budget(); b.Budget > 0 {
+		line += fmt.Sprintf(" | mem %s/%s spills %d",
+			fmtBytes(b.Used), fmtBytes(b.Budget), b.ForcedSpills)
+	}
+	// Pad to overwrite any longer previous line before the \r rewind.
+	fmt.Fprintf(p.w, "\r%-100s\r%s", "", line)
+}
+
+// Stop halts the renderer, draws one final snapshot, and terminates
+// the status line with a newline. Safe on a nil handle and on repeated
+// calls.
+func (p *ProgressRenderer) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		close(p.stop)
+		p.wg.Wait()
+		p.draw()
+		fmt.Fprintln(p.w)
+	})
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -203,6 +203,26 @@ func (r *Recorder) Observations() []BlockObs {
 	return out
 }
 
+// Totals returns the schedule-wide predicted duplicate count (Σ Dup(X)
+// over recorded predictions) and planned cost (Σ EstCost over recorded
+// task plans). These are the denominators of live progressive-recall
+// and ETA estimates: fixed once sched.Generate has published the
+// schedule. Zeros for a nil or empty recorder.
+func (r *Recorder) Totals() (predictedDups, plannedCost float64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.preds {
+		predictedDups += p.Dup
+	}
+	for _, p := range r.plans {
+		plannedCost += p.EstCost
+	}
+	return predictedDups, plannedCost
+}
+
 // labels returns the installed bucket labels (nil when unset).
 func (r *Recorder) labels() []string {
 	if r == nil {

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"proger/internal/costmodel"
+	"proger/internal/membudget"
 	"proger/internal/obs"
 	"proger/internal/obs/quality"
 )
@@ -23,11 +24,13 @@ type catSummary struct {
 // WriteRunSummary renders a human-readable digest of a run's
 // observability data: the span taxonomy rollup (per category: span
 // count, summed simulated duration, covered window), the metrics
-// snapshot with per-histogram quantiles, and the quality-telemetry
-// digest (progressiveness sparkline, worst-calibrated blocks,
-// most-skewed tasks). Any argument may be nil; a fully nil triple
-// writes nothing.
-func WriteRunSummary(w io.Writer, tr *obs.Tracer, reg *obs.Registry, q *quality.Recorder) error {
+// snapshot with per-histogram quantiles, the memory-budget pressure
+// digest (peak vs budget, charged volume, forced spills), and the
+// quality-telemetry digest (progressiveness sparkline,
+// worst-calibrated blocks, most-skewed tasks). Any pointer argument
+// may be nil and a zero mb skips the budget section; a fully empty
+// argument set writes nothing.
+func WriteRunSummary(w io.Writer, tr *obs.Tracer, reg *obs.Registry, q *quality.Recorder, mb membudget.Stats) error {
 	if tr.Enabled() {
 		if err := writeSpanSummary(w, tr); err != nil {
 			return err
@@ -38,12 +41,31 @@ func WriteRunSummary(w io.Writer, tr *obs.Tracer, reg *obs.Registry, q *quality.
 			return err
 		}
 	}
+	if mb.Budget > 0 {
+		if err := writeBudgetSummary(w, mb); err != nil {
+			return err
+		}
+	}
 	if q.Enabled() {
 		if err := writeQualitySummary(w, q); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeBudgetSummary renders the memory-budget pressure section.
+func writeBudgetSummary(w io.Writer, mb membudget.Stats) error {
+	var b strings.Builder
+	pct := 100 * float64(mb.Peak) / float64(mb.Budget)
+	fmt.Fprintf(&b, "membudget: %d B cap, peak %d B (%.0f%%), charged %d B\n",
+		mb.Budget, mb.Peak, pct, mb.ChargedTotal)
+	if mb.ForcedSpills > 0 {
+		fmt.Fprintf(&b, "  forced spills %d (%d B spilled to disk)\n",
+			mb.ForcedSpills, mb.SpilledBytes)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 func writeSpanSummary(w io.Writer, tr *obs.Tracer) error {

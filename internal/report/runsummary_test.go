@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"proger/internal/membudget"
 	"proger/internal/obs"
 	"proger/internal/obs/quality"
 )
@@ -27,8 +28,17 @@ func TestWriteRunSummary(t *testing.T) {
 	q.RecordPrediction(quality.BlockPrediction{ID: "F0.L1(a)", SQ: 7, Task: 0, Size: 4, Bucket: 2, Dup: 3, Cost: 50})
 	q.ObserveBlock(quality.BlockObs{ID: "F0.L1(a)", SQ: 7, Task: 0, Start: 10, End: 60, Compared: 6, Dups: 1})
 
+	mb := membudget.Stats{
+		Budget:       1 << 20,
+		Used:         512 << 10,
+		Peak:         768 << 10,
+		ChargedTotal: 4 << 20,
+		ForcedSpills: 3,
+		SpilledBytes: 2 << 20,
+	}
+
 	var b strings.Builder
-	if err := WriteRunSummary(&b, tr, reg, q); err != nil {
+	if err := WriteRunSummary(&b, tr, reg, q, mb); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -40,6 +50,8 @@ func TestWriteRunSummary(t *testing.T) {
 		"job.records", "42",
 		"job.end", "20.0",
 		"job.task_cost: n=2 mean=6.0 p50=5.5", "p99=9.9",
+		"membudget: 1048576 B cap, peak 786432 B (75%), charged 4194304 B",
+		"forced spills 3 (2097152 B spilled to disk)",
 		"quality: 1 blocks resolved, 6 pairs, 1 dups",
 		"progress ",
 		"worst-calibrated blocks",
@@ -52,9 +64,10 @@ func TestWriteRunSummary(t *testing.T) {
 		}
 	}
 
-	// Nil tracer, registry, and recorder write nothing and do not panic.
+	// Nil tracer, registry, and recorder plus a zero budget write
+	// nothing and do not panic.
 	var empty strings.Builder
-	if err := WriteRunSummary(&empty, nil, nil, nil); err != nil {
+	if err := WriteRunSummary(&empty, nil, nil, nil, membudget.Stats{}); err != nil {
 		t.Fatal(err)
 	}
 	if empty.Len() != 0 {

@@ -57,6 +57,7 @@ import (
 	"proger/internal/match"
 	"proger/internal/mechanism"
 	"proger/internal/obs"
+	"proger/internal/obs/live"
 	"proger/internal/obs/quality"
 	"proger/internal/progress"
 	"proger/internal/sched"
@@ -333,6 +334,72 @@ type QualityExport = quality.Export
 
 // NewQualityRecorder creates an enabled quality recorder.
 var NewQualityRecorder = quality.NewRecorder
+
+// LiveRun is the in-flight introspection hub: engines publish task DAG
+// states, attempt/speculation counts, shuffle/merge/spill progress, and
+// streamed per-block resolutions into it at low, lock-free cost, and
+// the status server reads racefree per-field-atomic snapshots back out.
+// Attach one via Options.Live (or BasicOptions.Live). Strictly
+// write-only from the run's perspective: results and every post-run
+// artifact are byte-identical with or without it.
+type LiveRun = live.Run
+
+// LiveEventLog is the structured JSON event log (log/slog) fed by a
+// LiveRun: run/job lifecycle, task transitions, retries, speculation,
+// shuffle merges and spills. The deterministic field subset (everything
+// except seq and wall_ms) is stable across worker counts for the
+// barrier engine.
+type LiveEventLog = live.EventLog
+
+// ProgressSnapshot is one consistent-enough view of a run in flight:
+// per-phase task states, streamed comparison/duplicate counts, the
+// incremental recall estimate, and the remaining-cost ETA.
+type ProgressSnapshot = live.ProgressSnapshot
+
+// NewLiveRun creates a live introspection hub; log may be nil.
+var NewLiveRun = live.NewRun
+
+// NewLiveEventLog creates a structured event log writing JSON lines to w.
+var NewLiveEventLog = live.NewEventLog
+
+// ServeStatus starts the HTTP status server for a live run: /healthz,
+// /progress, /tasks, /membudget, /metrics (Prometheus), and
+// /debug/pprof. Listen errors are returned synchronously; ":0" picks a
+// free port (see Addr on the returned server).
+var ServeStatus = live.Serve
+
+// NewStatusHandler returns the status server's handler without
+// listening, for embedding into an existing server.
+var NewStatusHandler = live.NewHandler
+
+// LiveProgressRenderer is the periodic single-line terminal progress
+// renderer returned by StartLiveProgress.
+type LiveProgressRenderer = live.ProgressRenderer
+
+// StartLiveProgress starts the single-line terminal progress renderer
+// for a live run; Stop it after the run finishes.
+var StartLiveProgress = live.StartProgress
+
+// Structured event names written to a LiveEventLog. Run lifecycle
+// events are the caller's responsibility (emit run.start before
+// Resolve and run.end after); everything else is emitted by the
+// engines.
+const (
+	EventRunStart      = live.EventRunStart
+	EventRunEnd        = live.EventRunEnd
+	EventJobStart      = live.EventJobStart
+	EventJobEnd        = live.EventJobEnd
+	EventTaskStart     = live.EventTaskStart
+	EventTaskDone      = live.EventTaskDone
+	EventTaskFailed    = live.EventTaskFailed
+	EventTaskRetry     = live.EventTaskRetry
+	EventTaskSpeculate = live.EventTaskSpeculate
+	EventShuffleMerged = live.EventShuffleMerged
+	EventShuffleSpill  = live.EventShuffleSpill
+)
+
+// EventKV builds one structured attribute for LiveEventLog.Emit.
+var EventKV = live.KV
 
 // ---- Evaluation ----
 

@@ -25,12 +25,15 @@ else
     echo "== staticcheck == (skipped: not installed)"
 fi
 
-# Telemetry keys — counters, gauges, and histograms alike — must be the
-# exported constants (mapreduce.Counter*/Hist*, blocking.CounterJob1*,
-# core.CounterJob2*/CounterBasic*/Gauge*), never inline string literals
-# — tests excepted, since they exercise arbitrary keys.
+# Telemetry keys — counters, gauges, histograms, and structured event
+# names alike — must be the exported constants (mapreduce.Counter*/
+# Hist*, blocking.CounterJob1*, core.CounterJob2*/CounterBasic*/Gauge*,
+# live.Event* / proger.Event*), never inline string literals — tests
+# excepted, since they exercise arbitrary keys.
 echo "== telemetry-key lint =="
-offenders="$(grep -rn --include='*.go' -E '\.Inc\("|Counters\.Get\("|\.Counter\("|\.Gauge\("|\.Histogram\("' \
+# (log.Emit catches EventLog emissions — elog.Emit / r.log.Emit —
+# without tripping on MapReduce Emitter.Emit KV calls.)
+offenders="$(grep -rn --include='*.go' -E '\.Inc\("|Counters\.Get\("|\.Counter\("|\.Gauge\("|\.Histogram\("|log\.Emit\("' \
     internal cmd examples | grep -v '_test\.go:' || true)"
 if [ -n "$offenders" ]; then
     echo "string-literal telemetry keys (use the exported constants):"
@@ -58,15 +61,46 @@ go test -race ./...
 
 # Bounded-memory smoke: the same workload with and without a tight
 # memory budget must produce byte-identical duplicate pairs and quality
-# telemetry, and the budget run must actually have spilled.
-echo "== bounded-memory smoke =="
+# telemetry, and the budget run must actually have spilled. The budget
+# run additionally serves the live status server and writes the
+# structured event log, so this one pass also gates the §13 live
+# introspection layer: the endpoints must answer while the run is in
+# flight, the mid-run scrape must be Prometheus text, the event log
+# must validate, and none of it may perturb the byte-determinism cmp
+# below.
+echo "== bounded-memory + live-introspection smoke =="
 smoke="$(mktemp -d)"
 trap 'rm -rf "$smoke"' EXIT
 go run ./cmd/proger -generate publications -n 1200 -seed 3 -machines 4 \
     -out "$smoke/base.tsv" -quality-out "$smoke/base-quality.json" 2>/dev/null
 go run ./cmd/proger -generate publications -n 1200 -seed 3 -machines 4 \
     -mem-budget 64K -spill-dir "$smoke" -metrics-out "$smoke/budget.prom" \
-    -out "$smoke/budget.tsv" -quality-out "$smoke/budget-quality.json" 2>/dev/null
+    -status 127.0.0.1:0 -events "$smoke/events.jsonl" \
+    -out "$smoke/budget.tsv" -quality-out "$smoke/budget-quality.json" \
+    2>"$smoke/stderr.log" &
+runpid=$!
+# The binary prints "proger: status listening on http://ADDR/" as soon
+# as the listener is bound; poll for it, then curl the endpoints while
+# the run executes.
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's|^proger: status listening on http://\([^/]*\)/$|\1|p' "$smoke/stderr.log")"
+    if [ -n "$addr" ]; then break; fi
+    kill -0 "$runpid" 2>/dev/null || break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "status server never announced its address"; cat "$smoke/stderr.log"; exit 1; }
+curl -fsS "http://$addr/healthz" | grep -q '^ok' || {
+    echo "/healthz unhealthy during run"; exit 1; }
+curl -fsS "http://$addr/progress" | grep -q '"jobs"' || {
+    echo "/progress returned no snapshot"; exit 1; }
+curl -fsS "http://$addr/metrics" > "$smoke/live.prom" || {
+    echo "/metrics scrape failed"; exit 1; }
+if grep -vE '^(#|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$)' "$smoke/live.prom" | grep -q .; then
+    echo "mid-run /metrics scrape is not valid Prometheus text:"; cat "$smoke/live.prom"; exit 1
+fi
+wait "$runpid" || { echo "budget run failed:"; cat "$smoke/stderr.log"; exit 1; }
+go run ./scripts/tracecheck -events "$smoke/events.jsonl"
 cmp "$smoke/base.tsv" "$smoke/budget.tsv" || {
     echo "bounded-memory run changed the duplicate pairs"; exit 1; }
 cmp "$smoke/base-quality.json" "$smoke/budget-quality.json" || {

@@ -4,13 +4,20 @@
 // each pipeline stage (map, reduce, shuffle, schedule, resolve). With
 // -quality it additionally validates a quality-telemetry JSON export
 // (from -quality-out): sample costs strictly increasing, recall
-// non-decreasing within [0, 1], and AUC in [0, 1]. Used by
-// `make trace-demo` as a CI-grade sanity check.
+// non-decreasing within [0, 1], and AUC in [0, 1]. With -events it
+// validates a structured JSON event log (from cmd/proger -events):
+// one JSON object per line with a non-empty "event" name, a gap-free
+// strictly-increasing "seq", segregated wall-clock fields only
+// (no slog "time"/"level" keys), run.start first / run.end last, and
+// per-(job, phase) task accounting (done + failed never exceeds
+// starts). Used by `make trace-demo` and scripts/check.sh as a
+// CI-grade sanity check.
 //
-// Usage: tracecheck [-quality QUALITY_FILE] [TRACE_FILE [required-cat ...]]
+// Usage: tracecheck [-quality QUALITY_FILE] [-events EVENTS_FILE] [TRACE_FILE [required-cat ...]]
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,10 +44,11 @@ type traceEvent struct {
 
 func main() {
 	qualityPath := flag.String("quality", "", "quality-telemetry JSON export to validate")
+	eventsPath := flag.String("events", "", "structured JSON event log to validate")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) < 1 && *qualityPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-quality QUALITY_FILE] [TRACE_FILE [required-cat ...]]")
+	if len(args) < 1 && *qualityPath == "" && *eventsPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-quality QUALITY_FILE] [-events EVENTS_FILE] [TRACE_FILE [required-cat ...]]")
 		os.Exit(2)
 	}
 	if len(args) > 0 {
@@ -59,6 +67,93 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *eventsPath != "" {
+		if err := checkEvents(*eventsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkEvents validates a structured JSON-lines event log.
+func checkEvents(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	type phaseKey struct{ job, phase string }
+	starts := map[phaseKey]int{}
+	dones := map[phaseKey]int{}
+	names := map[string]int{}
+	var first, last string
+	lines, prevSeq := 0, 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("%s: line %d: invalid JSON: %w", path, lines, err)
+		}
+		name, _ := ev["event"].(string)
+		if name == "" {
+			return fmt.Errorf("%s: line %d: missing event name", path, lines)
+		}
+		// Wall-clock data must stay in the segregated seq/wall_ms
+		// fields; slog's default keys would leak nondeterminism into
+		// the deterministic subset.
+		for _, banned := range []string{"time", "level", "msg"} {
+			if _, ok := ev[banned]; ok {
+				return fmt.Errorf("%s: line %d (%s): leaked slog field %q", path, lines, name, banned)
+			}
+		}
+		seq, ok := ev["seq"].(float64)
+		if !ok || int(seq) != prevSeq+1 {
+			return fmt.Errorf("%s: line %d (%s): seq %v, want %d", path, lines, name, ev["seq"], prevSeq+1)
+		}
+		prevSeq = int(seq)
+		if ms, ok := ev["wall_ms"].(float64); !ok || ms < 0 {
+			return fmt.Errorf("%s: line %d (%s): bad wall_ms %v", path, lines, name, ev["wall_ms"])
+		}
+		if first == "" {
+			first = name
+		}
+		last = name
+		names[name]++
+		job, _ := ev["job"].(string)
+		phase, _ := ev["phase"].(string)
+		switch name {
+		case "task.start":
+			starts[phaseKey{job, phase}]++
+		case "task.done", "task.failed":
+			dones[phaseKey{job, phase}]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines == 0 {
+		return fmt.Errorf("%s: empty event log", path)
+	}
+	if first != "run.start" {
+		return fmt.Errorf("%s: first event %q, want run.start", path, first)
+	}
+	if last != "run.end" {
+		return fmt.Errorf("%s: last event %q, want run.end", path, last)
+	}
+	if names["job.start"] == 0 || names["job.start"] != names["job.end"] {
+		return fmt.Errorf("%s: %d job.start vs %d job.end", path, names["job.start"], names["job.end"])
+	}
+	for k, n := range dones {
+		if s := starts[k]; n > s {
+			return fmt.Errorf("%s: %s/%s: %d task completions exceed %d starts", path, k.job, k.phase, n, s)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok — %d events (%d task starts), %d jobs, kinds %v\n",
+		path, lines, names["task.start"], names["job.start"], catNames(names))
+	return nil
 }
 
 // qualityFile mirrors the JSON shape of quality.Export — only the
