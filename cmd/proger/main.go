@@ -23,6 +23,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 
@@ -30,6 +31,7 @@ import (
 	"proger/internal/clustering"
 	"proger/internal/costmodel"
 	"proger/internal/datagen"
+	"proger/internal/dist"
 	"proger/internal/report"
 )
 
@@ -79,11 +81,46 @@ func main() {
 	engine := flag.String("engine", "pipelined", "host execution engine: pipelined (dependency-driven task graph) | barrier (three barriered phases); results are identical")
 	memBudget := flag.String("mem-budget", "", "cap tracked shuffle/statistics memory at this size (e.g. 64M, 2G; K/M/G suffixes), spilling compressed runs to disk when exceeded; results are identical")
 	spillDir := flag.String("spill-dir", "", "directory for spill files (default system temp; only used with -mem-budget)")
+	distN := flag.Int("dist", 0, "single-machine distributed run: fork this many worker processes and lease every task execution to them over RPC; results are byte-identical to an in-process run")
+	masterMode := flag.Bool("master", false, "run as a distributed master: serve task leases on -listen, execute nothing locally (start workers with the same resolution flags plus -worker -connect)")
+	workerMode := flag.Bool("worker", false, "run as a distributed worker: connect to the master at -connect, execute leased tasks, write no output")
+	listenAddr := flag.String("listen", "127.0.0.1:0", "master RPC endpoint: host:port, or unix:/path for a unix socket")
+	connectAddr := flag.String("connect", "", "master endpoint for -worker, in -listen notation")
+	leaseTTL := flag.Duration("lease-ttl", 0, "declare a worker dead after this long without a heartbeat and re-lease its outstanding tasks (default 10s)")
+	workerDie := flag.Int("worker-die-after", 0, "fault harness: a worker exits abruptly after taking this many task leases; in -dist mode, applied to the first forked worker")
 	flag.Parse()
 
+	if *statusAddr != "" && *pprofAddr != "" {
+		log.Fatal("-pprof is a deprecated alias of -status: pass one of them, not both")
+	}
 	serveAddr := *statusAddr
 	if serveAddr == "" {
 		serveAddr = *pprofAddr
+	}
+
+	modes := 0
+	for _, on := range []bool{*distN > 0, *masterMode, *workerMode} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		log.Fatal("-dist, -master, and -worker are mutually exclusive")
+	}
+	distActive := modes == 1
+	if *workerMode && *connectAddr == "" {
+		log.Fatal("-worker requires -connect ADDR")
+	}
+	if *connectAddr != "" && !*workerMode {
+		log.Fatal("-connect only applies to -worker mode")
+	}
+	if distActive {
+		if *engine != "pipelined" {
+			log.Fatal("distributed modes require the pipelined engine")
+		}
+		if *memBudget != "" {
+			log.Fatal("distributed modes are incompatible with -mem-budget (run files are the out-of-core path)")
+		}
 	}
 	var (
 		tracer  *proger.Tracer
@@ -161,6 +198,42 @@ func main() {
 		renderer = proger.StartLiveProgress(os.Stderr, lvRun, 0)
 	}
 
+	// Distributed transport. The master is created only after run.start
+	// is emitted, so every worker.register/lease event lands inside the
+	// run envelope; it is closed again before run.end.
+	var (
+		transport proger.TaskTransport
+		dmaster   *dist.Master
+		dworker   *dist.Worker
+		children  []*exec.Cmd
+	)
+	switch {
+	case *workerMode:
+		w, werr := dist.NewWorker(dist.WorkerOptions{
+			Connect: *connectAddr,
+			OnLease: dieAfter(*workerDie),
+		})
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		dworker, transport = w, w
+	case *masterMode, *distN > 0:
+		m, merr := dist.NewMaster(dist.MasterOptions{
+			Listen:   *listenAddr,
+			LeaseTTL: *leaseTTL,
+			Metrics:  metrics,
+			Log:      elog,
+		})
+		if merr != nil {
+			log.Fatal(merr)
+		}
+		dmaster, transport = m, m
+		if *masterMode {
+			fmt.Fprintf(os.Stderr, "proger: master serving task leases on %s\n", m.Addr())
+		}
+		children = forkWorkers(*distN, m.Addr(), *workerDie)
+	}
+
 	var (
 		res *proger.Result
 		err error
@@ -175,6 +248,7 @@ func main() {
 			Machines:         *machines,
 			SlotsPerMachine:  *slots,
 			Execution:        execMode,
+			Transport:        transport,
 			Faults:           injector,
 			Retry:            retry,
 			Trace:            tracer,
@@ -194,6 +268,7 @@ func main() {
 			SlotsPerMachine: *slots,
 			Scheduler:       pickScheduler(*scheduler),
 			Execution:       execMode,
+			Transport:       transport,
 			Faults:          injector,
 			Retry:           retry,
 			Trace:           tracer,
@@ -214,6 +289,20 @@ func main() {
 	}
 	lvRun.Finish(err)
 	renderer.Stop()
+	// Wind the fleet down before run.end so every distributed event
+	// precedes it. Forked children are reaped first — they exit on
+	// their own once their drivers fetch the final broadcast — so the
+	// master's Close drain (which waits for worker goodbyes) is
+	// instant; a worker says goodbye and disconnects.
+	if dmaster != nil {
+		for _, c := range children {
+			c.Wait() // exit statuses are the fleet's business, not ours
+		}
+		dmaster.Close()
+	}
+	if dworker != nil {
+		dworker.Close()
+	}
 	if err != nil {
 		elog.Emit(proger.EventRunEnd, proger.EventKV("error", err.Error()))
 		flushEvents(eventsSink)
@@ -223,6 +312,12 @@ func main() {
 		proger.EventKV("dups", len(res.Duplicates)),
 		proger.EventKV("total_cost", res.TotalTime))
 	flushEvents(eventsSink)
+
+	if *workerMode {
+		// A worker computes the same Result as the master (that is the
+		// lockstep contract) but the master's process owns every output.
+		return
+	}
 
 	writePairs(*out, res)
 	if *clustersOut != "" {
@@ -591,6 +686,74 @@ func writeFileWith(path string, write func(io.Writer) error) {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// dieAfter returns the -worker-die-after hook: exit(1) with a lease
+// taken but never completed, so the master must detect the loss via
+// heartbeat expiry and re-lease the task elsewhere.
+func dieAfter(n int) func(int) {
+	if n <= 0 {
+		return nil
+	}
+	return func(taken int) {
+		if taken > n {
+			os.Exit(1)
+		}
+	}
+}
+
+// resolutionFlags are the flags every process in a fleet must agree
+// on (plus the chaos knobs, which only the master's dispatch reads but
+// cost nothing to mirror). Host-only flags — outputs, tracing, status
+// server, worker counts — deliberately stay per-process.
+var resolutionFlags = map[string]bool{
+	"input": true, "generate": true, "n": true, "seed": true, "truth": true,
+	"block": true, "rule": true, "match-threshold": true, "mechanism": true,
+	"scheduler": true, "basic": true, "window": true, "popcorn": true,
+	"machines": true, "slots": true, "engine": true,
+	"fault-rate": true, "fault-seed": true, "max-retries": true,
+}
+
+// forkWorkers starts n copies of this binary in -worker mode against
+// addr, forwarding every explicitly-set resolution flag so the fleet's
+// drivers derive identical job configurations. dieAt > 0 arms the
+// first worker's -worker-die-after harness.
+func forkWorkers(n int, addr string, dieAt int) []*exec.Cmd {
+	if n <= 0 {
+		return nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var forwarded []string
+	flag.Visit(func(f *flag.Flag) {
+		if !resolutionFlags[f.Name] {
+			return
+		}
+		if sl, ok := f.Value.(*stringList); ok {
+			for _, v := range *sl {
+				forwarded = append(forwarded, "-"+f.Name+"="+v)
+			}
+			return
+		}
+		forwarded = append(forwarded, "-"+f.Name+"="+f.Value.String())
+	})
+	children := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		args := []string{"-worker", "-connect=" + addr}
+		if i == 0 && dieAt > 0 {
+			args = append(args, fmt.Sprintf("-worker-die-after=%d", dieAt))
+		}
+		args = append(args, forwarded...)
+		c := exec.Command(exe, args...)
+		c.Stderr = os.Stderr
+		if err := c.Start(); err != nil {
+			log.Fatal(err)
+		}
+		children = append(children, c)
+	}
+	return children
 }
 
 func runMode(basic bool) string {

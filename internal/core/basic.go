@@ -170,6 +170,7 @@ func ResolveBasic(ds *entity.Dataset, opts BasicOptions) (*Result, error) {
 		Cost:           opts.Cost,
 		Workers:        opts.Workers,
 		Execution:      opts.Execution,
+		Transport:      opts.Transport,
 		Faults:         opts.Faults,
 		Retry:          opts.Retry,
 		Trace:          opts.Trace,

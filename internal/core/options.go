@@ -61,6 +61,12 @@ type Options struct {
 	// task-graph engine (default) or the barriered reference engine.
 	// Like Workers, a host knob that never affects results.
 	Execution mapreduce.ExecutionMode
+	// Transport, when non-nil, replaces in-process task execution for
+	// both jobs: a dist.Master leases every task to worker processes, a
+	// dist.Worker executes leases and follows the master's broadcasts.
+	// Like Workers, a host knob that never affects results — every
+	// process must run with identical resolution-affecting options.
+	Transport mapreduce.TaskTransport
 	// Faults, when non-nil, injects deterministic simulated task
 	// failures into both jobs' attempt runtimes (chaos testing).
 	// Injected faults are retried, timed out, or speculated around and
@@ -174,6 +180,8 @@ type BasicOptions struct {
 	Workers         int
 	// Execution mirrors Options.Execution.
 	Execution mapreduce.ExecutionMode
+	// Transport mirrors Options.Transport.
+	Transport mapreduce.TaskTransport
 	// Faults and Retry mirror Options.Faults / Options.Retry.
 	Faults faults.Injector
 	Retry  mapreduce.RetryPolicy

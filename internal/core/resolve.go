@@ -79,6 +79,7 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 	job1Cfg := blocking.Job1Config(opts.Families, cluster, opts.Cost)
 	job1Cfg.Workers = opts.Workers
 	job1Cfg.Execution = opts.Execution
+	job1Cfg.Transport = opts.Transport
 	job1Cfg.Faults = opts.Faults
 	job1Cfg.Retry = opts.Retry
 	job1Cfg.Trace = opts.Trace
@@ -174,6 +175,7 @@ func Resolve(ds *entity.Dataset, opts Options) (*Result, error) {
 		Cost:           opts.Cost,
 		Workers:        opts.Workers,
 		Execution:      opts.Execution,
+		Transport:      opts.Transport,
 		Faults:         opts.Faults,
 		Retry:          opts.Retry,
 		Trace:          opts.Trace,

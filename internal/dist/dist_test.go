@@ -1,0 +1,330 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"testing"
+	"time"
+
+	"proger"
+	"proger/internal/mapreduce"
+	"proger/internal/obs"
+)
+
+// fleet spins up a master plus in-process workers, runs the full
+// pipeline through every process's driver (the lockstep contract), and
+// returns the master's artifacts.
+type fleet struct {
+	t       *testing.T
+	master  *Master
+	reg     *obs.Registry
+	workers []*Worker
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	werrs   []error
+}
+
+func newFleet(t *testing.T, ttl time.Duration) *fleet {
+	t.Helper()
+	reg := obs.NewRegistry()
+	m, err := NewMaster(MasterOptions{Listen: "127.0.0.1:0", LeaseTTL: ttl, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fleet{t: t, master: m, reg: reg}
+}
+
+func baseOptions(faultRate float64) proger.Options {
+	opts := proger.Options{
+		Machines:        2,
+		SlotsPerMachine: 2,
+		Policy:          proger.CiteSeerXPolicy(),
+		Workers:         2,
+	}
+	if faultRate > 0 {
+		opts.Faults = proger.NewSeededFaults(11, faultRate)
+		opts.Retry = proger.RetryPolicy{MaxRetries: 3, Speculation: true}
+	}
+	return opts
+}
+
+func fillDataset(ds *proger.Dataset, opts *proger.Options) {
+	opts.Families = proger.CiteSeerXFamilies(ds.Schema)
+	opts.Matcher = proger.MustMatcher(0.75,
+		proger.Rule{Attr: ds.Schema.Index("title"), Weight: 0.6, Kind: proger.EditDistance},
+		proger.Rule{Attr: ds.Schema.Index("venue"), Weight: 0.4, Kind: proger.EditDistance},
+	)
+	opts.Mechanism = proger.SN
+}
+
+// addWorker starts one worker process-equivalent: a Worker transport
+// plus its own full driver run with identical resolution options.
+// Driver errors are recorded unless mayFail (a worker the test kills).
+func (f *fleet) addWorker(ds *proger.Dataset, faultRate float64, wopts WorkerOptions, mayFail bool) *Worker {
+	f.t.Helper()
+	wopts.Connect = f.master.Addr()
+	w, err := NewWorker(wopts)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.workers = append(f.workers, w)
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		opts := baseOptions(faultRate)
+		fillDataset(ds, &opts)
+		opts.Transport = w
+		_, err := proger.Resolve(ds, opts)
+		if err != nil && !mayFail {
+			f.mu.Lock()
+			f.werrs = append(f.werrs, err)
+			f.mu.Unlock()
+		}
+	}()
+	return w
+}
+
+// run drives the master's pipeline, closes the fleet down, and
+// returns the master's artifacts.
+func (f *fleet) run(ds *proger.Dataset, faultRate float64) (*proger.Result, *proger.Tracer, *proger.QualityRecorder) {
+	f.t.Helper()
+	opts := baseOptions(faultRate)
+	fillDataset(ds, &opts)
+	opts.Transport = f.master
+	opts.Trace = proger.NewTracer()
+	opts.Quality = proger.NewQualityRecorder()
+	res, err := proger.Resolve(ds, opts)
+	f.shutdown()
+	if err != nil {
+		f.t.Fatalf("master resolve: %v", err)
+	}
+	return res, opts.Trace, opts.Quality
+}
+
+func (f *fleet) shutdown() {
+	f.t.Helper()
+	// Worker drivers first (they need the master alive to fetch final
+	// broadcasts), then goodbyes, then the master's drain — which is
+	// instant once every worker has departed.
+	f.wg.Wait()
+	for _, w := range f.workers {
+		w.Close()
+	}
+	f.master.Close()
+	for _, werr := range f.werrs {
+		f.t.Errorf("worker resolve: %v", werr)
+	}
+}
+
+// localRun is the single-process determinism reference.
+func localRun(t *testing.T, ds *proger.Dataset, faultRate float64) (*proger.Result, *proger.Tracer, *proger.QualityRecorder) {
+	t.Helper()
+	opts := baseOptions(faultRate)
+	fillDataset(ds, &opts)
+	opts.Trace = proger.NewTracer()
+	opts.Quality = proger.NewQualityRecorder()
+	res, err := proger.Resolve(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, opts.Trace, opts.Quality
+}
+
+func resultBytes(t *testing.T, res *proger.Result) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	for _, ev := range res.Events {
+		fmt.Fprintf(&b, "%d\t%d\t%.3f\n", ev.Pair.Lo, ev.Pair.Hi, ev.Time)
+	}
+	fmt.Fprintf(&b, "total=%.3f dups=%d\n", res.TotalTime, len(res.Duplicates))
+	return b.Bytes()
+}
+
+func traceBytes(t *testing.T, tr *proger.Tracer) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func qualityBytes(t *testing.T, q *proger.QualityRecorder) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := q.Export(0).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func assertIdentical(t *testing.T, what string, local, dist []byte) {
+	t.Helper()
+	if !bytes.Equal(local, dist) {
+		t.Errorf("%s bytes diverge between local and distributed runs (local %d B, dist %d B)",
+			what, len(local), len(dist))
+	}
+}
+
+// TestFleetByteIdentity: a master plus two worker drivers produce
+// Result, trace, and quality bytes identical to a single-process run.
+// The workers run without their own trace/quality sinks, so span and
+// quality collection rides entirely on the spec-union dummy sinks.
+func TestFleetByteIdentity(t *testing.T) {
+	ds, _ := proger.GeneratePublications(600, 1)
+	lres, ltr, lq := localRun(t, ds, 0)
+
+	f := newFleet(t, 0)
+	f.addWorker(ds, 0, WorkerOptions{}, false)
+	f.addWorker(ds, 0, WorkerOptions{}, false)
+	res, tr, q := f.run(ds, 0)
+
+	assertIdentical(t, "result", resultBytes(t, lres), resultBytes(t, res))
+	assertIdentical(t, "trace", traceBytes(t, ltr), traceBytes(t, tr))
+	assertIdentical(t, "quality", qualityBytes(t, lq), qualityBytes(t, q))
+	if got := f.reg.Counter(mapreduce.CounterDistWorkersRegistered).Value(); got != 2 {
+		t.Errorf("workers registered = %d, want 2", got)
+	}
+	if got := f.reg.Counter(mapreduce.CounterDistLeasesGranted).Value(); got == 0 {
+		t.Error("no leases granted")
+	}
+	if got := f.reg.Counter(mapreduce.CounterDistLeasesExpired).Value(); got != 0 {
+		t.Errorf("leases expired = %d, want 0 in a clean run", got)
+	}
+}
+
+// TestFleetByteIdentityUnderFaults: same identity with the simulated
+// fault runtime active on every process — injected crashes, retries,
+// and speculation are decided on the master, and the attempt history
+// must land in the trace exactly as in a local faulty run.
+func TestFleetByteIdentityUnderFaults(t *testing.T) {
+	ds, _ := proger.GeneratePublications(600, 1)
+	lres, ltr, lq := localRun(t, ds, 0.3)
+
+	f := newFleet(t, 0)
+	f.addWorker(ds, 0.3, WorkerOptions{}, false)
+	f.addWorker(ds, 0.3, WorkerOptions{}, false)
+	res, tr, q := f.run(ds, 0.3)
+
+	assertIdentical(t, "result", resultBytes(t, lres), resultBytes(t, res))
+	assertIdentical(t, "trace", traceBytes(t, ltr), traceBytes(t, tr))
+	assertIdentical(t, "quality", qualityBytes(t, lq), qualityBytes(t, q))
+}
+
+// TestLeaseExpiryOnHeartbeatLoss: a worker registers, takes a lease,
+// and goes silent. The master must declare it dead within the TTL,
+// expire the lease, re-lease the task to the worker that joins later,
+// and still produce the byte-identical Result. Script-driven: the
+// test blocks on protocol steps and the run's own completion, never
+// asserts after a wall-clock sleep.
+func TestLeaseExpiryOnHeartbeatLoss(t *testing.T) {
+	ds, _ := proger.GeneratePublications(400, 1)
+	lres, _, _ := localRun(t, ds, 0)
+
+	f := newFleet(t, 200*time.Millisecond)
+
+	// The silent worker speaks the raw protocol: register, then poll
+	// until a lease is actually granted, then never call again — no
+	// heartbeat, no completion.
+	conn, err := net.Dial("tcp", f.master.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	silent := rpc.NewClient(conn)
+	var reg RegisterReply
+	if err := silent.Call(rpcService+".Register", &RegisterArgs{}, &reg); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan TaskLease, 1)
+	go func() {
+		for {
+			var rep LeaseReply
+			if err := silent.Call(rpcService+".Lease", &LeaseArgs{WorkerID: reg.WorkerID}, &rep); err != nil {
+				return
+			}
+			switch rep.Kind {
+			case LeaseTask:
+				granted <- rep.Lease
+				return
+			case LeaseShutdown:
+				return
+			}
+		}
+	}()
+
+	// Drive the master in the background so this goroutine can
+	// orchestrate: leases start flowing once its driver reaches job 1.
+	resCh := make(chan *proger.Result, 1)
+	go func() {
+		opts := baseOptions(0)
+		fillDataset(ds, &opts)
+		opts.Transport = f.master
+		res, err := proger.Resolve(ds, opts)
+		if err != nil {
+			t.Errorf("master resolve: %v", err)
+		}
+		resCh <- res
+	}()
+
+	// Only after the silent worker provably holds a lease does the
+	// real worker join — the expiry path cannot be skipped.
+	lease := <-granted
+	if lease.JobSeq != 1 {
+		t.Errorf("silent worker leased job %d, want 1", lease.JobSeq)
+	}
+	f.addWorker(ds, 0, WorkerOptions{}, false)
+
+	res := <-resCh
+	f.shutdown()
+	if res == nil {
+		t.Fatal("master resolve failed")
+	}
+
+	assertIdentical(t, "result", resultBytes(t, lres), resultBytes(t, res))
+	if got := f.reg.Counter(mapreduce.CounterDistLeasesExpired).Value(); got < 1 {
+		t.Errorf("leases expired = %d, want >= 1", got)
+	}
+	if got := f.reg.Counter(mapreduce.CounterDistWorkersRegistered).Value(); got != 2 {
+		t.Errorf("workers registered = %d, want 2", got)
+	}
+}
+
+// TestWorkerKilledMidRun: one of two workers cuts its connection
+// abruptly after its third lease (taken, never completed). The master
+// recovers via heartbeat expiry and every artifact stays
+// byte-identical.
+func TestWorkerKilledMidRun(t *testing.T) {
+	ds, _ := proger.GeneratePublications(400, 1)
+	lres, ltr, lq := localRun(t, ds, 0)
+
+	f := newFleet(t, 200*time.Millisecond)
+	kill := make(chan struct{})
+	var once sync.Once
+	doomed := f.addWorker(ds, 0, WorkerOptions{
+		Parallel: 1,
+		OnLease: func(n int) {
+			if n >= 3 {
+				once.Do(func() { close(kill) })
+				<-make(chan struct{}) // hold the lease forever: this pump is dead
+			}
+		},
+	}, true)
+	go func() {
+		<-kill
+		doomed.Kill()
+	}()
+	f.addWorker(ds, 0, WorkerOptions{}, false)
+
+	res, tr, q := f.run(ds, 0)
+
+	assertIdentical(t, "result", resultBytes(t, lres), resultBytes(t, res))
+	assertIdentical(t, "trace", traceBytes(t, ltr), traceBytes(t, tr))
+	assertIdentical(t, "quality", qualityBytes(t, lq), qualityBytes(t, q))
+	if got := f.reg.Counter(mapreduce.CounterDistLeasesExpired).Value(); got < 1 {
+		t.Errorf("leases expired = %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package dist is the multi-process execution transport: a master
+// process drives the deterministic task graph and leases task
+// executions to worker processes over net/rpc (stdlib, gob encoding,
+// TCP or unix sockets). Every process runs the same driver with the
+// same resolution-affecting flags — the lockstep-replay contract of
+// mapreduce.RemoteTransport — so the wire carries only task identity,
+// result metadata, and the master's end-of-job broadcast; bulk
+// intermediate data moves through run files on a shared directory.
+//
+// Fault model: workers heartbeat; a worker silent for a full lease
+// TTL is declared dead and its outstanding leases expire. Expiry
+// surfaces to the master's dispatch loop as mapreduce.ErrTaskLost,
+// which re-enqueues the task below the simulated attempt runtime —
+// host chaos never touches the simulated timeline, so Result, trace,
+// and quality bytes stay identical to a single-process run even when
+// workers die mid-run.
+package dist
+
+import (
+	"encoding/gob"
+
+	"proger/internal/mapreduce"
+)
+
+// rpcService is the name the master's method set registers under.
+const rpcService = "Dist"
+
+// Lease reply kinds.
+const (
+	// LeaseTask grants the lease in LeaseReply.Lease.
+	LeaseTask = iota
+	// LeaseWait means no task was available within the long-poll
+	// window; the worker should ask again.
+	LeaseWait
+	// LeaseShutdown means the master is done; the worker should stop
+	// pulling work.
+	LeaseShutdown
+)
+
+// TaskLease is one granted task execution: which task of which job,
+// under which lease identity. InputLen is the task's input record
+// count (a reduce task's merged-run length; advisory elsewhere).
+type TaskLease struct {
+	LeaseID  uint64
+	JobSeq   int
+	Phase    string
+	Task     int
+	InputLen int
+}
+
+// RegisterArgs/RegisterReply: a worker process joins the fleet. The
+// reply carries its assigned identity, the heartbeat/lease TTL in
+// milliseconds, and the shared run-file directory.
+type RegisterArgs struct{}
+
+// RegisterReply is Register's response.
+type RegisterReply struct {
+	WorkerID  int
+	TTLMillis int64
+	DataDir   string
+}
+
+// HeartbeatArgs keeps a worker's lease alive.
+type HeartbeatArgs struct {
+	WorkerID int
+}
+
+// HeartbeatReply is empty.
+type HeartbeatReply struct{}
+
+// LeaseArgs asks for the next task (long-poll).
+type LeaseArgs struct {
+	WorkerID int
+}
+
+// LeaseReply carries the poll outcome.
+type LeaseReply struct {
+	Kind  int
+	Lease TaskLease
+}
+
+// CompleteArgs reports a leased task's outcome: the wire-form result,
+// or the task body's error string. A completion whose lease has
+// already expired is discarded by the master — first completion wins.
+type CompleteArgs struct {
+	WorkerID int
+	LeaseID  uint64
+	Result   *mapreduce.RemoteTaskResult
+	Err      string
+}
+
+// CompleteReply is empty.
+type CompleteReply struct{}
+
+// GoodbyeArgs announces an orderly departure: the worker's driver has
+// finished and no further leases or waits will come from it. The
+// master stops counting the worker toward its shutdown drain. Leases
+// the worker still holds (there should be none) expire immediately.
+type GoodbyeArgs struct {
+	WorkerID int
+}
+
+// GoodbyeReply is empty.
+type GoodbyeReply struct{}
+
+// JobInfoArgs asks (blocking) for job Seq's spec, available once the
+// master's driver has begun that job. Workers cross-check it against
+// their own derived spec before executing any of its leases.
+type JobInfoArgs struct {
+	Seq int
+}
+
+// JobInfoReply carries the master's job spec.
+type JobInfoReply struct {
+	Spec mapreduce.RemoteJobSpec
+}
+
+// WaitJobArgs asks (blocking) for job Seq's end-of-job broadcast.
+type WaitJobArgs struct {
+	Seq int
+}
+
+// WaitJobReply carries every committed task result — or the job's
+// terminal error — so the worker's lockstep driver can proceed.
+type WaitJobReply struct {
+	Results mapreduce.RemoteJobResults
+	Err     string
+}
+
+func init() {
+	// obs.Span arguments are typed `any`; gob needs the concrete types
+	// that actually flow through span args registered up front.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+}

@@ -1,0 +1,238 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proger/internal/mapreduce"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Connect is the master endpoint, in the Listen notation.
+	Connect string
+	// Parallel is how many leases this process executes concurrently
+	// (default GOMAXPROCS).
+	Parallel int
+	// OnLease, when non-nil, observes every lease granted to this
+	// worker (called with the running count, before execution). The
+	// fault-injection harness uses it to kill a worker process after
+	// taking — and never completing — its Nth lease.
+	OnLease func(n int)
+}
+
+// Worker is the lease-executing side of the distributed transport. It
+// implements mapreduce.RemoteTransport: the process that owns it runs
+// the same deterministic driver as the master, executes whatever
+// leases the master grants (through its pump goroutines), and fills
+// each job's outputs from the master's end-of-job broadcast.
+type Worker struct {
+	client  *rpc.Client
+	conn    net.Conn
+	id      int
+	ttl     time.Duration
+	dataDir string
+	onLease func(n int)
+
+	leaseCount atomic.Int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	runners map[int]*mapreduce.RemoteRunner
+	nextSeq int
+	closed  bool
+}
+
+// NewWorker connects to the master, registers, and starts heartbeats
+// plus the lease pump goroutines. The returned Worker is ready to be
+// set as a Config/Options Transport.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	conn, err := dial(opts.Connect)
+	if err != nil {
+		return nil, fmt.Errorf("dist: connect: %w", err)
+	}
+	client := rpc.NewClient(conn)
+	var reg RegisterReply
+	if err := client.Call(rpcService+".Register", &RegisterArgs{}, &reg); err != nil {
+		client.Close()
+		return nil, fmt.Errorf("dist: register: %w", err)
+	}
+	w := &Worker{
+		client:  client,
+		conn:    conn,
+		id:      reg.WorkerID,
+		ttl:     time.Duration(reg.TTLMillis) * time.Millisecond,
+		dataDir: reg.DataDir,
+		onLease: opts.OnLease,
+		runners: map[int]*mapreduce.RemoteRunner{},
+	}
+	w.cond = sync.NewCond(&w.mu)
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	go w.heartbeat()
+	for i := 0; i < parallel; i++ {
+		go w.pump()
+	}
+	return w, nil
+}
+
+// ID returns the master-assigned worker identity.
+func (w *Worker) ID() int { return w.id }
+
+func (w *Worker) heartbeat() {
+	t := time.NewTicker(w.ttl / 3)
+	defer t.Stop()
+	for range t.C {
+		if w.isClosed() {
+			return
+		}
+		if err := w.client.Call(rpcService+".Heartbeat",
+			&HeartbeatArgs{WorkerID: w.id}, &HeartbeatReply{}); err != nil {
+			return
+		}
+	}
+}
+
+func (w *Worker) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+// pump pulls leases and executes them until shutdown. Errors on the
+// RPC stream (master gone, connection cut) end the pump quietly — the
+// driver's blocking WaitJob call surfaces the failure.
+func (w *Worker) pump() {
+	for {
+		var rep LeaseReply
+		if err := w.client.Call(rpcService+".Lease", &LeaseArgs{WorkerID: w.id}, &rep); err != nil {
+			return
+		}
+		switch rep.Kind {
+		case LeaseWait:
+			continue
+		case LeaseShutdown:
+			return
+		}
+		lease := rep.Lease
+		if w.onLease != nil {
+			w.onLease(int(w.leaseCount.Add(1)))
+		}
+		runner := w.runnerFor(lease.JobSeq)
+		if runner == nil {
+			return // closed before the driver reached this job
+		}
+		res, err := runner.RunTask(lease.Phase, lease.Task, lease.InputLen)
+		args := &CompleteArgs{WorkerID: w.id, LeaseID: lease.LeaseID, Result: res}
+		if err != nil {
+			args.Result, args.Err = nil, err.Error()
+		}
+		if err := w.client.Call(rpcService+".Complete", args, &CompleteReply{}); err != nil {
+			return
+		}
+	}
+}
+
+// runnerFor blocks until the local driver has begun the leased job
+// (the master's driver is typically a step ahead of the fleet's).
+func (w *Worker) runnerFor(seq int) *mapreduce.RemoteRunner {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.runners[seq] == nil && !w.closed {
+		w.cond.Wait()
+	}
+	return w.runners[seq]
+}
+
+// TransportName implements mapreduce.TaskTransport.
+func (w *Worker) TransportName() string { return "worker" }
+
+// BeginJob implements mapreduce.RemoteTransport: fetch the master's
+// spec for the next job in the chain, cross-check it against this
+// process's own derivation (lockstep replay is unsound if the fleet's
+// resolution flags diverge), bind the runner to the shared data dir,
+// and expose it to the lease pumps.
+func (w *Worker) BeginJob(spec mapreduce.RemoteJobSpec, runner *mapreduce.RemoteRunner) (mapreduce.RemoteJob, error) {
+	w.mu.Lock()
+	w.nextSeq++
+	seq := w.nextSeq
+	w.mu.Unlock()
+	var rep JobInfoReply
+	if err := w.client.Call(rpcService+".JobInfo", &JobInfoArgs{Seq: seq}, &rep); err != nil {
+		return nil, fmt.Errorf("dist: job %d info: %w", seq, err)
+	}
+	ms := rep.Spec
+	if ms.Name != spec.Name || ms.NumMapTasks != spec.NumMapTasks || ms.NumReduceTasks != spec.NumReduceTasks {
+		return nil, fmt.Errorf("dist: job %d diverged: master runs %s (%d map/%d reduce), this worker derived %s (%d map/%d reduce) — master and workers must share all resolution flags",
+			seq, ms.Name, ms.NumMapTasks, ms.NumReduceTasks, spec.Name, spec.NumMapTasks, spec.NumReduceTasks)
+	}
+	runner.Configure(w.dataDir, seq, ms.Tracing, ms.Quality)
+	w.mu.Lock()
+	w.runners[seq] = runner
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return workerJob{w: w, seq: seq}, nil
+}
+
+type workerJob struct {
+	w   *Worker
+	seq int
+}
+
+func (j workerJob) Master() bool { return false }
+
+func (j workerJob) RunTask(string, int, int) (*mapreduce.RemoteTaskResult, error) {
+	return nil, errors.New("dist: workers do not dispatch tasks")
+}
+
+func (j workerJob) Finish(*mapreduce.RemoteJobResults, error) error { return nil }
+
+// Wait blocks until the master broadcasts the job's committed results
+// (or its terminal error).
+func (j workerJob) Wait() (*mapreduce.RemoteJobResults, error) {
+	var rep WaitJobReply
+	if err := j.w.client.Call(rpcService+".WaitJob", &WaitJobArgs{Seq: j.seq}, &rep); err != nil {
+		return nil, fmt.Errorf("dist: job %d wait: %w", j.seq, err)
+	}
+	if rep.Err != "" {
+		return nil, fmt.Errorf("dist: job %d failed on master: %s", j.seq, rep.Err)
+	}
+	res := rep.Results
+	return &res, nil
+}
+
+// Close announces an orderly departure to the master (so its shutdown
+// drain stops counting this worker) and disconnects; pumps and
+// heartbeats wind down on their next RPC.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	// Best effort: a master already gone cannot be said goodbye to.
+	w.client.Call(rpcService+".Goodbye", &GoodbyeArgs{WorkerID: w.id}, &GoodbyeReply{})
+	return w.client.Close()
+}
+
+// Kill cuts the raw connection without any goodbye — the harness's
+// stand-in for a worker process dying abruptly. The master notices
+// through heartbeat loss and expires the worker's leases.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.conn.Close()
+}

@@ -468,3 +468,38 @@ func (fr *faultRuntime) emitAttemptSpans(tr *obs.Tracer, pid int, phase faults.P
 		}
 	}
 }
+
+// ErrTaskLost marks a dispatched task execution whose lease was lost —
+// the worker holding it stopped heartbeating (or died) before
+// completing. It is a *host-level* failure, distinct from the
+// simulated faults above: the task body itself never misbehaved, some
+// machine did. Remote transports surface it from RemoteJob.RunTask;
+// the engine's dispatch layer re-leases within the RetryPolicy budget.
+var ErrTaskLost = errors.New("mapreduce: task lease lost")
+
+// lostRetryBudget is how many times a lost lease is re-dispatched
+// before the job fails: the configured RetryPolicy.MaxRetries, with
+// the same default the simulated attempt ladder uses.
+func lostRetryBudget(cfg *Config) int {
+	if cfg.Retry.MaxRetries > 0 {
+		return cfg.Retry.MaxRetries
+	}
+	return defaultMaxRetries
+}
+
+// retryLost re-executes a dispatch while it keeps failing with
+// ErrTaskLost, up to budget re-dispatches. Lost leases are retried
+// *below* runTaskAttempts deliberately: a lease expiry is wall-clock
+// host chaos that cannot be placed on the simulated attempt timeline,
+// so it must not mint attemptRecords (which would change trace bytes).
+// Re-executing the deterministic task body instead yields the exact
+// output the first lease would have produced, keeping Result, trace,
+// and quality bytes identical to a loss-free run.
+func retryLost[T any](budget int, exec func() (T, error)) (T, error) {
+	for attempt := 0; ; attempt++ {
+		out, err := exec()
+		if err == nil || !errors.Is(err, ErrTaskLost) || attempt >= budget {
+			return out, err
+		}
+	}
+}

@@ -49,6 +49,17 @@ const (
 	// Result.Counters.
 	CounterBudgetForcedSpills = "mr.membudget.forced_spills"
 	CounterBudgetSpilledBytes = "mr.membudget.spilled_bytes"
+	// Distributed-runtime counters, maintained by the master's lease
+	// ledger: worker processes registered, task leases granted, leases
+	// expired after heartbeat loss, and raw RPC bytes moved over the
+	// wire in each direction. The transport is a host knob, so these
+	// report only through Config.Metrics (on the process hosting the
+	// master), never Result.Counters.
+	CounterDistWorkersRegistered = "mr.dist.workers_registered"
+	CounterDistLeasesGranted     = "mr.dist.leases_granted"
+	CounterDistLeasesExpired     = "mr.dist.leases_expired"
+	CounterDistRPCBytesIn        = "mr.dist.rpc_bytes_in"
+	CounterDistRPCBytesOut       = "mr.dist.rpc_bytes_out"
 
 	// HistTaskCostUnits is the registry histogram of per-task simulated
 	// costs (map and reduce), fed by the engine at the end of each job.

@@ -61,7 +61,9 @@ func Run(cfg Config, input []KeyValue, startAt costmodel.Units) (*Result, error)
 		po  *phaseOutputs
 		err error
 	)
-	if cfg.Execution == ExecBarrier {
+	if rt, ok := transportOf(&cfg).(RemoteTransport); ok {
+		po, err = runRemoteJob(&cfg, rt, fr, lj, workers, splits)
+	} else if cfg.Execution == ExecBarrier {
 		po, err = runBarrierEngine(&cfg, fr, lj, workers, splits)
 	} else {
 		po, err = runPipelinedEngine(&cfg, fr, lj, workers, splits)
@@ -377,11 +379,16 @@ type mapTaskResult struct {
 	out      [][]KeyValue
 	counters Counters
 	spans    []obs.Span
+	// remote carries the wire-form result when the task executed on a
+	// remote transport (nil for local execution); the master's graph
+	// nodes collect these for the end-of-job broadcast.
+	remote *RemoteTaskResult
 }
 
 type shuffleTaskResult struct {
 	in          reduceInput
 	spilledRuns int64
+	remote      *RemoteTaskResult
 }
 
 type reduceTaskResult struct {
@@ -389,6 +396,7 @@ type reduceTaskResult struct {
 	counters Counters
 	spans    []obs.Span
 	qobs     []quality.BlockObs
+	remote   *RemoteTaskResult
 }
 
 // wallSpan is a host wall-clock measurement of one engine stage.

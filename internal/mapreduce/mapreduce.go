@@ -182,6 +182,15 @@ type Config struct {
 	// Execution picks the pipelined task-graph engine (default) or the
 	// barriered reference engine. A host-machine knob like Workers.
 	Execution ExecutionMode
+	// Transport selects where task bodies execute: in-process on the
+	// channel pool (nil / LocalTransport, the default) or leased to
+	// worker processes through a RemoteTransport (internal/dist). A
+	// host-machine knob like Workers: every transport produces
+	// byte-identical Results, traces, and quality exports. Remote
+	// transports require the pipelined engine and are incompatible
+	// with MemBudget/ShuffleMemLimit (run files, not memory pressure,
+	// are the distributed data plane).
+	Transport TaskTransport
 	// ShuffleMemLimit, when > 0, bounds the records a reduce task's
 	// shuffle may buffer in host memory; beyond it, sorted runs spill
 	// to SpillDir and are k-way merged (Hadoop's spill-and-merge
@@ -263,6 +272,30 @@ func (c *Config) validate() error {
 	}
 	if c.Execution != ExecPipelined && c.Execution != ExecBarrier {
 		return fmt.Errorf("mapreduce: job %q: unknown execution mode %d", c.Name, c.Execution)
+	}
+	switch c.Transport.(type) {
+	case nil, LocalTransport, *LocalTransport:
+	default:
+		rt, ok := c.Transport.(RemoteTransport)
+		if !ok {
+			return fmt.Errorf("mapreduce: job %q: transport %q is neither local nor a RemoteTransport",
+				c.Name, c.Transport.TransportName())
+		}
+		// Remote execution replicates the pipelined task graph across
+		// processes; the barrier engine and the in-memory pressure knobs
+		// have no distributed counterpart (run files are the data plane).
+		if c.Execution != ExecPipelined {
+			return fmt.Errorf("mapreduce: job %q: transport %q requires the pipelined engine",
+				c.Name, rt.TransportName())
+		}
+		if c.MemBudget != nil {
+			return fmt.Errorf("mapreduce: job %q: transport %q is incompatible with MemBudget",
+				c.Name, rt.TransportName())
+		}
+		if c.ShuffleMemLimit > 0 {
+			return fmt.Errorf("mapreduce: job %q: transport %q is incompatible with ShuffleMemLimit",
+				c.Name, rt.TransportName())
+		}
 	}
 	return nil
 }

@@ -397,7 +397,7 @@ func runPipelinedEngine(cfg *Config, fr *faultRuntime, lj *live.Job, workers int
 		addSpeculationNodes(g, fr, faults.Reduce, nodeSpecReduce, redNodes, po.reduceRes, po.reduceCosts, rExec)
 	}
 
-	if err := g.execute(workers); err != nil {
+	if err := (LocalTransport{}).execGraph(g, workers); err != nil {
 		return po, err // po carries live stores; Run settles them
 	}
 	return po, nil

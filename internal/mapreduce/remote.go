@@ -1,0 +1,689 @@
+package mapreduce
+
+// Remote (multi-process) execution of one job. Every process — master
+// and workers — runs the same deterministic driver with the same
+// resolution-affecting configuration, so each can reconstruct the
+// job's Config (mappers, reducers, side data) locally: only task
+// identity and result metadata cross the wire, never closures or
+// input payloads. The shared-filesystem run files of the PR 6 spill
+// layer are the data plane: a map task writes one pre-sorted run file
+// per partition, a shuffle task k-way merges them into one merged run
+// per partition, and a reduce task streams that merged run — the
+// master hands workers run-file paths (implicitly, via task identity
+// and a shared data dir), not payloads. Reduce output, counters,
+// spans, and quality observations travel back inline over RPC: they
+// are exactly the per-task state phaseOutputs needs.
+//
+// Determinism: the master drives the same task graph (map → shuffle r
+// gated on all maps → reduce r) through the same runAttempted /
+// speculation machinery as the local pipelined engine — its node
+// bodies just dispatch over RPC instead of calling the task function.
+// Committed results are byte-identical to local execution because the
+// task bodies are the same deterministic functions, so everything
+// derived in Run's finalize half (schedule, Result, spans, metrics,
+// quality) is transport-independent. Workers fill the same
+// phaseOutputs from the master's end-of-job broadcast, which keeps
+// every process's driver loop (job-2 schedule generation feeds on
+// job-1's Result) in lockstep.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"proger/internal/costmodel"
+	"proger/internal/extsort"
+	"proger/internal/faults"
+	"proger/internal/obs"
+	"proger/internal/obs/live"
+	"proger/internal/obs/quality"
+)
+
+// Remote phase names, the wire form of a leased task's phase.
+const (
+	RemotePhaseMap     = "map"
+	RemotePhaseShuffle = "shuffle"
+	RemotePhaseReduce  = "reduce"
+)
+
+// RemoteJobSpec describes one job as a process derived it from its own
+// configuration. The master publishes its spec; workers cross-check
+// theirs against it before executing leases — a mismatch means the
+// fleet's configurations have diverged and lockstep replay is unsound.
+type RemoteJobSpec struct {
+	Name           string
+	NumMapTasks    int
+	NumReduceTasks int
+	// Tracing and Quality are the master's sink flags: workers collect
+	// spans and block observations whenever the master (or they
+	// themselves) need them, since a worker cannot know locally whether
+	// the master runs with -trace.
+	Tracing bool
+	Quality bool
+}
+
+// RemoteTaskResult is one completed task's wire-form outcome — the
+// per-task slice of phaseOutputs that must cross processes. Bulk data
+// stays on the shared filesystem: a map task reports only per-partition
+// record counts (the runs themselves are files), a shuffle task its
+// merged record count. Reduce output is the job's actual product and
+// returns inline.
+type RemoteTaskResult struct {
+	Cost     costmodel.Units
+	Counters Counters
+	Spans    []obs.Span
+	// PartLens is a map task's record count per partition.
+	PartLens []int
+	// Len is a shuffle task's merged record count.
+	Len int
+	// Out and Qobs are a reduce task's output records and quality
+	// observations.
+	Out  []TimedKV
+	Qobs []quality.BlockObs
+}
+
+// RemoteJobResults is the master's end-of-job broadcast: every task's
+// committed result, indexed by task. Workers fill phaseOutputs from it
+// and proceed exactly as if they had executed the job locally.
+type RemoteJobResults struct {
+	Map     []RemoteTaskResult
+	Shuffle []RemoteTaskResult
+	Reduce  []RemoteTaskResult
+}
+
+// remoteInput is the master's stand-in reduceInput for a partition
+// merged on some worker: the record count is known (the schedule and
+// trace need it), the records themselves live in the shared run file
+// and are only ever streamed worker-side.
+type remoteInput struct {
+	n int
+}
+
+func (r remoteInput) Len() int { return r.n }
+func (r remoteInput) Iter() (kvIter, error) {
+	return nil, fmt.Errorf("mapreduce: remote reduce input holds no local records")
+}
+func (r remoteInput) Close() error { return nil }
+
+// runFileInput is the worker-side reduceInput streaming a merged
+// shuffle run file. The file is owned by the master's job cleanup, so
+// Close releases nothing; each Iter opens an independent handle.
+type runFileInput struct {
+	path string
+	n    int
+}
+
+func (f runFileInput) Len() int { return f.n }
+
+func (f runFileInput) Iter() (kvIter, error) {
+	fh, err := os.Open(f.path)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: open shuffle run: %w", err)
+	}
+	return &runFileIter{f: fh, rr: extsort.NewRunReader(fh)}, nil
+}
+
+func (f runFileInput) Close() error { return nil }
+
+type runFileIter struct {
+	f  *os.File
+	rr *extsort.RunReader
+}
+
+func (it *runFileIter) Next() (KeyValue, bool, error) {
+	_, key, val, err := it.rr.Next()
+	if err == io.EOF {
+		return KeyValue{}, false, nil
+	}
+	if err != nil {
+		return KeyValue{}, false, fmt.Errorf("mapreduce: read shuffle run: %w", err)
+	}
+	return KeyValue{Key: key, Value: val}, true, nil
+}
+
+func (it *runFileIter) Close() error { return it.f.Close() }
+
+// Run-file naming inside one job's shared directory.
+func remoteJobDirName(seq int) string { return fmt.Sprintf("job%d", seq) }
+func mapRunName(m, r int) string      { return fmt.Sprintf("m%d.p%d.run", m, r) }
+func shuffleRunName(r int) string     { return fmt.Sprintf("shuf%d.run", r) }
+func remoteJobDir(dataDir string, seq int) string {
+	return filepath.Join(dataDir, remoteJobDirName(seq))
+}
+
+// RemoteJobDir returns job seq's shared run-file directory under
+// dataDir. Exported so a transport can clean a finished job's runs.
+func RemoteJobDir(dataDir string, seq int) string { return remoteJobDir(dataDir, seq) }
+
+// RemoteRunner executes leased task bodies worker-side: the same
+// deterministic runMapTask/runReduceTask functions the local engine
+// calls, against the job Config this process reconstructed locally,
+// with run files on the shared data dir as input/output. The transport
+// calls Configure once placement is known, then RunTask per lease.
+type RemoteRunner struct {
+	cfg    *Config
+	splits [][]KeyValue
+	lj     *live.Job
+
+	dataDir string
+	seq     int
+	execCfg *Config
+
+	// done tracks tasks this process executed via leases, so the
+	// end-of-job live back-fill (publishRemaining) doesn't double-report
+	// their transitions on the local snapshot hub.
+	mu   sync.Mutex
+	done map[remoteTaskKey]struct{}
+}
+
+type remoteTaskKey struct {
+	phase string
+	task  int
+}
+
+func newRemoteRunner(cfg *Config, splits [][]KeyValue, lj *live.Job) *RemoteRunner {
+	return &RemoteRunner{cfg: cfg, splits: splits, lj: lj, done: map[remoteTaskKey]struct{}{}}
+}
+
+// Configure binds the runner to its placement: the shared run-file
+// directory, the job's sequence number in the chain, and the fleet's
+// sink flags. tracing/quality are ORed with the local config's own
+// sinks — a worker collects spans/qobs whenever anyone needs them —
+// by installing throwaway sinks on a copy of the config (the task
+// functions key collection off sink non-nilness; the copies' sinks are
+// never exported, results ship back inside RemoteTaskResult instead).
+func (rr *RemoteRunner) Configure(dataDir string, seq int, tracing, qual bool) {
+	rr.dataDir = dataDir
+	rr.seq = seq
+	c := *rr.cfg
+	if tracing && c.Trace == nil {
+		c.Trace = obs.New()
+	}
+	if qual && c.Quality == nil {
+		c.Quality = quality.NewRecorder()
+	}
+	rr.execCfg = &c
+}
+
+func (rr *RemoteRunner) jobDir() string { return remoteJobDir(rr.dataDir, rr.seq) }
+
+func (rr *RemoteRunner) markDone(phase string, task int) {
+	rr.mu.Lock()
+	rr.done[remoteTaskKey{phase, task}] = struct{}{}
+	rr.mu.Unlock()
+}
+
+// publishRemaining back-fills the local live snapshot hub with the
+// tasks other workers executed, from the master's broadcast, so a
+// worker's status server converges to the complete job view.
+func (rr *RemoteRunner) publishRemaining(p live.Phase, phase string, task int, cost costmodel.Units, records int) {
+	rr.mu.Lock()
+	_, ran := rr.done[remoteTaskKey{phase, task}]
+	rr.mu.Unlock()
+	if ran {
+		return
+	}
+	rr.lj.TaskStart(p, task)
+	rr.lj.TaskDone(p, task, float64(cost), records)
+}
+
+// RunTask executes one leased task body and returns its wire-form
+// result. Duplicate executions (re-leases after a lost worker, or the
+// master's speculation pass) are safe: task bodies are deterministic
+// and run files are written atomically with first-write-wins.
+func (rr *RemoteRunner) RunTask(phase string, task, inputLen int) (*RemoteTaskResult, error) {
+	if rr.execCfg == nil {
+		return nil, fmt.Errorf("mapreduce: remote runner not configured")
+	}
+	switch phase {
+	case RemotePhaseMap:
+		return rr.runMap(task)
+	case RemotePhaseShuffle:
+		return rr.runShuffle(task)
+	case RemotePhaseReduce:
+		return rr.runReduce(task, inputLen)
+	}
+	return nil, fmt.Errorf("mapreduce: unknown remote phase %q", phase)
+}
+
+func (rr *RemoteRunner) runMap(m int) (*RemoteTaskResult, error) {
+	if m < 0 || m >= len(rr.splits) {
+		return nil, fmt.Errorf("mapreduce: map task %d outside %d splits", m, len(rr.splits))
+	}
+	rr.lj.TaskStart(live.PhaseMap, m)
+	out, cost, counters, spans, err := runMapTask(rr.execCfg, m, rr.splits[m])
+	if err != nil {
+		rr.lj.TaskFailed(live.PhaseMap, m, err)
+		return nil, err
+	}
+	res := &RemoteTaskResult{Cost: cost, Counters: counters, Spans: spans, PartLens: make([]int, len(out))}
+	for r, part := range out {
+		res.PartLens[r] = len(part)
+		if err := writeRunFileAtomic(rr.jobDir(), mapRunName(m, r), uint64(m), part); err != nil {
+			rr.lj.TaskFailed(live.PhaseMap, m, err)
+			return nil, err
+		}
+	}
+	rr.lj.TaskDone(live.PhaseMap, m, float64(cost), len(rr.splits[m]))
+	rr.markDone(RemotePhaseMap, m)
+	return res, nil
+}
+
+// runShuffle k-way merges partition r's map run files by (key, map
+// index) — the identical stable order every local storage mode yields —
+// streaming straight into the partition's merged run file.
+func (rr *RemoteRunner) runShuffle(r int) (*RemoteTaskResult, error) {
+	rr.lj.TaskStart(live.PhaseShuffle, r)
+	n, err := rr.mergePartition(r)
+	if err != nil {
+		rr.lj.TaskFailed(live.PhaseShuffle, r, err)
+		return nil, err
+	}
+	cost := rr.execCfg.Cost.ShuffleSortCost(n)
+	rr.lj.TaskDone(live.PhaseShuffle, r, float64(cost), n)
+	rr.markDone(RemotePhaseShuffle, r)
+	return &RemoteTaskResult{Cost: cost, Len: n}, nil
+}
+
+func (rr *RemoteRunner) mergePartition(r int) (n int, err error) {
+	dir := rr.jobDir()
+	final := filepath.Join(dir, shuffleRunName(r))
+	M := rr.execCfg.NumMapTasks
+	type src struct {
+		f  *os.File
+		rr *extsort.RunReader
+	}
+	srcs := make([]*src, 0, M)
+	defer func() {
+		for _, s := range srcs {
+			s.f.Close()
+		}
+	}()
+	var readErr error
+	pulls := make([]func() (prioKV, bool), 0, M)
+	total := 0
+	for m := 0; m < M; m++ {
+		f, err := os.Open(filepath.Join(dir, mapRunName(m, r)))
+		if err != nil {
+			return 0, fmt.Errorf("mapreduce: shuffle %d: %w", r, err)
+		}
+		s := &src{f: f, rr: extsort.NewRunReader(f)}
+		srcs = append(srcs, s)
+		pulls = append(pulls, func() (prioKV, bool) {
+			seq, key, val, err := s.rr.Next()
+			if err == io.EOF {
+				return prioKV{}, false
+			}
+			if err != nil {
+				if readErr == nil {
+					readErr = err
+				}
+				return prioKV{}, false
+			}
+			return prioKV{prio: seq, kv: KeyValue{Key: key, Value: val}}, true
+		})
+	}
+	merger := extsort.NewMerger(pulls, prioKVCmp)
+	// First-write-wins: if a previous lease of this task already merged
+	// the partition, count its records instead of rewriting identical
+	// bytes over a file a reduce task may be streaming.
+	if _, statErr := os.Stat(final); statErr == nil {
+		return countRunRecords(final)
+	}
+	tmp, err := os.CreateTemp(dir, shuffleRunName(r)+".tmp-")
+	if err != nil {
+		return 0, fmt.Errorf("mapreduce: shuffle %d: %w", r, err)
+	}
+	fail := func(err error) (int, error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("mapreduce: shuffle %d: %w", r, err)
+	}
+	rw := extsort.NewRunWriter(tmp)
+	for {
+		rec, ok := merger.Next()
+		if !ok {
+			break
+		}
+		if err := rw.WriteRecord(rec.prio, rec.kv.Key, rec.kv.Value); err != nil {
+			return fail(err)
+		}
+		total++
+	}
+	if readErr != nil {
+		return fail(readErr)
+	}
+	if err := rw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("mapreduce: shuffle %d: %w", r, err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("mapreduce: shuffle %d: %w", r, err)
+	}
+	return total, nil
+}
+
+func (rr *RemoteRunner) runReduce(i, inputLen int) (*RemoteTaskResult, error) {
+	rr.lj.TaskStart(live.PhaseReduce, i)
+	in := runFileInput{path: filepath.Join(rr.jobDir(), shuffleRunName(i)), n: inputLen}
+	out, cost, counters, spans, qobs, err := runReduceTask(rr.execCfg, i, in)
+	if err != nil {
+		rr.lj.TaskFailed(live.PhaseReduce, i, err)
+		return nil, err
+	}
+	rr.lj.TaskDone(live.PhaseReduce, i, float64(cost), inputLen)
+	rr.markDone(RemotePhaseReduce, i)
+	return &RemoteTaskResult{Cost: cost, Counters: counters, Spans: spans, Out: out, Qobs: qobs}, nil
+}
+
+// writeRunFileAtomic writes one pre-sorted run to dir/name with
+// first-write-wins semantics: temp file + rename, and an existing file
+// is left untouched (any two executions of the same deterministic task
+// produce identical bytes, so whichever landed first is the truth).
+func writeRunFileAtomic(dir, name string, prio uint64, kvs []KeyValue) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return fmt.Errorf("mapreduce: run dir: %w", err)
+	}
+	final := filepath.Join(dir, name)
+	if _, err := os.Stat(final); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp-")
+	if err != nil {
+		return fmt.Errorf("mapreduce: write run %s: %w", name, err)
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("mapreduce: write run %s: %w", name, err)
+	}
+	rw := extsort.NewRunWriter(tmp)
+	for _, kv := range kvs {
+		if err := rw.WriteRecord(prio, kv.Key, kv.Value); err != nil {
+			return fail(err)
+		}
+	}
+	if err := rw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("mapreduce: write run %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("mapreduce: write run %s: %w", name, err)
+	}
+	return nil
+}
+
+func countRunRecords(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	rr := extsort.NewRunReader(f)
+	n := 0
+	for {
+		_, _, _, err := rr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		n++
+	}
+}
+
+// runRemoteJob executes one job over a remote transport, filling
+// phaseOutputs byte-identically to the local engines.
+func runRemoteJob(cfg *Config, rt RemoteTransport, fr *faultRuntime, lj *live.Job, workers int, splits [][]KeyValue) (*phaseOutputs, error) {
+	spec := RemoteJobSpec{
+		Name:           cfg.Name,
+		NumMapTasks:    cfg.NumMapTasks,
+		NumReduceTasks: cfg.NumReduceTasks,
+		Tracing:        cfg.Trace != nil,
+		Quality:        cfg.Quality != nil,
+	}
+	runner := newRemoteRunner(cfg, splits, lj)
+	job, err := rt.BeginJob(spec, runner)
+	if err != nil {
+		return nil, err
+	}
+	if job.Master() {
+		return runRemoteMaster(cfg, fr, lj, workers, splits, job)
+	}
+	return runRemoteWorker(cfg, lj, splits, job, runner)
+}
+
+// runRemoteMaster drives the job's task graph with RPC-dispatching
+// node bodies: the same graph shape, attempt runtime, speculation
+// gates, and pool scheduling as the local pipelined engine's
+// non-premerge path, so attempt histories — and therefore trace
+// bytes — match a local run with the same fault configuration.
+func runRemoteMaster(cfg *Config, fr *faultRuntime, lj *live.Job, workers int, splits [][]KeyValue, rjob RemoteJob) (*phaseOutputs, error) {
+	M, R := cfg.NumMapTasks, cfg.NumReduceTasks
+	po := newPhaseOutputs(cfg)
+	po.mapRes = make([]mapTaskResult, M)
+	po.mapCosts = make([]costmodel.Units, M)
+	po.shufRes = make([]shuffleTaskResult, R)
+	po.reduceRes = make([]reduceTaskResult, R)
+	po.reduceCosts = make([]costmodel.Units, R)
+
+	// Raw wire-form results per committed task, collected by the graph
+	// nodes (single writer each) for the end-of-job broadcast.
+	rawMap := make([]*RemoteTaskResult, M)
+	rawShuf := make([]*RemoteTaskResult, R)
+	rawRed := make([]*RemoteTaskResult, R)
+	partLens := make([][]int, M)
+
+	// Lost leases (worker died mid-task) re-dispatch below the attempt
+	// runtime: host chaos stays off the simulated timeline.
+	lost := lostRetryBudget(cfg)
+	dispatch := func(phase string, task, inputLen int) (*RemoteTaskResult, error) {
+		return retryLost(lost, func() (*RemoteTaskResult, error) {
+			return rjob.RunTask(phase, task, inputLen)
+		})
+	}
+
+	mExec := func(m int) (mapTaskResult, costmodel.Units, error) {
+		lj.TaskStart(live.PhaseMap, m)
+		var w0 time.Time
+		if po.mapWall != nil {
+			w0 = time.Now()
+		}
+		res, err := dispatch(RemotePhaseMap, m, len(splits[m]))
+		if err != nil {
+			lj.TaskFailed(live.PhaseMap, m, err)
+			return mapTaskResult{}, 0, err
+		}
+		if po.mapWall != nil {
+			po.mapWall[m] = wallSpan{w0, time.Since(w0)}
+		}
+		lj.TaskDone(live.PhaseMap, m, float64(res.Cost), len(splits[m]))
+		return mapTaskResult{counters: res.Counters, spans: res.Spans, remote: res}, res.Cost, nil
+	}
+	sExec := func(r int) (shuffleTaskResult, costmodel.Units, error) {
+		lj.TaskStart(live.PhaseShuffle, r)
+		var w0 time.Time
+		if po.shufWall != nil {
+			w0 = time.Now()
+		}
+		n := 0
+		for m := 0; m < M; m++ {
+			n += partLens[m][r]
+		}
+		res, err := dispatch(RemotePhaseShuffle, r, n)
+		if err != nil {
+			lj.TaskFailed(live.PhaseShuffle, r, err)
+			return shuffleTaskResult{}, 0, err
+		}
+		if res.Len != n {
+			err := fmt.Errorf("mapreduce: %s shuffle %d merged %d records, map tasks produced %d",
+				cfg.Name, r, res.Len, n)
+			lj.TaskFailed(live.PhaseShuffle, r, err)
+			return shuffleTaskResult{}, 0, err
+		}
+		if po.shufWall != nil {
+			po.shufWall[r] = wallSpan{w0, time.Since(w0)}
+		}
+		cost := cfg.Cost.ShuffleSortCost(res.Len)
+		lj.TaskDone(live.PhaseShuffle, r, float64(cost), res.Len)
+		return shuffleTaskResult{in: remoteInput{n: res.Len}, remote: res}, cost, nil
+	}
+	rExec := func(i int) (reduceTaskResult, costmodel.Units, error) {
+		lj.TaskStart(live.PhaseReduce, i)
+		var w0 time.Time
+		if po.reduceWall != nil {
+			w0 = time.Now()
+		}
+		res, err := dispatch(RemotePhaseReduce, i, po.shufRes[i].in.Len())
+		if err != nil {
+			lj.TaskFailed(live.PhaseReduce, i, err)
+			return reduceTaskResult{}, 0, err
+		}
+		if po.reduceWall != nil {
+			po.reduceWall[i] = wallSpan{w0, time.Since(w0)}
+		}
+		lj.TaskDone(live.PhaseReduce, i, float64(res.Cost), po.shufRes[i].in.Len())
+		return reduceTaskResult{out: res.Out, counters: res.Counters, spans: res.Spans, qobs: res.Qobs, remote: res}, res.Cost, nil
+	}
+
+	var mapAtt, shufAtt, redAtt []*taskAttempts
+	if fr != nil {
+		mapAtt = fr.beginPhase(faults.Map, M)
+		shufAtt = fr.beginPhase(faults.Shuffle, R)
+		redAtt = fr.beginPhase(faults.Reduce, R)
+	}
+
+	g := &taskGraph{}
+	mapNodes := make([]*dagNode, M)
+	for m := 0; m < M; m++ {
+		m := m
+		mapNodes[m] = g.node(nodeKey{nodeMap, m}, func() error {
+			out, cost, err := runAttempted(fr, faults.Map, mapAtt, m, mExec)
+			if err != nil {
+				return err
+			}
+			po.mapRes[m], po.mapCosts[m] = out, cost
+			partLens[m] = out.remote.PartLens
+			rawMap[m] = out.remote
+			return nil
+		})
+	}
+	shufNodes := make([]*dagNode, R)
+	for r := 0; r < R; r++ {
+		r := r
+		shufNodes[r] = g.node(nodeKey{nodeShuffle, r}, func() error {
+			out, _, err := runAttempted(fr, faults.Shuffle, shufAtt, r, sExec)
+			if err != nil {
+				return err
+			}
+			po.shufRes[r] = out
+			rawShuf[r] = out.remote
+			return nil
+		})
+		for _, mn := range mapNodes {
+			g.edge(mn, shufNodes[r])
+		}
+	}
+	redNodes := make([]*dagNode, R)
+	for i := 0; i < R; i++ {
+		i := i
+		redNodes[i] = g.node(nodeKey{nodeReduce, i}, func() error {
+			out, cost, err := runAttempted(fr, faults.Reduce, redAtt, i, rExec)
+			if err != nil {
+				return err
+			}
+			po.reduceRes[i], po.reduceCosts[i] = out, cost
+			rawRed[i] = out.remote
+			return nil
+		})
+		g.edge(shufNodes[i], redNodes[i])
+	}
+	if fr != nil && fr.policy.Speculation {
+		addSpeculationNodes(g, fr, faults.Map, nodeSpecMap, mapNodes, po.mapRes, po.mapCosts, mExec)
+		shufCosts := make([]costmodel.Units, R)
+		shufCostOf := func(i int) costmodel.Units { return cfg.Cost.ShuffleSortCost(po.shufRes[i].in.Len()) }
+		addSpeculationNodesWithCosts(g, fr, faults.Shuffle, nodeSpecShuffle, shufNodes, po.shufRes, shufCosts, shufCostOf, sExec)
+		addSpeculationNodes(g, fr, faults.Reduce, nodeSpecReduce, redNodes, po.reduceRes, po.reduceCosts, rExec)
+	}
+
+	err := (LocalTransport{}).execGraph(g, workers)
+	var results *RemoteJobResults
+	if err == nil {
+		results = &RemoteJobResults{
+			Map:     make([]RemoteTaskResult, M),
+			Shuffle: make([]RemoteTaskResult, R),
+			Reduce:  make([]RemoteTaskResult, R),
+		}
+		for m, res := range rawMap {
+			results.Map[m] = *res
+		}
+		for r, res := range rawShuf {
+			results.Shuffle[r] = *res
+		}
+		for i, res := range rawRed {
+			results.Reduce[i] = *res
+		}
+	}
+	// Broadcast results — or the terminal error — so the worker fleet's
+	// lockstep drivers can proceed (or abort) too.
+	if ferr := rjob.Finish(results, err); err == nil && ferr != nil {
+		err = ferr
+	}
+	if err != nil {
+		return po, err
+	}
+	return po, nil
+}
+
+// runRemoteWorker is the follower side: leases execute concurrently
+// through the transport's pump loops (which call RemoteRunner.RunTask
+// directly); here the driver just waits for the master's broadcast and
+// fills phaseOutputs from it, so the rest of Run — and the next job's
+// schedule generation — proceeds identically to the master's.
+func runRemoteWorker(cfg *Config, lj *live.Job, splits [][]KeyValue, rjob RemoteJob, runner *RemoteRunner) (*phaseOutputs, error) {
+	jr, err := rjob.Wait()
+	if err != nil {
+		return nil, err
+	}
+	M, R := cfg.NumMapTasks, cfg.NumReduceTasks
+	if len(jr.Map) != M || len(jr.Shuffle) != R || len(jr.Reduce) != R {
+		return nil, fmt.Errorf("mapreduce: %s: master broadcast %d/%d/%d task results, this process expects %d/%d/%d — fleet configs diverged",
+			cfg.Name, len(jr.Map), len(jr.Shuffle), len(jr.Reduce), M, R, R)
+	}
+	po := newPhaseOutputs(cfg)
+	po.mapRes = make([]mapTaskResult, M)
+	po.mapCosts = make([]costmodel.Units, M)
+	po.shufRes = make([]shuffleTaskResult, R)
+	po.reduceRes = make([]reduceTaskResult, R)
+	po.reduceCosts = make([]costmodel.Units, R)
+	for m := 0; m < M; m++ {
+		res := jr.Map[m]
+		po.mapRes[m] = mapTaskResult{counters: res.Counters, spans: res.Spans}
+		po.mapCosts[m] = res.Cost
+		runner.publishRemaining(live.PhaseMap, RemotePhaseMap, m, res.Cost, len(splits[m]))
+	}
+	for r := 0; r < R; r++ {
+		res := jr.Shuffle[r]
+		po.shufRes[r] = shuffleTaskResult{in: remoteInput{n: res.Len}}
+		runner.publishRemaining(live.PhaseShuffle, RemotePhaseShuffle, r, res.Cost, res.Len)
+	}
+	for i := 0; i < R; i++ {
+		res := jr.Reduce[i]
+		po.reduceRes[i] = reduceTaskResult{out: res.Out, counters: res.Counters, spans: res.Spans, qobs: res.Qobs}
+		po.reduceCosts[i] = res.Cost
+		runner.publishRemaining(live.PhaseReduce, RemotePhaseReduce, i, res.Cost, jr.Shuffle[i].Len)
+	}
+	return po, nil
+}

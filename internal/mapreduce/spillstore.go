@@ -480,9 +480,19 @@ func (s shuffleTaskResult) discard() {
 }
 
 // reduceInputsEqual streams both inputs and compares record by record.
+// Remote inputs hold no local records — two are equal when their
+// counts agree (the records themselves were proven equal worker-side,
+// where duplicate executions hit the same first-write-wins run file).
 func reduceInputsEqual(a, b reduceInput) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
+	}
+	if ra, ok := a.(remoteInput); ok {
+		rb, ok := b.(remoteInput)
+		return ok && ra == rb
+	}
+	if _, ok := b.(remoteInput); ok {
+		return false
 	}
 	if a.Len() != b.Len() {
 		return false

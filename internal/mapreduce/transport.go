@@ -1,0 +1,94 @@
+package mapreduce
+
+// The task transport layer: how one job's schedulable units of work
+// (the pipelined engine's DAG nodes) reach actual execution. The
+// default LocalTransport runs every node body in-process on the shared
+// channel pool; a RemoteTransport (internal/dist) instead leases the
+// deterministic task bodies — map/shuffle/reduce, identified by
+// (job seq, phase, task index) — to worker processes, while graph
+// scheduling, the attempt/retry/speculation runtime, and all
+// observability stay in this package and are shared verbatim between
+// the two. That sharing is the determinism argument: both transports
+// drive the same graph with the same attempt machinery and fill the
+// same phaseOutputs, so Result, trace, and quality bytes cannot
+// depend on which transport executed the work.
+
+// TaskTransport selects how the engine executes a job's tasks. The
+// zero/nil value means LocalTransport. Like Workers, it is purely a
+// host-machine knob: every transport produces byte-identical Results,
+// traces, counters, and quality exports.
+type TaskTransport interface {
+	// TransportName labels the transport in errors and diagnostics.
+	TransportName() string
+}
+
+// LocalTransport is the default in-process transport: the job's task
+// graph executes on one shared channel-based worker pool inside this
+// process. It is the ExecPipelined fast path and the determinism
+// reference every other transport is byte-compared against.
+type LocalTransport struct{}
+
+// TransportName implements TaskTransport.
+func (LocalTransport) TransportName() string { return "local" }
+
+// execGraph runs a built task graph on the in-process channel pool —
+// the channel-pool scheduler that used to live on taskGraph directly,
+// ported here so every transport goes through the same seam. The
+// remote master path reuses it too: its dispatch closures (RPC waits)
+// run as graph nodes on this same pool, which is what keeps
+// scheduling, stop-dispatch, and deterministic error joining identical
+// across transports.
+func (LocalTransport) execGraph(g *taskGraph, workers int) error {
+	return g.execute(workers)
+}
+
+// transportOf resolves the configured transport, defaulting to local.
+func transportOf(cfg *Config) TaskTransport {
+	if cfg.Transport != nil {
+		return cfg.Transport
+	}
+	return LocalTransport{}
+}
+
+// RemoteTransport is a TaskTransport that executes task bodies in
+// other OS processes (see internal/dist). Every process in the fleet —
+// the master and each worker — runs the *same* deterministic driver
+// (the full job chain with identical resolution-affecting
+// configuration); what crosses the wire is task identity and result
+// metadata, never closures or input payloads. The engine calls
+// BeginJob once per job, in job-chain order, on every process:
+//
+//   - on the master, the returned RemoteJob dispatches tasks
+//     (RunTask leases them to workers) and Finish broadcasts the
+//     aggregated job results;
+//   - on a worker, the transport registers the runner to execute
+//     incoming leases, and Wait blocks until the master's broadcast,
+//     from which the worker fills the same phaseOutputs the master
+//     computed — keeping every process's driver loop in lockstep.
+type RemoteTransport interface {
+	TaskTransport
+	// BeginJob starts the next job in the chain. spec describes the
+	// job as this process derived it (used to cross-check lockstep);
+	// runner executes leased task bodies worker-side.
+	BeginJob(spec RemoteJobSpec, runner *RemoteRunner) (RemoteJob, error)
+}
+
+// RemoteJob is one job's handle on a remote transport.
+type RemoteJob interface {
+	// Master reports whether this process drives the job (dispatching
+	// tasks and broadcasting results) or follows it (executing leases,
+	// then waiting for the broadcast).
+	Master() bool
+	// RunTask executes one task on some worker and blocks until it
+	// completes (master only). A lease lost to a dead worker surfaces
+	// ErrTaskLost, which the engine retries within the RetryPolicy
+	// budget without touching the simulated attempt timeline.
+	RunTask(phase string, task, inputLen int) (*RemoteTaskResult, error)
+	// Finish ends the job (master only): broadcasts the aggregated
+	// results — or the terminal error — to the worker fleet and
+	// releases the job's shared run files.
+	Finish(results *RemoteJobResults, runErr error) error
+	// Wait blocks until the master broadcasts the job's results
+	// (worker only).
+	Wait() (*RemoteJobResults, error)
+}

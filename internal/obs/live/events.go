@@ -23,6 +23,13 @@ const (
 	EventTaskSpeculate = "task.speculate"
 	EventShuffleMerged = "shuffle.merge"
 	EventShuffleSpill  = "shuffle.spill"
+	// Distributed-runtime events, emitted by the master's lease ledger:
+	// a worker process registering, a task lease being granted, and a
+	// lease expiring after its worker went silent. All host-side — they
+	// never appear in single-process runs and carry no simulated state.
+	EventWorkerRegister = "worker.register"
+	EventLease          = "lease"
+	EventLeaseExpire    = "lease.expire"
 )
 
 // EventLog is a structured JSON event stream over log/slog: one JSON

@@ -290,6 +290,36 @@ const (
 	ExecBarrier   = mapreduce.ExecBarrier
 )
 
+// ---- Distributed execution ----
+
+// TaskTransport selects how each job's task executions are placed
+// (Options.Transport): nil / the in-process default runs everything in
+// this process; a dist.Master leases every task to registered worker
+// processes over net/rpc; a dist.Worker executes leases and follows
+// the master's end-of-job broadcasts. A host knob like
+// Options.Workers: every transport produces byte-identical results,
+// traces, and quality telemetry — provided every process in the fleet
+// runs with identical resolution-affecting options.
+type TaskTransport = mapreduce.TaskTransport
+
+// ErrTaskLost is the sentinel a transport reports when a leased task's
+// worker went silent past the lease TTL. The engine re-dispatches lost
+// tasks below the simulated attempt runtime, so lease churn never
+// shows up in traces or results.
+var ErrTaskLost = mapreduce.ErrTaskLost
+
+// Distributed-runtime telemetry keys, maintained by the master's lease
+// ledger and reported only through Options.Metrics on the master
+// process: workers registered, leases granted and expired, and raw RPC
+// bytes moved in each direction.
+const (
+	CounterDistWorkersRegistered = mapreduce.CounterDistWorkersRegistered
+	CounterDistLeasesGranted     = mapreduce.CounterDistLeasesGranted
+	CounterDistLeasesExpired     = mapreduce.CounterDistLeasesExpired
+	CounterDistRPCBytesIn        = mapreduce.CounterDistRPCBytesIn
+	CounterDistRPCBytesOut       = mapreduce.CounterDistRPCBytesOut
+)
+
 // ---- Observability ----
 
 // Tracer collects timeline spans from a pipeline run. Attach one via
@@ -396,6 +426,11 @@ const (
 	EventTaskSpeculate = live.EventTaskSpeculate
 	EventShuffleMerged = live.EventShuffleMerged
 	EventShuffleSpill  = live.EventShuffleSpill
+	// Distributed-runtime events, emitted by a dist.Master's lease
+	// ledger into the same log.
+	EventWorkerRegister = live.EventWorkerRegister
+	EventLease          = live.EventLease
+	EventLeaseExpire    = live.EventLeaseExpire
 )
 
 // EventKV builds one structured attribute for LiveEventLog.Emit.

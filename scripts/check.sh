@@ -109,4 +109,43 @@ grep -q '^mr_membudget_forced_spills [1-9]' "$smoke/budget.prom" || {
     echo "64K budget forced no spills — the smoke test is not exercising out-of-core paths"
     exit 1; }
 
+# Distributed-transport smoke: the same workload run single-process and
+# across real OS processes (master + 2 forked workers) must produce
+# byte-identical pairs, trace, and quality telemetry — first clean,
+# then with injected task faults AND a worker process that kills itself
+# after its third lease, so the lease-expiry/re-lease path is exercised
+# end to end. The event logs gate the dist event grammar through
+# tracecheck and must show actual lease traffic.
+echo "== distributed transport smoke =="
+go run ./cmd/proger -generate publications -n 1000 -seed 5 -machines 2 \
+    -out "$smoke/dloc.tsv" -trace "$smoke/dloc-trace.json" \
+    -quality-out "$smoke/dloc-quality.json" 2>/dev/null
+go run ./cmd/proger -generate publications -n 1000 -seed 5 -machines 2 \
+    -dist 2 -events "$smoke/dist-events.jsonl" \
+    -out "$smoke/ddist.tsv" -trace "$smoke/ddist-trace.json" \
+    -quality-out "$smoke/ddist-quality.json" 2>/dev/null
+cmp "$smoke/dloc.tsv" "$smoke/ddist.tsv" || {
+    echo "distributed run changed the duplicate pairs"; exit 1; }
+cmp "$smoke/dloc-trace.json" "$smoke/ddist-trace.json" || {
+    echo "distributed run changed the trace"; exit 1; }
+cmp "$smoke/dloc-quality.json" "$smoke/ddist-quality.json" || {
+    echo "distributed run changed the quality telemetry"; exit 1; }
+go run ./scripts/tracecheck -events "$smoke/dist-events.jsonl"
+grep -q '"event":"lease"' "$smoke/dist-events.jsonl" || {
+    echo "distributed run granted no leases — the smoke test is not distributing work"; exit 1; }
+go run ./cmd/proger -generate publications -n 1000 -seed 5 -machines 2 \
+    -fault-rate 0.2 -fault-seed 7 \
+    -out "$smoke/floc.tsv" -trace "$smoke/floc-trace.json" 2>/dev/null
+go run ./cmd/proger -generate publications -n 1000 -seed 5 -machines 2 \
+    -fault-rate 0.2 -fault-seed 7 \
+    -dist 2 -worker-die-after 3 -lease-ttl 400ms -events "$smoke/fdist-events.jsonl" \
+    -out "$smoke/fdist.tsv" -trace "$smoke/fdist-trace.json" 2>/dev/null
+cmp "$smoke/floc.tsv" "$smoke/fdist.tsv" || {
+    echo "worker loss changed the duplicate pairs"; exit 1; }
+cmp "$smoke/floc-trace.json" "$smoke/fdist-trace.json" || {
+    echo "worker loss changed the trace"; exit 1; }
+go run ./scripts/tracecheck -events "$smoke/fdist-events.jsonl"
+grep -q '"event":"lease.expire"' "$smoke/fdist-events.jsonl" || {
+    echo "killed worker expired no leases — the smoke test is not exercising worker loss"; exit 1; }
+
 echo "check: OK"

@@ -10,8 +10,10 @@
 // strictly-increasing "seq", segregated wall-clock fields only
 // (no slog "time"/"level" keys), run.start first / run.end last, and
 // per-(job, phase) task accounting (done + failed never exceeds
-// starts). Used by `make trace-demo` and scripts/check.sh as a
-// CI-grade sanity check.
+// starts). Distributed-transport events (worker.register, lease,
+// lease.expire) must carry their identity keys, leases imply a
+// registered worker, and expiries never exceed grants. Used by
+// `make trace-demo` and scripts/check.sh as a CI-grade sanity check.
 //
 // Usage: tracecheck [-quality QUALITY_FILE] [-events EVENTS_FILE] [TRACE_FILE [required-cat ...]]
 package main
@@ -129,6 +131,16 @@ func checkEvents(path string) error {
 			starts[phaseKey{job, phase}]++
 		case "task.done", "task.failed":
 			dones[phaseKey{job, phase}]++
+		case "worker.register":
+			if _, ok := ev["worker"].(float64); !ok {
+				return fmt.Errorf("%s: line %d (%s): missing worker id", path, lines, name)
+			}
+		case "lease", "lease.expire":
+			for _, key := range []string{"worker", "lease", "task"} {
+				if _, ok := ev[key].(float64); !ok {
+					return fmt.Errorf("%s: line %d (%s): missing %q", path, lines, name, key)
+				}
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -150,6 +162,14 @@ func checkEvents(path string) error {
 		if s := starts[k]; n > s {
 			return fmt.Errorf("%s: %s/%s: %d task completions exceed %d starts", path, k.job, k.phase, n, s)
 		}
+	}
+	// Distributed-transport events: a lease cannot exist without a
+	// registered worker, and expiries are a subset of grants.
+	if names["lease"] > 0 && names["worker.register"] == 0 {
+		return fmt.Errorf("%s: %d leases but no worker.register", path, names["lease"])
+	}
+	if names["lease.expire"] > names["lease"] {
+		return fmt.Errorf("%s: %d lease expiries exceed %d grants", path, names["lease.expire"], names["lease"])
 	}
 	fmt.Printf("tracecheck: %s ok — %d events (%d task starts), %d jobs, kinds %v\n",
 		path, lines, names["task.start"], names["job.start"], catNames(names))
