@@ -130,7 +130,9 @@ func main() {
 	if *tracePath != "" {
 		tracer = proger.NewTracer()
 	}
-	if *metricsPath != "" || *showReport || serveAddr != "" {
+	if *metricsPath != "" || *showReport || serveAddr != "" || *workerMode {
+		// Workers always keep a registry: its counters feed the telemetry
+		// snapshot each heartbeat ships to the master's fleet table.
 		metrics = proger.NewMetricsRegistry()
 	}
 	if *qualityOut != "" || *showReport || serveAddr != "" {
@@ -152,18 +154,32 @@ func main() {
 		}
 		elog = proger.NewLiveEventLog(w)
 	}
+	// A worker without its own -events file still emits: into a relay
+	// log whose lines ship to the master with each heartbeat and merge
+	// into the master's -events file under this worker's proc identity.
+	// (If the master keeps no event log, drained lines are discarded.)
+	var relay *proger.LiveEventLog
+	if *workerMode && elog == nil {
+		relay = proger.NewRelayEventLog(0)
+	}
 	var lvRun *proger.LiveRun
-	if serveAddr != "" || elog != nil || *showProgress || *showReport {
+	if serveAddr != "" || elog != nil || relay != nil || *showProgress || *showReport {
 		// -report also wants a live hub: the run summary's membudget
 		// pressure section reads the attached manager's snapshot.
-		lvRun = proger.NewLiveRun(elog)
+		runLog := elog
+		if relay != nil {
+			runLog = relay
+		}
+		lvRun = proger.NewLiveRun(runLog)
 	}
+	var statusSrv *proger.StatusServer
 	if serveAddr != "" {
 		srv, err := proger.ServeStatus(serveAddr, lvRun, metrics)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
+		statusSrv = srv
 		fmt.Fprintf(os.Stderr, "proger: status listening on http://%s/\n", srv.Addr())
 	}
 
@@ -210,8 +226,11 @@ func main() {
 	switch {
 	case *workerMode:
 		w, werr := dist.NewWorker(dist.WorkerOptions{
-			Connect: *connectAddr,
-			OnLease: dieAfter(*workerDie),
+			Connect:    *connectAddr,
+			OnLease:    dieAfter(*workerDie),
+			Relay:      relay,
+			Metrics:    metrics,
+			StatusAddr: statusSrv.Addr(),
 		})
 		if werr != nil {
 			log.Fatal(werr)
@@ -228,10 +247,13 @@ func main() {
 			log.Fatal(merr)
 		}
 		dmaster, transport = m, m
+		// The master's fleet table backs the status server's /fleet
+		// endpoint and the -report fleet summary.
+		lvRun.AttachFleet(m)
 		if *masterMode {
 			fmt.Fprintf(os.Stderr, "proger: master serving task leases on %s\n", m.Addr())
 		}
-		children = forkWorkers(*distN, m.Addr(), *workerDie)
+		children = forkWorkers(*distN, m.Addr(), *workerDie, serveAddr != "")
 	}
 
 	var (
@@ -335,7 +357,7 @@ func main() {
 	}
 	if *showReport {
 		printReport(res)
-		if err := report.WriteRunSummary(os.Stderr, tracer, metrics, qrec, lvRun.Budget()); err != nil {
+		if err := report.WriteRunSummary(os.Stderr, tracer, metrics, qrec, lvRun.Budget(), lvRun.Fleet()); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -717,8 +739,12 @@ var resolutionFlags = map[string]bool{
 // forkWorkers starts n copies of this binary in -worker mode against
 // addr, forwarding every explicitly-set resolution flag so the fleet's
 // drivers derive identical job configurations. dieAt > 0 arms the
-// first worker's -worker-die-after harness.
-func forkWorkers(n int, addr string, dieAt int) []*exec.Cmd {
+// first worker's -worker-die-after harness. withStatus gives each
+// child its own status server on a free port (the address lands in
+// the master's /fleet via registration). Each child's stderr is
+// prefixed "w<i>: " by fork ordinal — normally the master-assigned
+// worker ID too, though a registration race can order IDs differently.
+func forkWorkers(n int, addr string, dieAt int, withStatus bool) []*exec.Cmd {
 	if n <= 0 {
 		return nil
 	}
@@ -745,15 +771,35 @@ func forkWorkers(n int, addr string, dieAt int) []*exec.Cmd {
 		if i == 0 && dieAt > 0 {
 			args = append(args, fmt.Sprintf("-worker-die-after=%d", dieAt))
 		}
+		if withStatus {
+			args = append(args, "-status=127.0.0.1:0")
+		}
 		args = append(args, forwarded...)
 		c := exec.Command(exe, args...)
-		c.Stderr = os.Stderr
+		pr, pw, err := os.Pipe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.Stderr = pw
 		if err := c.Start(); err != nil {
 			log.Fatal(err)
 		}
+		pw.Close()
+		go prefixLines(pr, fmt.Sprintf("w%d: ", i+1))
 		children = append(children, c)
 	}
 	return children
+}
+
+// prefixLines copies r to stderr line by line with a prefix, so the
+// fleet's interleaved chatter stays attributable.
+func prefixLines(r io.ReadCloser, prefix string) {
+	defer r.Close()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fmt.Fprintf(os.Stderr, "%s%s\n", prefix, sc.Bytes())
+	}
 }
 
 func runMode(basic bool) string {

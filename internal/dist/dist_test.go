@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -12,29 +13,43 @@ import (
 	"proger"
 	"proger/internal/mapreduce"
 	"proger/internal/obs"
+	"proger/internal/obs/live"
 )
 
 // fleet spins up a master plus in-process workers, runs the full
 // pipeline through every process's driver (the lockstep contract), and
 // returns the master's artifacts.
 type fleet struct {
-	t       *testing.T
-	master  *Master
-	reg     *obs.Registry
-	workers []*Worker
-	wg      sync.WaitGroup
-	mu      sync.Mutex
-	werrs   []error
+	t          *testing.T
+	master     *Master
+	reg        *obs.Registry
+	masterLive *live.Run
+	workers    []*Worker
+	wg         sync.WaitGroup
+	mu         sync.Mutex
+	werrs      []error
 }
 
 func newFleet(t *testing.T, ttl time.Duration) *fleet {
+	return newFleetOpts(t, MasterOptions{LeaseTTL: ttl})
+}
+
+// newFleetOpts is newFleet with the full MasterOptions surface exposed
+// (the observability tests attach an event log). Listen and Metrics
+// default when unset.
+func newFleetOpts(t *testing.T, mo MasterOptions) *fleet {
 	t.Helper()
-	reg := obs.NewRegistry()
-	m, err := NewMaster(MasterOptions{Listen: "127.0.0.1:0", LeaseTTL: ttl, Metrics: reg})
+	if mo.Listen == "" {
+		mo.Listen = "127.0.0.1:0"
+	}
+	if mo.Metrics == nil {
+		mo.Metrics = obs.NewRegistry()
+	}
+	m, err := NewMaster(mo)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &fleet{t: t, master: m, reg: reg}
+	return &fleet{t: t, master: m, reg: mo.Metrics}
 }
 
 func baseOptions(faultRate float64) proger.Options {
@@ -77,6 +92,12 @@ func (f *fleet) addWorker(ds *proger.Dataset, faultRate float64, wopts WorkerOpt
 		opts := baseOptions(faultRate)
 		fillDataset(ds, &opts)
 		opts.Transport = w
+		if wopts.Relay != nil {
+			// A relay-equipped worker publishes its live introspection
+			// into the relay log, exactly as cmd/proger wires a forked
+			// worker process.
+			opts.Live = live.NewRun(wopts.Relay)
+		}
 		_, err := proger.Resolve(ds, opts)
 		if err != nil && !mayFail {
 			f.mu.Lock()
@@ -96,6 +117,7 @@ func (f *fleet) run(ds *proger.Dataset, faultRate float64) (*proger.Result, *pro
 	opts.Transport = f.master
 	opts.Trace = proger.NewTracer()
 	opts.Quality = proger.NewQualityRecorder()
+	opts.Live = f.masterLive
 	res, err := proger.Resolve(ds, opts)
 	f.shutdown()
 	if err != nil {
@@ -327,4 +349,207 @@ func TestWorkerKilledMidRun(t *testing.T) {
 	if got := f.reg.Counter(mapreduce.CounterDistLeasesExpired).Value(); got < 1 {
 		t.Errorf("leases expired = %d, want >= 1", got)
 	}
+}
+
+// checkMergedLog validates a merged multi-process event log's identity
+// invariant: within every process ("" = host, "w<id>" = forwarded
+// worker lines), seq counts 1, 2, 3, ... with no gaps regardless of
+// how batches interleaved. Returns per-proc line counts.
+func checkMergedLog(t *testing.T, data []byte) map[string]int {
+	t.Helper()
+	seqs := map[string]int{}
+	counts := map[string]int{}
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev struct {
+			Event string `json:"event"`
+			Proc  string `json:"proc"`
+			Seq   int    `json:"seq"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("merged log line %d: %v: %s", i+1, err, line)
+		}
+		if ev.Event == "" {
+			t.Fatalf("merged log line %d: missing event name: %s", i+1, line)
+		}
+		if ev.Seq != seqs[ev.Proc]+1 {
+			t.Fatalf("merged log line %d (%s): proc %q seq %d, want %d",
+				i+1, ev.Event, ev.Proc, ev.Seq, seqs[ev.Proc]+1)
+		}
+		seqs[ev.Proc] = ev.Seq
+		counts[ev.Proc]++
+	}
+	return counts
+}
+
+// TestFleetObservability: the full observability surface on — master
+// event log, worker relay logs, per-process metrics registries — must
+// not perturb a single byte of the deterministic artifacts, the
+// master's fleet table must reconcile with its own lease counters and
+// the workers' self-reports, and the merged event log must hold the
+// per-process gap-free seq invariant.
+func TestFleetObservability(t *testing.T) {
+	ds, _ := proger.GeneratePublications(600, 1)
+	lres, ltr, lq := localRun(t, ds, 0)
+
+	var logBuf bytes.Buffer
+	elog := live.NewEventLog(&logBuf)
+	f := newFleetOpts(t, MasterOptions{Log: elog})
+	f.masterLive = live.NewRun(elog)
+	f.masterLive.AttachFleet(f.master)
+
+	wregs := []*obs.Registry{obs.NewRegistry(), obs.NewRegistry()}
+	for _, wreg := range wregs {
+		f.addWorker(ds, 0, WorkerOptions{
+			Relay:   live.NewRelayEventLog(0),
+			Metrics: wreg,
+		}, false)
+	}
+	res, tr, q := f.run(ds, 0)
+
+	assertIdentical(t, "result", resultBytes(t, lres), resultBytes(t, res))
+	assertIdentical(t, "trace", traceBytes(t, ltr), traceBytes(t, tr))
+	assertIdentical(t, "quality", qualityBytes(t, lq), qualityBytes(t, q))
+
+	// Fleet table: both workers present with their goodbye-final
+	// telemetry, attribution reconciling with the global lease counters
+	// and the workers' own self-reported completions.
+	fs := f.master.FleetSnapshot()
+	if len(fs.Workers) != 2 || fs.Alive != 0 || fs.Dead != 2 {
+		t.Fatalf("fleet after shutdown = %d workers (%d alive, %d dead), want 2 (0 alive, 2 dead)",
+			len(fs.Workers), fs.Alive, fs.Dead)
+	}
+	var granted, expired, done int64
+	for _, fw := range fs.Workers {
+		granted += fw.LeasesGranted
+		expired += fw.LeasesExpired
+		done += fw.MapDone + fw.ShuffleDone + fw.ReduceDone
+		if fw.Telemetry == nil {
+			t.Fatalf("worker %d: no telemetry snapshot after orderly goodbye", fw.ID)
+		}
+		if fw.Telemetry.MapTasks != fw.MapDone || fw.Telemetry.ShuffleTasks != fw.ShuffleDone ||
+			fw.Telemetry.ReduceTasks != fw.ReduceDone {
+			t.Errorf("worker %d: self-reported %d/%d/%d tasks, master attributed %d/%d/%d",
+				fw.ID, fw.Telemetry.MapTasks, fw.Telemetry.ShuffleTasks, fw.Telemetry.ReduceTasks,
+				fw.MapDone, fw.ShuffleDone, fw.ReduceDone)
+		}
+		if fw.Telemetry.RPCBytesIn == 0 || fw.Telemetry.RPCBytesOut == 0 {
+			t.Errorf("worker %d: zero RPC traffic in telemetry", fw.ID)
+		}
+		if fw.Telemetry.EventsDropped != 0 {
+			t.Errorf("worker %d: dropped %d relay events", fw.ID, fw.Telemetry.EventsDropped)
+		}
+	}
+	if want := f.reg.Counter(mapreduce.CounterDistLeasesGranted).Value(); granted != want {
+		t.Errorf("fleet rows account %d leases granted, counter says %d", granted, want)
+	}
+	if expired != 0 {
+		t.Errorf("fleet rows account %d expiries in a clean run", expired)
+	}
+	if done == 0 {
+		t.Error("fleet rows attribute no task completions")
+	}
+	if calls := f.reg.Counter(mapreduce.CounterDistRPCCalls).Value(); calls == 0 {
+		t.Error("master served no instrumented RPCs")
+	}
+
+	// Merged event log: host lines plus both workers' forwarded lines,
+	// each process's seq gap-free.
+	counts := checkMergedLog(t, logBuf.Bytes())
+	if counts[""] == 0 {
+		t.Error("merged log has no host events")
+	}
+	for _, proc := range []string{"w1", "w2"} {
+		if counts[proc] == 0 {
+			t.Errorf("merged log has no forwarded events from %s", proc)
+		}
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte(`"event":"task.done"`)) {
+		t.Error("merged log carries no forwarded task.done events")
+	}
+}
+
+// TestFleetDeadWorkerPostMortem: a worker killed mid-run must keep its
+// fleet row — marked dead, last telemetry snapshot retained — and the
+// per-worker lease ledger must reconcile (expiries never exceed
+// grants, rows sum to the global counters). Script-driven: the kill
+// waits until the master provably holds the doomed worker's telemetry,
+// so the post-mortem snapshot assertion cannot race the first
+// heartbeat.
+func TestFleetDeadWorkerPostMortem(t *testing.T) {
+	ds, _ := proger.GeneratePublications(400, 1)
+	lres, _, _ := localRun(t, ds, 0)
+
+	var logBuf bytes.Buffer
+	elog := live.NewEventLog(&logBuf)
+	f := newFleetOpts(t, MasterOptions{LeaseTTL: 200 * time.Millisecond, Log: elog})
+
+	kill := make(chan struct{})
+	var once sync.Once
+	doomed := f.addWorker(ds, 0, WorkerOptions{
+		Parallel: 1,
+		Relay:    live.NewRelayEventLog(0),
+		Metrics:  obs.NewRegistry(),
+		OnLease: func(n int) {
+			if n >= 3 {
+				once.Do(func() { close(kill) })
+				<-make(chan struct{}) // hold the lease forever: this pump is dead
+			}
+		},
+	}, true)
+	go func() {
+		<-kill
+		// Heartbeats keep flowing while the pump hangs; wait for one to
+		// land telemetry before cutting the connection.
+		for {
+			fs := f.master.FleetSnapshot()
+			if len(fs.Workers) > 0 && fs.Workers[0].Telemetry != nil {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		doomed.Kill()
+	}()
+	f.addWorker(ds, 0, WorkerOptions{
+		Relay:   live.NewRelayEventLog(0),
+		Metrics: obs.NewRegistry(),
+	}, false)
+
+	res, _, _ := f.run(ds, 0)
+	assertIdentical(t, "result", resultBytes(t, lres), resultBytes(t, res))
+
+	fs := f.master.FleetSnapshot()
+	if len(fs.Workers) != 2 {
+		t.Fatalf("fleet rows = %d, want 2 (dead workers must stay in the table)", len(fs.Workers))
+	}
+	dead := fs.Workers[0]
+	if dead.ID != 1 || dead.Alive {
+		t.Errorf("worker 1 = id %d alive %v, want the killed worker, dead", dead.ID, dead.Alive)
+	}
+	if dead.Telemetry == nil {
+		t.Error("killed worker lost its last telemetry snapshot")
+	}
+	if dead.LeasesExpired < 1 {
+		t.Errorf("killed worker expired %d leases, want >= 1", dead.LeasesExpired)
+	}
+	var granted, expired int64
+	for _, fw := range fs.Workers {
+		if fw.LeasesExpired > fw.LeasesGranted {
+			t.Errorf("worker %d: %d expiries exceed %d grants", fw.ID, fw.LeasesExpired, fw.LeasesGranted)
+		}
+		granted += fw.LeasesGranted
+		expired += fw.LeasesExpired
+	}
+	if want := f.reg.Counter(mapreduce.CounterDistLeasesGranted).Value(); granted != want {
+		t.Errorf("fleet rows account %d leases granted, counter says %d", granted, want)
+	}
+	if want := f.reg.Counter(mapreduce.CounterDistLeasesExpired).Value(); expired != want {
+		t.Errorf("fleet rows account %d expiries, counter says %d", expired, want)
+	}
+
+	// The merged log stays gap-free per process even though the dead
+	// worker's tail was never shipped.
+	checkMergedLog(t, logBuf.Bytes())
 }

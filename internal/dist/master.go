@@ -51,7 +51,8 @@ type Master struct {
 	ttl     time.Duration
 	log     *live.EventLog
 
-	cWorkers, cLeases, cExpired, cIn, cOut *obs.Counter
+	cWorkers, cLeases, cExpired, cIn, cOut, cRPC *obs.Counter
+	hRPC                                         *obs.Histogram
 
 	tasks     chan *pendingTask
 	closed    chan struct{}
@@ -70,9 +71,26 @@ type Master struct {
 	closing    bool
 }
 
+// workerState is one worker's row in the fleet ledger. The lease
+// fields (granted/expired, per-phase completions, busyCost) are
+// attributed by the master itself — authoritative even after the
+// worker dies — while tel is whatever the worker last self-reported.
+// Workers are never deleted from the map: a dead worker's row, last
+// snapshot included, is the post-mortem /fleet exists to serve.
 type workerState struct {
-	lastBeat time.Time
-	dead     bool
+	lastBeat   time.Time
+	dead       bool
+	statusAddr string
+	pid        int
+	granted    int64
+	expired    int64
+	mapDone    int64
+	shufDone   int64
+	redDone    int64
+	busyCost   float64
+	tel        live.WorkerTelemetry
+	telAt      time.Time
+	hasTel     bool
 }
 
 type leaseEntry struct {
@@ -102,6 +120,10 @@ type taskOutcome struct {
 	res *mapreduce.RemoteTaskResult
 	err error
 }
+
+// rpcMillisBuckets bound the RPC latency histograms. Leases long-poll
+// for 250ms, so the tail buckets catch waits, not slow handlers.
+var rpcMillisBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 
 // listen resolves the Listen notation shared by master and worker:
 // "unix:<path>" or a TCP host:port.
@@ -150,6 +172,8 @@ func NewMaster(opts MasterOptions) (*Master, error) {
 		cExpired: opts.Metrics.Counter(mapreduce.CounterDistLeasesExpired),
 		cIn:      opts.Metrics.Counter(mapreduce.CounterDistRPCBytesIn),
 		cOut:     opts.Metrics.Counter(mapreduce.CounterDistRPCBytesOut),
+		cRPC:     opts.Metrics.Counter(mapreduce.CounterDistRPCCalls),
+		hRPC:     opts.Metrics.Histogram(mapreduce.HistDistRPCServerMillis, rpcMillisBuckets...),
 		tasks:    make(chan *pendingTask, 4096),
 		closed:   make(chan struct{}),
 		workers:  map[int]*workerState{},
@@ -236,7 +260,8 @@ func (m *Master) expiryScan() {
 }
 
 // takeLeasesLocked removes every lease held by the given worker and
-// returns the entries for delivery. Caller holds m.mu.
+// returns the entries for delivery, charging the worker's expiry
+// tally. Caller holds m.mu.
 func (m *Master) takeLeasesLocked(worker int) ([]*leaseEntry, []uint64) {
 	var expired []*leaseEntry
 	var ids []uint64
@@ -246,6 +271,9 @@ func (m *Master) takeLeasesLocked(worker int) ([]*leaseEntry, []uint64) {
 			expired = append(expired, le)
 			ids = append(ids, lid)
 		}
+	}
+	if ws := m.workers[worker]; ws != nil {
+		ws.expired += int64(len(expired))
 	}
 	return expired, ids
 }
@@ -371,8 +399,35 @@ type masterRPC struct {
 	m *Master
 }
 
+// timed feeds the server-side RPC instruments; every handler defers
+// it with its entry time.
+func (r *masterRPC) timed(t0 time.Time) {
+	r.m.cRPC.Inc()
+	r.m.hRPC.Observe(float64(time.Since(t0).Milliseconds()))
+}
+
+// recordTelemetryLocked stores a worker's self-reported snapshot.
+// Caller holds m.mu. Dead workers' snapshots are recorded too — a
+// straggling beat from an expired worker still improves its
+// post-mortem row.
+func (m *Master) recordTelemetryLocked(ws *workerState, tel live.WorkerTelemetry) {
+	ws.tel = tel
+	ws.telAt = time.Now()
+	ws.hasTel = true
+}
+
+// forward merges a worker's relayed event lines into the master's
+// log under its process identity.
+func (m *Master) forward(worker int, events []string) {
+	if len(events) == 0 {
+		return
+	}
+	m.log.EmitForwarded(fmt.Sprintf("w%d", worker), events)
+}
+
 // Register adds a worker process to the fleet.
-func (r *masterRPC) Register(_ *RegisterArgs, reply *RegisterReply) error {
+func (r *masterRPC) Register(args *RegisterArgs, reply *RegisterReply) error {
+	defer r.timed(time.Now())
 	m := r.m
 	m.mu.Lock()
 	if m.closing {
@@ -381,42 +436,64 @@ func (r *masterRPC) Register(_ *RegisterArgs, reply *RegisterReply) error {
 	}
 	m.nextWorker++
 	id := m.nextWorker
-	m.workers[id] = &workerState{lastBeat: time.Now()}
+	m.workers[id] = &workerState{lastBeat: time.Now(),
+		statusAddr: args.StatusAddr, pid: args.Pid}
 	m.mu.Unlock()
 	m.cWorkers.Inc()
 	m.log.Emit(live.EventWorkerRegister, live.KV("worker", id))
 	reply.WorkerID = id
 	reply.TTLMillis = m.ttl.Milliseconds()
 	reply.DataDir = m.dataDir
+	reply.WantEvents = m.log != nil
 	return nil
 }
 
-// Heartbeat refreshes a worker's liveness.
+// Heartbeat refreshes a worker's liveness and records the telemetry
+// snapshot and relayed events it carries. A worker already declared
+// dead still gets its observability payload recorded — the error just
+// tells it to stop working.
 func (r *masterRPC) Heartbeat(args *HeartbeatArgs, _ *HeartbeatReply) error {
+	defer r.timed(time.Now())
 	m := r.m
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	ws := m.workers[args.WorkerID]
-	if ws == nil || ws.dead {
+	if ws == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("dist: unknown worker %d", args.WorkerID)
+	}
+	m.recordTelemetryLocked(ws, args.Telemetry)
+	dead := ws.dead
+	if !dead {
+		ws.lastBeat = time.Now()
+	}
+	m.mu.Unlock()
+	m.forward(args.WorkerID, args.Events)
+	if dead {
 		return fmt.Errorf("dist: unknown or expired worker %d", args.WorkerID)
 	}
-	ws.lastBeat = time.Now()
 	return nil
 }
 
 // Goodbye marks an orderly departure: the worker no longer counts
 // toward the shutdown drain, and any leases it somehow still holds
-// expire immediately rather than waiting out the TTL.
+// expire immediately rather than waiting out the TTL. The final
+// telemetry snapshot and event batch it carries complete the
+// worker's fleet row.
 func (r *masterRPC) Goodbye(args *GoodbyeArgs, _ *GoodbyeReply) error {
+	defer r.timed(time.Now())
 	m := r.m
 	m.mu.Lock()
 	var expired []*leaseEntry
 	var ids []uint64
-	if ws := m.workers[args.WorkerID]; ws != nil && !ws.dead {
-		ws.dead = true
-		expired, ids = m.takeLeasesLocked(args.WorkerID)
+	if ws := m.workers[args.WorkerID]; ws != nil {
+		m.recordTelemetryLocked(ws, args.Telemetry)
+		if !ws.dead {
+			ws.dead = true
+			expired, ids = m.takeLeasesLocked(args.WorkerID)
+		}
 	}
 	m.mu.Unlock()
+	m.forward(args.WorkerID, args.Events)
 	m.deliverExpired(expired, ids)
 	return nil
 }
@@ -424,6 +501,7 @@ func (r *masterRPC) Goodbye(args *GoodbyeArgs, _ *GoodbyeReply) error {
 // Lease long-polls for the next task. A worker declared dead gets an
 // error and must stop (its completions would be discarded anyway).
 func (r *masterRPC) Lease(args *LeaseArgs, reply *LeaseReply) error {
+	defer r.timed(time.Now())
 	m := r.m
 	poll := time.NewTimer(250 * time.Millisecond)
 	defer poll.Stop()
@@ -437,6 +515,7 @@ func (r *masterRPC) Lease(args *LeaseArgs, reply *LeaseReply) error {
 			return fmt.Errorf("dist: unknown or expired worker %d", args.WorkerID)
 		}
 		ws.lastBeat = time.Now()
+		ws.granted++
 		m.nextLease++
 		id := m.nextLease
 		m.leases[id] = &leaseEntry{task: t, worker: args.WorkerID}
@@ -470,7 +549,11 @@ func (m *Master) requeue(t *pendingTask) {
 
 // Complete reports a leased execution's outcome. First completion
 // wins: an expired (re-leased) lease's late completion is discarded.
+// An accepted completion is attributed to the lease's worker — in the
+// fleet ledger, and on the result itself (Result.Worker), so every
+// process's live task table can show who ran what.
 func (r *masterRPC) Complete(args *CompleteArgs, _ *CompleteReply) error {
+	defer r.timed(time.Now())
 	m := r.m
 	m.mu.Lock()
 	le, ok := m.leases[args.LeaseID]
@@ -479,6 +562,20 @@ func (r *masterRPC) Complete(args *CompleteArgs, _ *CompleteReply) error {
 	}
 	if ws := m.workers[args.WorkerID]; ws != nil && !ws.dead {
 		ws.lastBeat = time.Now()
+	}
+	if ok && args.Err == "" && args.Result != nil {
+		args.Result.Worker = le.worker
+		if ws := m.workers[le.worker]; ws != nil {
+			switch le.task.phase {
+			case mapreduce.RemotePhaseMap:
+				ws.mapDone++
+			case mapreduce.RemotePhaseShuffle:
+				ws.shufDone++
+			case mapreduce.RemotePhaseReduce:
+				ws.redDone++
+			}
+			ws.busyCost += float64(args.Result.Cost)
+		}
 	}
 	m.mu.Unlock()
 	if !ok {
@@ -498,6 +595,7 @@ func (r *masterRPC) Complete(args *CompleteArgs, _ *CompleteReply) error {
 // JobInfo blocks until the master's driver begins job Seq, then
 // returns its spec.
 func (r *masterRPC) JobInfo(args *JobInfoArgs, reply *JobInfoReply) error {
+	defer r.timed(time.Now())
 	m := r.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -515,6 +613,7 @@ func (r *masterRPC) JobInfo(args *JobInfoArgs, reply *JobInfoReply) error {
 // WaitJob blocks until job Seq finishes, then returns the master's
 // end-of-job broadcast (or the job's terminal error).
 func (r *masterRPC) WaitJob(args *WaitJobArgs, reply *WaitJobReply) error {
+	defer r.timed(time.Now())
 	m := r.m
 	m.mu.Lock()
 	m.waiters++
@@ -533,6 +632,71 @@ func (r *masterRPC) WaitJob(args *WaitJobArgs, reply *WaitJobReply) error {
 	}
 	reply.Results = *js.results
 	return nil
+}
+
+// FleetSnapshot assembles the master's fleet table: every worker
+// ever registered (dead ones included, with their last telemetry),
+// the master's own lease attribution, and a skew-vs-mean signal over
+// busy cost. Implements live.FleetProvider for the /fleet endpoint
+// and the run-summary fleet section.
+func (m *Master) FleetSnapshot() live.FleetSnapshot {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	held := map[int]int{}
+	for _, le := range m.leases {
+		held[le.worker]++
+	}
+	var costSum float64
+	var costN int
+	for _, ws := range m.workers {
+		if ws.granted > 0 {
+			costSum += ws.busyCost
+			costN++
+		}
+	}
+	mean := 0.0
+	if costN > 0 {
+		mean = costSum / float64(costN)
+	}
+
+	var fs live.FleetSnapshot
+	for id := 1; id <= m.nextWorker; id++ {
+		ws := m.workers[id]
+		if ws == nil {
+			continue
+		}
+		fw := live.FleetWorker{
+			ID:                 id,
+			Pid:                ws.pid,
+			StatusAddr:         ws.statusAddr,
+			Alive:              !ws.dead,
+			HeartbeatAgeMillis: now.Sub(ws.lastBeat).Milliseconds(),
+			LeasesHeld:         held[id],
+			LeasesGranted:      ws.granted,
+			LeasesExpired:      ws.expired,
+			MapDone:            ws.mapDone,
+			ShuffleDone:        ws.shufDone,
+			ReduceDone:         ws.redDone,
+			BusyCostUnits:      ws.busyCost,
+		}
+		if mean > 0 {
+			fw.SkewVsMean = ws.busyCost / mean
+		}
+		if ws.hasTel {
+			tel := ws.tel
+			fw.Telemetry = &tel
+			fw.TelemetryAgeMillis = now.Sub(ws.telAt).Milliseconds()
+		}
+		if fw.Alive {
+			fs.Alive++
+		} else {
+			fs.Dead++
+		}
+		fs.Workers = append(fs.Workers, fw)
+	}
+	return fs
 }
 
 // countingConn feeds the RPC byte counters from the raw stream.

@@ -20,6 +20,7 @@ import (
 	"encoding/gob"
 
 	"proger/internal/mapreduce"
+	"proger/internal/obs/live"
 )
 
 // rpcService is the name the master's method set registers under.
@@ -49,20 +50,35 @@ type TaskLease struct {
 }
 
 // RegisterArgs/RegisterReply: a worker process joins the fleet. The
-// reply carries its assigned identity, the heartbeat/lease TTL in
-// milliseconds, and the shared run-file directory.
-type RegisterArgs struct{}
-
-// RegisterReply is Register's response.
-type RegisterReply struct {
-	WorkerID  int
-	TTLMillis int64
-	DataDir   string
+// worker self-describes for the fleet table: its OS pid and, when it
+// runs its own status server, that server's listen address (both
+// observability-only — the master never dials StatusAddr itself, it
+// just republishes it on /fleet).
+type RegisterArgs struct {
+	StatusAddr string
+	Pid        int
 }
 
-// HeartbeatArgs keeps a worker's lease alive.
+// RegisterReply is Register's response: the worker's assigned
+// identity, the heartbeat/lease TTL in milliseconds, and the shared
+// run-file directory. WantEvents tells the worker whether the master
+// keeps an event log — when false the worker discards its relay
+// buffer locally instead of shipping lines nobody will write.
+type RegisterReply struct {
+	WorkerID   int
+	TTLMillis  int64
+	DataDir    string
+	WantEvents bool
+}
+
+// HeartbeatArgs keeps a worker's lease alive. Each beat piggybacks
+// the worker's current telemetry snapshot and, when the master wants
+// them, the relay event lines buffered since the last beat. Both are
+// observability payloads: the lease ledger ignores them entirely.
 type HeartbeatArgs struct {
-	WorkerID int
+	WorkerID  int
+	Telemetry live.WorkerTelemetry
+	Events    []string
 }
 
 // HeartbeatReply is empty.
@@ -96,8 +112,12 @@ type CompleteReply struct{}
 // finished and no further leases or waits will come from it. The
 // master stops counting the worker toward its shutdown drain. Leases
 // the worker still holds (there should be none) expire immediately.
+// The goodbye carries the worker's final telemetry snapshot and the
+// last relay event lines, so an orderly shutdown loses nothing.
 type GoodbyeArgs struct {
-	WorkerID int
+	WorkerID  int
+	Telemetry live.WorkerTelemetry
+	Events    []string
 }
 
 // GoodbyeReply is empty.

@@ -5,12 +5,16 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"proger/internal/mapreduce"
+	"proger/internal/membudget"
+	"proger/internal/obs"
+	"proger/internal/obs/live"
 )
 
 // WorkerOptions configures a Worker.
@@ -25,6 +29,24 @@ type WorkerOptions struct {
 	// fault-injection harness uses it to kill a worker process after
 	// taking — and never completing — its Nth lease.
 	OnLease func(n int)
+	// Relay, when non-nil, is this process's relay event log
+	// (live.NewRelayEventLog): lines it buffers are drained and shipped
+	// to the master with each heartbeat, for the merged multi-process
+	// event file. If the master keeps no event log, drained lines are
+	// discarded locally.
+	Relay *live.EventLog
+	// Metrics, when non-nil, receives this process's mr.dist.* worker
+	// instruments (RPC bytes/calls/latency, lease waits, run-file
+	// bytes); its counter values also feed the telemetry snapshot
+	// piggybacked on heartbeats.
+	Metrics *obs.Registry
+	// StatusAddr is this worker's own status-server address, reported
+	// at registration so the master's /fleet can link to it. Empty when
+	// the worker runs without a status server.
+	StatusAddr string
+	// Budget, when non-nil, is the process's memory-budget manager;
+	// its pressure snapshot rides along in heartbeat telemetry.
+	Budget *membudget.Manager
 }
 
 // Worker is the lease-executing side of the distributed transport. It
@@ -40,7 +62,30 @@ type Worker struct {
 	dataDir string
 	onLease func(n int)
 
+	relay      *live.EventLog
+	budget     *membudget.Manager
+	wantEvents bool
+
+	cIn, cOut, cRPC, cRunR, cRunW *obs.Counter
+	hRPC, hWait                   *obs.Histogram
+
 	leaseCount atomic.Int64
+
+	// sendMu serializes heartbeat/goodbye sends so relay batches leave
+	// in drain order — the per-process seq in the merged log must land
+	// monotonically.
+	sendMu sync.Mutex
+
+	// tmu guards the telemetry tallies the pump goroutines accumulate.
+	tmu      sync.Mutex
+	mapDone  int64
+	shufDone int64
+	redDone  int64
+	busyCost float64
+	busyMs   int64
+	idleMs   int64
+	waits    int64
+	waitMs   int64
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -57,21 +102,33 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: connect: %w", err)
 	}
-	client := rpc.NewClient(conn)
-	var reg RegisterReply
-	if err := client.Call(rpcService+".Register", &RegisterArgs{}, &reg); err != nil {
-		client.Close()
-		return nil, fmt.Errorf("dist: register: %w", err)
-	}
+	cIn := opts.Metrics.Counter(mapreduce.CounterDistRPCBytesIn)
+	cOut := opts.Metrics.Counter(mapreduce.CounterDistRPCBytesOut)
+	client := rpc.NewClient(&countingConn{Conn: conn, in: cIn, out: cOut})
 	w := &Worker{
 		client:  client,
 		conn:    conn,
-		id:      reg.WorkerID,
-		ttl:     time.Duration(reg.TTLMillis) * time.Millisecond,
-		dataDir: reg.DataDir,
 		onLease: opts.OnLease,
+		relay:   opts.Relay,
+		budget:  opts.Budget,
+		cIn:     cIn,
+		cOut:    cOut,
+		cRPC:    opts.Metrics.Counter(mapreduce.CounterDistRPCCalls),
+		cRunR:   opts.Metrics.Counter(mapreduce.CounterDistRunBytesRead),
+		cRunW:   opts.Metrics.Counter(mapreduce.CounterDistRunBytesWritten),
+		hRPC:    opts.Metrics.Histogram(mapreduce.HistDistRPCClientMillis, rpcMillisBuckets...),
+		hWait:   opts.Metrics.Histogram(mapreduce.HistDistLeaseWaitMillis, rpcMillisBuckets...),
 		runners: map[int]*mapreduce.RemoteRunner{},
 	}
+	var reg RegisterReply
+	if err := w.call("Register", &RegisterArgs{StatusAddr: opts.StatusAddr, Pid: os.Getpid()}, &reg); err != nil {
+		client.Close()
+		return nil, fmt.Errorf("dist: register: %w", err)
+	}
+	w.id = reg.WorkerID
+	w.ttl = time.Duration(reg.TTLMillis) * time.Millisecond
+	w.dataDir = reg.DataDir
+	w.wantEvents = reg.WantEvents
 	w.cond = sync.NewCond(&w.mu)
 	parallel := opts.Parallel
 	if parallel <= 0 {
@@ -87,15 +144,77 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 // ID returns the master-assigned worker identity.
 func (w *Worker) ID() int { return w.id }
 
+// call is the instrumented RPC round-trip every worker-side call goes
+// through.
+func (w *Worker) call(method string, args, reply any) error {
+	t0 := time.Now()
+	err := w.client.Call(rpcService+"."+method, args, reply)
+	w.cRPC.Inc()
+	w.hRPC.Observe(float64(time.Since(t0).Milliseconds()))
+	return err
+}
+
+// drainEvents takes the relay buffer for shipping. When the master
+// keeps no event log the lines are discarded here — draining anyway
+// keeps the buffer (and its drop counter) from filling for nothing.
+func (w *Worker) drainEvents() []string {
+	lines := w.relay.Drain()
+	if !w.wantEvents {
+		return nil
+	}
+	return lines
+}
+
+// telemetry assembles this process's current self-report.
+func (w *Worker) telemetry() live.WorkerTelemetry {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.tmu.Lock()
+	tel := live.WorkerTelemetry{
+		MapTasks:        w.mapDone,
+		ShuffleTasks:    w.shufDone,
+		ReduceTasks:     w.redDone,
+		BusyCostUnits:   w.busyCost,
+		BusyMillis:      w.busyMs,
+		IdleMillis:      w.idleMs,
+		LeaseWaits:      w.waits,
+		LeaseWaitMillis: w.waitMs,
+	}
+	w.tmu.Unlock()
+	tel.RunBytesRead = w.cRunR.Value()
+	tel.RunBytesWritten = w.cRunW.Value()
+	tel.RPCBytesIn = w.cIn.Value()
+	tel.RPCBytesOut = w.cOut.Value()
+	tel.EventsDropped = w.relay.Dropped()
+	tel.HeapBytes = ms.HeapAlloc
+	tel.Goroutines = runtime.NumGoroutine()
+	tel.MemBudget = w.budget.Snapshot()
+	return tel
+}
+
+// beat sends one heartbeat carrying the telemetry snapshot and the
+// relay lines buffered since the last one.
+func (w *Worker) beat() error {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	args := &HeartbeatArgs{WorkerID: w.id, Telemetry: w.telemetry(), Events: w.drainEvents()}
+	return w.call("Heartbeat", args, &HeartbeatReply{})
+}
+
 func (w *Worker) heartbeat() {
 	t := time.NewTicker(w.ttl / 3)
 	defer t.Stop()
-	for range t.C {
+	for {
+		select {
+		case <-t.C:
+		case <-w.relay.FlushC():
+			// The relay buffer passed half capacity — flush early rather
+			// than risk drops before the next scheduled beat.
+		}
 		if w.isClosed() {
 			return
 		}
-		if err := w.client.Call(rpcService+".Heartbeat",
-			&HeartbeatArgs{WorkerID: w.id}, &HeartbeatReply{}); err != nil {
+		if err := w.beat(); err != nil {
 			return
 		}
 	}
@@ -112,16 +231,35 @@ func (w *Worker) isClosed() bool {
 // driver's blocking WaitJob call surfaces the failure.
 func (w *Worker) pump() {
 	for {
+		waitStart := time.Now()
 		var rep LeaseReply
-		if err := w.client.Call(rpcService+".Lease", &LeaseArgs{WorkerID: w.id}, &rep); err != nil {
-			return
+	poll:
+		for {
+			// Reset before every call: gob leaves fields that are
+			// absent from the wire untouched, and a LeaseTask grant
+			// encodes Kind as absent (it is the zero value) — reusing
+			// the reply after a LeaseWait would misread the grant as
+			// another wait and silently orphan the lease.
+			rep = LeaseReply{}
+			if err := w.call("Lease", &LeaseArgs{WorkerID: w.id}, &rep); err != nil {
+				return
+			}
+			switch rep.Kind {
+			case LeaseWait:
+				continue
+			case LeaseShutdown:
+				return
+			case LeaseTask:
+				break poll
+			}
 		}
-		switch rep.Kind {
-		case LeaseWait:
-			continue
-		case LeaseShutdown:
-			return
-		}
+		waitMs := time.Since(waitStart).Milliseconds()
+		w.hWait.Observe(float64(waitMs))
+		w.tmu.Lock()
+		w.waits++
+		w.waitMs += waitMs
+		w.idleMs += waitMs
+		w.tmu.Unlock()
 		lease := rep.Lease
 		if w.onLease != nil {
 			w.onLease(int(w.leaseCount.Add(1)))
@@ -130,12 +268,27 @@ func (w *Worker) pump() {
 		if runner == nil {
 			return // closed before the driver reached this job
 		}
+		busyStart := time.Now()
 		res, err := runner.RunTask(lease.Phase, lease.Task, lease.InputLen)
+		w.tmu.Lock()
+		w.busyMs += time.Since(busyStart).Milliseconds()
+		if err == nil && res != nil {
+			switch lease.Phase {
+			case mapreduce.RemotePhaseMap:
+				w.mapDone++
+			case mapreduce.RemotePhaseShuffle:
+				w.shufDone++
+			case mapreduce.RemotePhaseReduce:
+				w.redDone++
+			}
+			w.busyCost += float64(res.Cost)
+		}
+		w.tmu.Unlock()
 		args := &CompleteArgs{WorkerID: w.id, LeaseID: lease.LeaseID, Result: res}
 		if err != nil {
 			args.Result, args.Err = nil, err.Error()
 		}
-		if err := w.client.Call(rpcService+".Complete", args, &CompleteReply{}); err != nil {
+		if err := w.call("Complete", args, &CompleteReply{}); err != nil {
 			return
 		}
 	}
@@ -166,7 +319,7 @@ func (w *Worker) BeginJob(spec mapreduce.RemoteJobSpec, runner *mapreduce.Remote
 	seq := w.nextSeq
 	w.mu.Unlock()
 	var rep JobInfoReply
-	if err := w.client.Call(rpcService+".JobInfo", &JobInfoArgs{Seq: seq}, &rep); err != nil {
+	if err := w.call("JobInfo", &JobInfoArgs{Seq: seq}, &rep); err != nil {
 		return nil, fmt.Errorf("dist: job %d info: %w", seq, err)
 	}
 	ms := rep.Spec
@@ -174,7 +327,7 @@ func (w *Worker) BeginJob(spec mapreduce.RemoteJobSpec, runner *mapreduce.Remote
 		return nil, fmt.Errorf("dist: job %d diverged: master runs %s (%d map/%d reduce), this worker derived %s (%d map/%d reduce) — master and workers must share all resolution flags",
 			seq, ms.Name, ms.NumMapTasks, ms.NumReduceTasks, spec.Name, spec.NumMapTasks, spec.NumReduceTasks)
 	}
-	runner.Configure(w.dataDir, seq, ms.Tracing, ms.Quality)
+	runner.Configure(w.dataDir, seq, w.id, ms.Tracing, ms.Quality)
 	w.mu.Lock()
 	w.runners[seq] = runner
 	w.cond.Broadcast()
@@ -199,7 +352,7 @@ func (j workerJob) Finish(*mapreduce.RemoteJobResults, error) error { return nil
 // (or its terminal error).
 func (j workerJob) Wait() (*mapreduce.RemoteJobResults, error) {
 	var rep WaitJobReply
-	if err := j.w.client.Call(rpcService+".WaitJob", &WaitJobArgs{Seq: j.seq}, &rep); err != nil {
+	if err := j.w.call("WaitJob", &WaitJobArgs{Seq: j.seq}, &rep); err != nil {
 		return nil, fmt.Errorf("dist: job %d wait: %w", j.seq, err)
 	}
 	if rep.Err != "" {
@@ -211,7 +364,9 @@ func (j workerJob) Wait() (*mapreduce.RemoteJobResults, error) {
 
 // Close announces an orderly departure to the master (so its shutdown
 // drain stops counting this worker) and disconnects; pumps and
-// heartbeats wind down on their next RPC.
+// heartbeats wind down on their next RPC. The goodbye carries the
+// final telemetry snapshot and the last relay event lines — an
+// orderly departure leaves a complete fleet row behind.
 func (w *Worker) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -222,7 +377,12 @@ func (w *Worker) Close() error {
 	w.cond.Broadcast()
 	w.mu.Unlock()
 	// Best effort: a master already gone cannot be said goodbye to.
-	w.client.Call(rpcService+".Goodbye", &GoodbyeArgs{WorkerID: w.id}, &GoodbyeReply{})
+	// sendMu is held across the call so a racing heartbeat cannot ship
+	// newer relay lines ahead of the goodbye's batch.
+	w.sendMu.Lock()
+	args := &GoodbyeArgs{WorkerID: w.id, Telemetry: w.telemetry(), Events: w.drainEvents()}
+	w.call("Goodbye", args, &GoodbyeReply{})
+	w.sendMu.Unlock()
 	return w.client.Close()
 }
 

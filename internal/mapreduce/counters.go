@@ -60,8 +60,24 @@ const (
 	CounterDistLeasesExpired     = "mr.dist.leases_expired"
 	CounterDistRPCBytesIn        = "mr.dist.rpc_bytes_in"
 	CounterDistRPCBytesOut       = "mr.dist.rpc_bytes_out"
+	// CounterDistRPCCalls counts RPC round-trips (client side: calls
+	// issued; server side: calls served). CounterDistRunBytesRead and
+	// CounterDistRunBytesWritten count shared-directory run-file bytes a
+	// worker process streamed while executing leases. Registry-only like
+	// every mr.dist.* key.
+	CounterDistRPCCalls        = "mr.dist.rpc.calls"
+	CounterDistRunBytesRead    = "mr.dist.runfile_bytes_read"
+	CounterDistRunBytesWritten = "mr.dist.runfile_bytes_written"
 
 	// HistTaskCostUnits is the registry histogram of per-task simulated
 	// costs (map and reduce), fed by the engine at the end of each job.
 	HistTaskCostUnits = "mr_task_cost_units"
+	// RPC latency histograms: client-observed round-trip time (worker
+	// side, includes long-poll waits only on Lease calls) and
+	// server-observed handler time (master side). HistDistLeaseWaitMillis
+	// is the worker-observed wall time from first lease poll to grant —
+	// the fleet's idle-tail signal. All wall-clock, registry-only.
+	HistDistRPCClientMillis = "mr_dist_rpc_client_ms"
+	HistDistRPCServerMillis = "mr_dist_rpc_server_ms"
+	HistDistLeaseWaitMillis = "mr_dist_lease_wait_ms"
 )

@@ -75,6 +75,12 @@ type RemoteTaskResult struct {
 	Cost     costmodel.Units
 	Counters Counters
 	Spans    []obs.Span
+	// Worker is the master-attributed executor identity, stamped when
+	// the completion is accepted (first-completion-wins) and carried
+	// into the end-of-job broadcast so every process's live task table
+	// shows who ran what. Observability-only: nothing derived from the
+	// result reads it.
+	Worker int
 	// PartLens is a map task's record count per partition.
 	PartLens []int
 	// Len is a shuffle task's merged record count.
@@ -110,10 +116,12 @@ func (r remoteInput) Close() error { return nil }
 
 // runFileInput is the worker-side reduceInput streaming a merged
 // shuffle run file. The file is owned by the master's job cleanup, so
-// Close releases nothing; each Iter opens an independent handle.
+// Close releases nothing; each Iter opens an independent handle. c,
+// when non-nil, counts bytes read off the file.
 type runFileInput struct {
 	path string
 	n    int
+	c    *obs.Counter
 }
 
 func (f runFileInput) Len() int { return f.n }
@@ -123,7 +131,7 @@ func (f runFileInput) Iter() (kvIter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: open shuffle run: %w", err)
 	}
-	return &runFileIter{f: fh, rr: extsort.NewRunReader(fh)}, nil
+	return &runFileIter{f: fh, rr: extsort.NewRunReader(countingReader{fh, f.c})}, nil
 }
 
 func (f runFileInput) Close() error { return nil }
@@ -172,6 +180,13 @@ type RemoteRunner struct {
 	seq     int
 	execCfg *Config
 
+	// workerID is this process's master-assigned identity (0 until
+	// Configure), fed to the live task table rows this runner executes.
+	// cRead/cWrite count shared-directory run-file bytes this process
+	// streams — registry-only fleet telemetry (nil without metrics).
+	workerID      int
+	cRead, cWrite *obs.Counter
+
 	// done tracks tasks this process executed via leases, so the
 	// end-of-job live back-fill (publishRemaining) doesn't double-report
 	// their transitions on the local snapshot hub.
@@ -185,19 +200,24 @@ type remoteTaskKey struct {
 }
 
 func newRemoteRunner(cfg *Config, splits [][]KeyValue, lj *live.Job) *RemoteRunner {
-	return &RemoteRunner{cfg: cfg, splits: splits, lj: lj, done: map[remoteTaskKey]struct{}{}}
+	return &RemoteRunner{cfg: cfg, splits: splits, lj: lj,
+		cRead:  cfg.Metrics.Counter(CounterDistRunBytesRead),
+		cWrite: cfg.Metrics.Counter(CounterDistRunBytesWritten),
+		done:   map[remoteTaskKey]struct{}{}}
 }
 
 // Configure binds the runner to its placement: the shared run-file
-// directory, the job's sequence number in the chain, and the fleet's
-// sink flags. tracing/quality are ORed with the local config's own
-// sinks — a worker collects spans/qobs whenever anyone needs them —
-// by installing throwaway sinks on a copy of the config (the task
+// directory, the job's sequence number in the chain, this process's
+// master-assigned worker identity, and the fleet's sink flags.
+// tracing/quality are ORed with the local config's own sinks — a
+// worker collects spans/qobs whenever anyone needs them — by
+// installing throwaway sinks on a copy of the config (the task
 // functions key collection off sink non-nilness; the copies' sinks are
 // never exported, results ship back inside RemoteTaskResult instead).
-func (rr *RemoteRunner) Configure(dataDir string, seq int, tracing, qual bool) {
+func (rr *RemoteRunner) Configure(dataDir string, seq, workerID int, tracing, qual bool) {
 	rr.dataDir = dataDir
 	rr.seq = seq
+	rr.workerID = workerID
 	c := *rr.cfg
 	if tracing && c.Trace == nil {
 		c.Trace = obs.New()
@@ -217,9 +237,10 @@ func (rr *RemoteRunner) markDone(phase string, task int) {
 }
 
 // publishRemaining back-fills the local live snapshot hub with the
-// tasks other workers executed, from the master's broadcast, so a
-// worker's status server converges to the complete job view.
-func (rr *RemoteRunner) publishRemaining(p live.Phase, phase string, task int, cost costmodel.Units, records int) {
+// tasks other workers executed, from the master's broadcast — worker
+// attribution included — so a worker's status server converges to the
+// complete job view.
+func (rr *RemoteRunner) publishRemaining(p live.Phase, phase string, task int, cost costmodel.Units, records, worker int) {
 	rr.mu.Lock()
 	_, ran := rr.done[remoteTaskKey{phase, task}]
 	rr.mu.Unlock()
@@ -228,6 +249,7 @@ func (rr *RemoteRunner) publishRemaining(p live.Phase, phase string, task int, c
 	}
 	rr.lj.TaskStart(p, task)
 	rr.lj.TaskDone(p, task, float64(cost), records)
+	rr.lj.TaskWorker(p, task, worker)
 }
 
 // RunTask executes one leased task body and returns its wire-form
@@ -262,12 +284,13 @@ func (rr *RemoteRunner) runMap(m int) (*RemoteTaskResult, error) {
 	res := &RemoteTaskResult{Cost: cost, Counters: counters, Spans: spans, PartLens: make([]int, len(out))}
 	for r, part := range out {
 		res.PartLens[r] = len(part)
-		if err := writeRunFileAtomic(rr.jobDir(), mapRunName(m, r), uint64(m), part); err != nil {
+		if err := writeRunFileAtomic(rr.jobDir(), mapRunName(m, r), uint64(m), part, rr.cWrite); err != nil {
 			rr.lj.TaskFailed(live.PhaseMap, m, err)
 			return nil, err
 		}
 	}
 	rr.lj.TaskDone(live.PhaseMap, m, float64(cost), len(rr.splits[m]))
+	rr.lj.TaskWorker(live.PhaseMap, m, rr.workerID)
 	rr.markDone(RemotePhaseMap, m)
 	return res, nil
 }
@@ -284,6 +307,7 @@ func (rr *RemoteRunner) runShuffle(r int) (*RemoteTaskResult, error) {
 	}
 	cost := rr.execCfg.Cost.ShuffleSortCost(n)
 	rr.lj.TaskDone(live.PhaseShuffle, r, float64(cost), n)
+	rr.lj.TaskWorker(live.PhaseShuffle, r, rr.workerID)
 	rr.markDone(RemotePhaseShuffle, r)
 	return &RemoteTaskResult{Cost: cost, Len: n}, nil
 }
@@ -310,7 +334,7 @@ func (rr *RemoteRunner) mergePartition(r int) (n int, err error) {
 		if err != nil {
 			return 0, fmt.Errorf("mapreduce: shuffle %d: %w", r, err)
 		}
-		s := &src{f: f, rr: extsort.NewRunReader(f)}
+		s := &src{f: f, rr: extsort.NewRunReader(countingReader{f, rr.cRead})}
 		srcs = append(srcs, s)
 		pulls = append(pulls, func() (prioKV, bool) {
 			seq, key, val, err := s.rr.Next()
@@ -331,7 +355,7 @@ func (rr *RemoteRunner) mergePartition(r int) (n int, err error) {
 	// the partition, count its records instead of rewriting identical
 	// bytes over a file a reduce task may be streaming.
 	if _, statErr := os.Stat(final); statErr == nil {
-		return countRunRecords(final)
+		return countRunRecords(final, rr.cRead)
 	}
 	tmp, err := os.CreateTemp(dir, shuffleRunName(r)+".tmp-")
 	if err != nil {
@@ -342,7 +366,7 @@ func (rr *RemoteRunner) mergePartition(r int) (n int, err error) {
 		os.Remove(tmp.Name())
 		return 0, fmt.Errorf("mapreduce: shuffle %d: %w", r, err)
 	}
-	rw := extsort.NewRunWriter(tmp)
+	rw := extsort.NewRunWriter(countingWriter{tmp, rr.cWrite})
 	for {
 		rec, ok := merger.Next()
 		if !ok {
@@ -372,13 +396,14 @@ func (rr *RemoteRunner) mergePartition(r int) (n int, err error) {
 
 func (rr *RemoteRunner) runReduce(i, inputLen int) (*RemoteTaskResult, error) {
 	rr.lj.TaskStart(live.PhaseReduce, i)
-	in := runFileInput{path: filepath.Join(rr.jobDir(), shuffleRunName(i)), n: inputLen}
+	in := runFileInput{path: filepath.Join(rr.jobDir(), shuffleRunName(i)), n: inputLen, c: rr.cRead}
 	out, cost, counters, spans, qobs, err := runReduceTask(rr.execCfg, i, in)
 	if err != nil {
 		rr.lj.TaskFailed(live.PhaseReduce, i, err)
 		return nil, err
 	}
 	rr.lj.TaskDone(live.PhaseReduce, i, float64(cost), inputLen)
+	rr.lj.TaskWorker(live.PhaseReduce, i, rr.workerID)
 	rr.markDone(RemotePhaseReduce, i)
 	return &RemoteTaskResult{Cost: cost, Counters: counters, Spans: spans, Out: out, Qobs: qobs}, nil
 }
@@ -387,7 +412,8 @@ func (rr *RemoteRunner) runReduce(i, inputLen int) (*RemoteTaskResult, error) {
 // first-write-wins semantics: temp file + rename, and an existing file
 // is left untouched (any two executions of the same deterministic task
 // produce identical bytes, so whichever landed first is the truth).
-func writeRunFileAtomic(dir, name string, prio uint64, kvs []KeyValue) error {
+// c, when non-nil, counts the bytes written.
+func writeRunFileAtomic(dir, name string, prio uint64, kvs []KeyValue, c *obs.Counter) error {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return fmt.Errorf("mapreduce: run dir: %w", err)
 	}
@@ -404,7 +430,7 @@ func writeRunFileAtomic(dir, name string, prio uint64, kvs []KeyValue) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("mapreduce: write run %s: %w", name, err)
 	}
-	rw := extsort.NewRunWriter(tmp)
+	rw := extsort.NewRunWriter(countingWriter{tmp, c})
 	for _, kv := range kvs {
 		if err := rw.WriteRecord(prio, kv.Key, kv.Value); err != nil {
 			return fail(err)
@@ -424,13 +450,13 @@ func writeRunFileAtomic(dir, name string, prio uint64, kvs []KeyValue) error {
 	return nil
 }
 
-func countRunRecords(path string) (int, error) {
+func countRunRecords(path string, c *obs.Counter) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
-	rr := extsort.NewRunReader(f)
+	rr := extsort.NewRunReader(countingReader{f, c})
 	n := 0
 	for {
 		_, _, _, err := rr.Next()
@@ -442,6 +468,30 @@ func countRunRecords(path string) (int, error) {
 		}
 		n++
 	}
+}
+
+// countingReader/countingWriter feed a run-file byte counter from the
+// raw stream. Nil counters no-op, so the wrappers are always safe.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(int64(n))
+	return n, err
 }
 
 // runRemoteJob executes one job over a remote transport, filling
@@ -510,6 +560,7 @@ func runRemoteMaster(cfg *Config, fr *faultRuntime, lj *live.Job, workers int, s
 			po.mapWall[m] = wallSpan{w0, time.Since(w0)}
 		}
 		lj.TaskDone(live.PhaseMap, m, float64(res.Cost), len(splits[m]))
+		lj.TaskWorker(live.PhaseMap, m, res.Worker)
 		return mapTaskResult{counters: res.Counters, spans: res.Spans, remote: res}, res.Cost, nil
 	}
 	sExec := func(r int) (shuffleTaskResult, costmodel.Units, error) {
@@ -538,6 +589,7 @@ func runRemoteMaster(cfg *Config, fr *faultRuntime, lj *live.Job, workers int, s
 		}
 		cost := cfg.Cost.ShuffleSortCost(res.Len)
 		lj.TaskDone(live.PhaseShuffle, r, float64(cost), res.Len)
+		lj.TaskWorker(live.PhaseShuffle, r, res.Worker)
 		return shuffleTaskResult{in: remoteInput{n: res.Len}, remote: res}, cost, nil
 	}
 	rExec := func(i int) (reduceTaskResult, costmodel.Units, error) {
@@ -555,6 +607,7 @@ func runRemoteMaster(cfg *Config, fr *faultRuntime, lj *live.Job, workers int, s
 			po.reduceWall[i] = wallSpan{w0, time.Since(w0)}
 		}
 		lj.TaskDone(live.PhaseReduce, i, float64(res.Cost), po.shufRes[i].in.Len())
+		lj.TaskWorker(live.PhaseReduce, i, res.Worker)
 		return reduceTaskResult{out: res.Out, counters: res.Counters, spans: res.Spans, qobs: res.Qobs, remote: res}, res.Cost, nil
 	}
 
@@ -672,18 +725,18 @@ func runRemoteWorker(cfg *Config, lj *live.Job, splits [][]KeyValue, rjob Remote
 		res := jr.Map[m]
 		po.mapRes[m] = mapTaskResult{counters: res.Counters, spans: res.Spans}
 		po.mapCosts[m] = res.Cost
-		runner.publishRemaining(live.PhaseMap, RemotePhaseMap, m, res.Cost, len(splits[m]))
+		runner.publishRemaining(live.PhaseMap, RemotePhaseMap, m, res.Cost, len(splits[m]), res.Worker)
 	}
 	for r := 0; r < R; r++ {
 		res := jr.Shuffle[r]
 		po.shufRes[r] = shuffleTaskResult{in: remoteInput{n: res.Len}}
-		runner.publishRemaining(live.PhaseShuffle, RemotePhaseShuffle, r, res.Cost, res.Len)
+		runner.publishRemaining(live.PhaseShuffle, RemotePhaseShuffle, r, res.Cost, res.Len, res.Worker)
 	}
 	for i := 0; i < R; i++ {
 		res := jr.Reduce[i]
 		po.reduceRes[i] = reduceTaskResult{out: res.Out, counters: res.Counters, spans: res.Spans, qobs: res.Qobs}
 		po.reduceCosts[i] = res.Cost
-		runner.publishRemaining(live.PhaseReduce, RemotePhaseReduce, i, res.Cost, jr.Shuffle[i].Len)
+		runner.publishRemaining(live.PhaseReduce, RemotePhaseReduce, i, res.Cost, jr.Shuffle[i].Len, res.Worker)
 	}
 	return po, nil
 }

@@ -93,6 +93,7 @@ type Run struct {
 
 	quality *quality.Recorder
 	budget  *membudget.Manager
+	fleet   FleetProvider
 
 	// Live resolution progress, streamed from reduce tasks as each
 	// block commits (not at job end): the numerators of the recall and
@@ -226,6 +227,9 @@ type phaseLive struct {
 	states   []atomic.Int32
 	attempts []atomic.Int32
 	costs    []atomicFloat // realized task cost units, set at completion
+	// workers records which distributed worker executed each task (0 =
+	// local/unattributed), set by the remote transports.
+	workers []atomic.Int32
 }
 
 func newPhaseLive(p Phase, n int) *phaseLive {
@@ -234,6 +238,7 @@ func newPhaseLive(p Phase, n int) *phaseLive {
 		states:   make([]atomic.Int32, n),
 		attempts: make([]atomic.Int32, n),
 		costs:    make([]atomicFloat, n),
+		workers:  make([]atomic.Int32, n),
 	}
 }
 
@@ -294,6 +299,20 @@ func (j *Job) TaskFailed(p Phase, task int, err error) {
 	ph.states[task].Store(int32(TaskFailed))
 	j.run.log.Emit(EventTaskFailed,
 		KV("job", j.name), KV("phase", string(p)), KV("task", task), KV("error", err.Error()))
+}
+
+// TaskWorker attributes a task's execution to a distributed worker
+// (the /tasks table's per-worker column). worker is the master-assigned
+// worker ID; 0 means local/unattributed and is ignored.
+func (j *Job) TaskWorker(p Phase, task, worker int) {
+	if j == nil || worker <= 0 {
+		return
+	}
+	ph := j.ph(p)
+	if task < 0 || task >= len(ph.workers) {
+		return
+	}
+	ph.workers[task].Store(int32(worker))
 }
 
 // Retry records the attempt runtime discarding attempt `attempt` of a

@@ -277,9 +277,178 @@ func TestStatusServerEndpoints(t *testing.T) {
 		t.Errorf("index = %q", body)
 	}
 
+	// A failed run must read as unhealthy at the status-code level (the
+	// shared get helper insists on 200, so probe directly).
 	r.Finish(fmt.Errorf("boom"))
-	if body, _ := get("/healthz"); !strings.Contains(body, "failed") {
-		t.Errorf("/healthz after failure = %q", body)
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz after failure: %v", err)
+	}
+	failBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/healthz after failure: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(failBody), "failed") {
+		t.Errorf("/healthz after failure = %q", failBody)
+	}
+}
+
+func TestRelayEventLogBufferAndDrain(t *testing.T) {
+	l := NewRelayEventLog(4)
+	for i := 0; i < 6; i++ {
+		l.Emit(EventTaskDone, KV("task", i))
+	}
+	// Two events past capacity were dropped without consuming seq.
+	if d := l.Dropped(); d != 2 {
+		t.Errorf("dropped = %d, want 2", d)
+	}
+	lines := l.Drain()
+	if len(lines) != 4 {
+		t.Fatalf("drained %d lines, want 4", len(lines))
+	}
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("relay line %q: %v", line, err)
+		}
+		if int(ev["seq"].(float64)) != i+1 {
+			t.Errorf("relay line %d seq = %v, want %d (gap-free despite drops)", i, ev["seq"], i+1)
+		}
+		if ev["event"] != EventTaskDone {
+			t.Errorf("relay line %d event = %v", i, ev["event"])
+		}
+	}
+	// Post-drain emissions resume the same per-process seq stream.
+	l.Emit(EventRunEnd)
+	again := l.Drain()
+	if len(again) != 1 {
+		t.Fatalf("post-drain drained %d lines, want 1", len(again))
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(again[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if int(ev["seq"].(float64)) != 5 {
+		t.Errorf("post-drain seq = %v, want 5", ev["seq"])
+	}
+	if l.Drain() != nil {
+		t.Error("empty relay drain returned lines")
+	}
+}
+
+func TestRelayEventLogFlushSignal(t *testing.T) {
+	l := NewRelayEventLog(4)
+	select {
+	case <-l.FlushC():
+		t.Fatal("flush signaled before any events")
+	default:
+	}
+	l.Emit(EventTaskStart, KV("task", 0))
+	l.Emit(EventTaskDone, KV("task", 0)) // passes half capacity
+	select {
+	case <-l.FlushC():
+	default:
+		t.Error("flush not signaled at half capacity")
+	}
+	// Non-relay and nil logs expose a nil (never-ready) channel.
+	if NewEventLog(io.Discard).FlushC() != nil {
+		t.Error("writer-backed log has a flush channel")
+	}
+	var nilLog *EventLog
+	if nilLog.FlushC() != nil {
+		t.Error("nil log has a flush channel")
+	}
+	if nilLog.Drain() != nil || nilLog.Dropped() != 0 {
+		t.Error("nil log drain/dropped not zero")
+	}
+}
+
+func TestEmitForwarded(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.Emit(EventRunStart)
+	l.EmitForwarded("w1", []string{
+		`{"event":"task.done","task":3,"seq":7,"wall_ms":12}`,
+		"not json", // refused, not merged
+	})
+	l.Emit(EventRunEnd)
+
+	evs := decodeEvents(t, buf.Bytes())
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	fwd := evs[1]
+	if fwd["proc"] != "w1" || fwd["event"] != "task.done" {
+		t.Errorf("forwarded event = %v", fwd)
+	}
+	// The originating process's seq and wall_ms pass through untouched.
+	if int(fwd["seq"].(float64)) != 7 || int(fwd["wall_ms"].(float64)) != 12 {
+		t.Errorf("forwarded seq/wall_ms = %v/%v, want 7/12", fwd["seq"], fwd["wall_ms"])
+	}
+	// Host events carry no proc key, and the host seq stream ignores
+	// forwarded lines (run.start=1, run.end=2).
+	for _, i := range []int{0, 2} {
+		if _, ok := evs[i]["proc"]; ok {
+			t.Errorf("host event %d carries proc: %v", i, evs[i])
+		}
+	}
+	if int(evs[2]["seq"].(float64)) != 2 {
+		t.Errorf("host seq after forward = %v, want 2", evs[2]["seq"])
+	}
+	// Relay logs have no writer: forwarding into one is a no-op.
+	NewRelayEventLog(0).EmitForwarded("w2", []string{`{"event":"x","seq":1}`})
+	var nilLog *EventLog
+	nilLog.EmitForwarded("w1", []string{`{"event":"x","seq":1}`})
+}
+
+// staticFleet is a canned FleetProvider for endpoint tests.
+type staticFleet struct{ fs FleetSnapshot }
+
+func (s staticFleet) FleetSnapshot() FleetSnapshot { return s.fs }
+
+func TestFleetAttachAndEndpoint(t *testing.T) {
+	r := NewRun(nil)
+	if fs := r.Fleet(); len(fs.Workers) != 0 {
+		t.Errorf("unattached fleet = %+v", fs)
+	}
+	var nilRun *Run
+	nilRun.AttachFleet(staticFleet{})
+	if fs := nilRun.Fleet(); len(fs.Workers) != 0 {
+		t.Errorf("nil run fleet = %+v", fs)
+	}
+
+	tel := &WorkerTelemetry{MapTasks: 2, RPCBytesIn: 100}
+	r.AttachFleet(staticFleet{fs: FleetSnapshot{
+		Workers: []FleetWorker{
+			{ID: 1, Alive: true, LeasesGranted: 5, Telemetry: tel},
+			{ID: 2, Alive: false, LeasesGranted: 3, LeasesExpired: 1},
+		},
+		Alive: 1, Dead: 1,
+	}})
+
+	srv, err := Serve("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fs FleetSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		t.Fatalf("/fleet not JSON: %v", err)
+	}
+	if len(fs.Workers) != 2 || fs.Alive != 1 || fs.Dead != 1 {
+		t.Fatalf("/fleet snapshot = %+v", fs)
+	}
+	if fs.Workers[0].Telemetry == nil || fs.Workers[0].Telemetry.MapTasks != 2 {
+		t.Errorf("/fleet worker 1 telemetry = %+v", fs.Workers[0].Telemetry)
+	}
+	if fs.Workers[1].Telemetry != nil || fs.Workers[1].LeasesExpired != 1 {
+		t.Errorf("/fleet worker 2 row = %+v", fs.Workers[1])
 	}
 }
 

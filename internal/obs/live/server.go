@@ -14,9 +14,10 @@ import (
 // NewHandler returns the status server's route table over a live Run
 // and the process metrics registry:
 //
-//	/healthz         liveness + run state (running/done/failed)
+//	/healthz         liveness + run state (running/done/failed; 503 once failed)
 //	/progress        ProgressSnapshot JSON: recall-so-far, ETA in cost units
 //	/tasks           TaskRow JSON array: DAG node table with per-task skew
+//	/fleet           FleetSnapshot JSON: per-worker lease ledger + telemetry
 //	/membudget       membudget.Stats JSON: live budget pressure
 //	/metrics         Prometheus text scrape of reg (live, not post-run)
 //	/debug/pprof/    the standard runtime profiles
@@ -28,13 +29,19 @@ func NewHandler(r *Run, reg *obs.Registry) http.Handler {
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		state := "running"
+		failed := false
 		if r != nil && r.done.Load() {
 			state = "done"
 			if r.failed.Load() {
-				state = "failed"
+				state, failed = "failed", true
 			}
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if failed {
+			// Orchestrator probes act on status codes, not bodies: a
+			// failed run must read as unhealthy.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		fmt.Fprintf(w, "ok %s\n", state)
 	})
 
@@ -48,6 +55,14 @@ func NewHandler(r *Run, reg *obs.Registry) http.Handler {
 			rows = []TaskRow{}
 		}
 		writeJSON(w, rows)
+	})
+
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, req *http.Request) {
+		fs := r.Fleet()
+		if fs.Workers == nil {
+			fs.Workers = []FleetWorker{}
+		}
+		writeJSON(w, fs)
 	})
 
 	mux.HandleFunc("/membudget", func(w http.ResponseWriter, req *http.Request) {
@@ -77,7 +92,7 @@ func NewHandler(r *Run, reg *obs.Registry) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		paths := []string{"/healthz", "/progress", "/tasks", "/membudget", "/metrics", "/debug/pprof/"}
+		paths := []string{"/healthz", "/progress", "/tasks", "/fleet", "/membudget", "/metrics", "/debug/pprof/"}
 		sort.Strings(paths)
 		fmt.Fprintln(w, "proger status server")
 		for _, p := range paths {

@@ -135,6 +135,9 @@ type TaskRow struct {
 	Task     int    `json:"task"`
 	State    string `json:"state"`
 	Attempts int    `json:"attempts"`
+	// Worker is the distributed worker that executed the task (0 /
+	// omitted for local execution or while still pending).
+	Worker int `json:"worker,omitempty"`
 	// CostUnits is the realized simulated cost (0 until done).
 	CostUnits float64 `json:"cost_units"`
 	// Skew is CostUnits over the mean cost of *completed* tasks in the
@@ -162,6 +165,7 @@ func (r *Run) Tasks() []TaskRow {
 					Task:     i,
 					State:    TaskState(ph.states[i].Load()).String(),
 					Attempts: int(ph.attempts[i].Load()),
+					Worker:   int(ph.workers[i].Load()),
 				}
 				if row.State == "done" {
 					row.CostUnits = ph.costs[i].Load()

@@ -9,6 +9,7 @@ import (
 	"proger/internal/costmodel"
 	"proger/internal/membudget"
 	"proger/internal/obs"
+	"proger/internal/obs/live"
 	"proger/internal/obs/quality"
 )
 
@@ -27,10 +28,12 @@ type catSummary struct {
 // snapshot with per-histogram quantiles, the memory-budget pressure
 // digest (peak vs budget, charged volume, forced spills), and the
 // quality-telemetry digest (progressiveness sparkline,
-// worst-calibrated blocks, most-skewed tasks). Any pointer argument
-// may be nil and a zero mb skips the budget section; a fully empty
-// argument set writes nothing.
-func WriteRunSummary(w io.Writer, tr *obs.Tracer, reg *obs.Registry, q *quality.Recorder, mb membudget.Stats) error {
+// worst-calibrated blocks, most-skewed tasks), and — after a
+// distributed run — the fleet digest (per-worker executions, busy
+// fraction, skew, traffic, lease ledger). Any pointer argument may be
+// nil, a zero mb skips the budget section, an empty fleet skips the
+// fleet section; a fully empty argument set writes nothing.
+func WriteRunSummary(w io.Writer, tr *obs.Tracer, reg *obs.Registry, q *quality.Recorder, mb membudget.Stats, fleet live.FleetSnapshot) error {
 	if tr.Enabled() {
 		if err := writeSpanSummary(w, tr); err != nil {
 			return err
@@ -46,12 +49,44 @@ func WriteRunSummary(w io.Writer, tr *obs.Tracer, reg *obs.Registry, q *quality.
 			return err
 		}
 	}
+	if len(fleet.Workers) > 0 {
+		if err := writeFleetSummary(w, fleet); err != nil {
+			return err
+		}
+	}
 	if q.Enabled() {
 		if err := writeQualitySummary(w, q); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeFleetSummary renders the per-worker fleet digest of a
+// distributed run.
+func writeFleetSummary(w io.Writer, fleet live.FleetSnapshot) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d workers (%d alive, %d dead)\n",
+		len(fleet.Workers), fleet.Alive, fleet.Dead)
+	for _, fw := range fleet.Workers {
+		state := ""
+		if !fw.Alive {
+			state = "  [dead]"
+		}
+		fmt.Fprintf(&b, "  w%-3d %4d map %4d shuffle %4d reduce  busy %.0f units (skew %.2f)  leases %d granted / %d expired%s\n",
+			fw.ID, fw.MapDone, fw.ShuffleDone, fw.ReduceDone,
+			fw.BusyCostUnits, fw.SkewVsMean, fw.LeasesGranted, fw.LeasesExpired, state)
+		if t := fw.Telemetry; t != nil {
+			busyFrac := 0.0
+			if total := t.BusyMillis + t.IdleMillis; total > 0 {
+				busyFrac = float64(t.BusyMillis) / float64(total)
+			}
+			fmt.Fprintf(&b, "       busy %.0f%% of pump time  runfile %d B read / %d B written  rpc %d B in / %d B out\n",
+				100*busyFrac, t.RunBytesRead, t.RunBytesWritten, t.RPCBytesIn, t.RPCBytesOut)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // writeBudgetSummary renders the memory-budget pressure section.

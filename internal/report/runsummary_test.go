@@ -6,6 +6,7 @@ import (
 
 	"proger/internal/membudget"
 	"proger/internal/obs"
+	"proger/internal/obs/live"
 	"proger/internal/obs/quality"
 )
 
@@ -37,8 +38,20 @@ func TestWriteRunSummary(t *testing.T) {
 		SpilledBytes: 2 << 20,
 	}
 
+	fleet := live.FleetSnapshot{
+		Workers: []live.FleetWorker{
+			{ID: 1, Alive: true, LeasesGranted: 9, MapDone: 4, ShuffleDone: 2,
+				ReduceDone: 3, BusyCostUnits: 120, SkewVsMean: 1.2,
+				Telemetry: &live.WorkerTelemetry{BusyMillis: 75, IdleMillis: 25,
+					RunBytesRead: 1000, RunBytesWritten: 2000,
+					RPCBytesIn: 300, RPCBytesOut: 400}},
+			{ID: 2, Alive: false, LeasesGranted: 5, LeasesExpired: 2, BusyCostUnits: 80, SkewVsMean: 0.8},
+		},
+		Alive: 1, Dead: 1,
+	}
+
 	var b strings.Builder
-	if err := WriteRunSummary(&b, tr, reg, q, mb); err != nil {
+	if err := WriteRunSummary(&b, tr, reg, q, mb, fleet); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -52,6 +65,14 @@ func TestWriteRunSummary(t *testing.T) {
 		"job.task_cost: n=2 mean=6.0 p50=5.5", "p99=9.9",
 		"membudget: 1048576 B cap, peak 786432 B (75%), charged 4194304 B",
 		"forced spills 3 (2097152 B spilled to disk)",
+		"fleet: 2 workers (1 alive, 1 dead)",
+		"busy 120 units (skew 1.20)",
+		"9 granted / 0 expired",
+		"busy 75% of pump time",
+		"runfile 1000 B read / 2000 B written",
+		"rpc 300 B in / 400 B out",
+		"5 granted / 2 expired",
+		"[dead]",
 		"quality: 1 blocks resolved, 6 pairs, 1 dups",
 		"progress ",
 		"worst-calibrated blocks",
@@ -64,10 +85,10 @@ func TestWriteRunSummary(t *testing.T) {
 		}
 	}
 
-	// Nil tracer, registry, and recorder plus a zero budget write
-	// nothing and do not panic.
+	// Nil tracer, registry, and recorder plus a zero budget and empty
+	// fleet write nothing and do not panic.
 	var empty strings.Builder
-	if err := WriteRunSummary(&empty, nil, nil, nil, membudget.Stats{}); err != nil {
+	if err := WriteRunSummary(&empty, nil, nil, nil, membudget.Stats{}, live.FleetSnapshot{}); err != nil {
 		t.Fatal(err)
 	}
 	if empty.Len() != 0 {

@@ -308,16 +308,23 @@ type TaskTransport = mapreduce.TaskTransport
 // shows up in traces or results.
 var ErrTaskLost = mapreduce.ErrTaskLost
 
-// Distributed-runtime telemetry keys, maintained by the master's lease
-// ledger and reported only through Options.Metrics on the master
-// process: workers registered, leases granted and expired, and raw RPC
-// bytes moved in each direction.
+// Distributed-runtime telemetry keys, reported only through
+// Options.Metrics (master keys on the master process, worker keys on
+// each worker): workers registered, leases granted and expired, RPC
+// traffic (bytes, calls, latency histograms), lease-wait latency, and
+// shared-directory run-file bytes streamed.
 const (
 	CounterDistWorkersRegistered = mapreduce.CounterDistWorkersRegistered
 	CounterDistLeasesGranted     = mapreduce.CounterDistLeasesGranted
 	CounterDistLeasesExpired     = mapreduce.CounterDistLeasesExpired
 	CounterDistRPCBytesIn        = mapreduce.CounterDistRPCBytesIn
 	CounterDistRPCBytesOut       = mapreduce.CounterDistRPCBytesOut
+	CounterDistRPCCalls          = mapreduce.CounterDistRPCCalls
+	CounterDistRunBytesRead      = mapreduce.CounterDistRunBytesRead
+	CounterDistRunBytesWritten   = mapreduce.CounterDistRunBytesWritten
+	HistDistRPCClientMillis      = mapreduce.HistDistRPCClientMillis
+	HistDistRPCServerMillis      = mapreduce.HistDistRPCServerMillis
+	HistDistLeaseWaitMillis      = mapreduce.HistDistLeaseWaitMillis
 )
 
 // ---- Observability ----
@@ -391,6 +398,22 @@ var NewLiveRun = live.NewRun
 
 // NewLiveEventLog creates a structured event log writing JSON lines to w.
 var NewLiveEventLog = live.NewEventLog
+
+// NewRelayEventLog creates a relay event log for a distributed worker
+// process: emitted lines buffer in memory (bounded by capacity; ≤0
+// uses the default) and ship to the master with each heartbeat, where
+// they merge into the master's -events file under the worker's proc
+// identity.
+var NewRelayEventLog = live.NewRelayEventLog
+
+// FleetSnapshot is the master's point-in-time fleet table: per-worker
+// liveness, lease ledger, and last telemetry self-report. Served on
+// the status server's /fleet endpoint and summarized post-run by
+// report.WriteRunSummary.
+type FleetSnapshot = live.FleetSnapshot
+
+// StatusServer is a running live status server (see ServeStatus).
+type StatusServer = live.Server
 
 // ServeStatus starts the HTTP status server for a live run: /healthz,
 // /progress, /tasks, /membudget, /metrics (Prometheus), and

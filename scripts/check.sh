@@ -40,6 +40,18 @@ if [ -n "$offenders" ]; then
     echo "$offenders"
     exit 1
 fi
+# The distributed-transport instrument keys (mr.dist.* counters,
+# mr_dist_* histograms) are declared once in counters.go; any other
+# literal occurrence is a key that will silently drift from the
+# constant.
+dist_offenders="$(grep -rn --include='*.go' -E '"mr\.dist\.|"mr_dist_' \
+    internal cmd examples | grep -v '_test\.go:' \
+    | grep -v 'internal/mapreduce/counters\.go:' || true)"
+if [ -n "$dist_offenders" ]; then
+    echo "literal mr.dist telemetry keys (use the mapreduce.CounterDist*/HistDist* constants):"
+    echo "$dist_offenders"
+    exit 1
+fi
 
 echo "== go build =="
 go build ./...
@@ -115,15 +127,40 @@ grep -q '^mr_membudget_forced_spills [1-9]' "$smoke/budget.prom" || {
 # then with injected task faults AND a worker process that kills itself
 # after its third lease, so the lease-expiry/re-lease path is exercised
 # end to end. The event logs gate the dist event grammar through
-# tracecheck and must show actual lease traffic.
+# tracecheck — the clean run with full fleet observability on (status
+# server, merged multi-process event log) — and must show actual lease
+# traffic. The /fleet endpoint must report both forked workers while
+# the run is in flight.
 echo "== distributed transport smoke =="
 go run ./cmd/proger -generate publications -n 1000 -seed 5 -machines 2 \
     -out "$smoke/dloc.tsv" -trace "$smoke/dloc-trace.json" \
     -quality-out "$smoke/dloc-quality.json" 2>/dev/null
 go run ./cmd/proger -generate publications -n 1000 -seed 5 -machines 2 \
-    -dist 2 -events "$smoke/dist-events.jsonl" \
+    -dist 2 -status 127.0.0.1:0 -events "$smoke/dist-events.jsonl" \
     -out "$smoke/ddist.tsv" -trace "$smoke/ddist-trace.json" \
-    -quality-out "$smoke/ddist-quality.json" 2>/dev/null
+    -quality-out "$smoke/ddist-quality.json" 2>"$smoke/dist-stderr.log" &
+distpid=$!
+# The master's announce line is unprefixed; forked workers' stderr is
+# relayed under a "w<id>: " prefix, so the anchored sed only matches
+# the master's own status address.
+daddr=""
+for _ in $(seq 1 100); do
+    daddr="$(sed -n 's|^proger: status listening on http://\([^/]*\)/$|\1|p' "$smoke/dist-stderr.log" | head -n 1)"
+    if [ -n "$daddr" ]; then break; fi
+    kill -0 "$distpid" 2>/dev/null || break
+    sleep 0.1
+done
+[ -n "$daddr" ] || { echo "dist master never announced its status address"; cat "$smoke/dist-stderr.log"; exit 1; }
+fleet_ok=""
+for _ in $(seq 1 100); do
+    n="$(curl -fsS "http://$daddr/fleet" 2>/dev/null | grep -o '"id"' | wc -l)"
+    if [ "$n" -ge 2 ]; then fleet_ok=1; break; fi
+    kill -0 "$distpid" 2>/dev/null || break
+    sleep 0.1
+done
+[ -n "$fleet_ok" ] || {
+    echo "/fleet never reported 2 registered workers"; cat "$smoke/dist-stderr.log"; exit 1; }
+wait "$distpid" || { echo "distributed run failed:"; cat "$smoke/dist-stderr.log"; exit 1; }
 cmp "$smoke/dloc.tsv" "$smoke/ddist.tsv" || {
     echo "distributed run changed the duplicate pairs"; exit 1; }
 cmp "$smoke/dloc-trace.json" "$smoke/ddist-trace.json" || {

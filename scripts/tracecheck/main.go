@@ -6,14 +6,21 @@
 // (from -quality-out): sample costs strictly increasing, recall
 // non-decreasing within [0, 1], and AUC in [0, 1]. With -events it
 // validates a structured JSON event log (from cmd/proger -events):
-// one JSON object per line with a non-empty "event" name, a gap-free
-// strictly-increasing "seq", segregated wall-clock fields only
-// (no slog "time"/"level" keys), run.start first / run.end last, and
-// per-(job, phase) task accounting (done + failed never exceeds
-// starts). Distributed-transport events (worker.register, lease,
-// lease.expire) must carry their identity keys, leases imply a
-// registered worker, and expiries never exceed grants. Used by
-// `make trace-demo` and scripts/check.sh as a CI-grade sanity check.
+// one JSON object per line with a non-empty "event" name, segregated
+// wall-clock fields only (no slog "time"/"level" keys), run.start
+// first / run.end last, and per-(proc, job, phase) task accounting
+// (done + failed never exceeds starts). The log may merge events from
+// several processes: each line carries an optional "proc" identity key
+// ("w<id>" for a forked worker, absent for the host process), "seq" is
+// gap-free and strictly increasing per process, the run envelope
+// (run.start/run.end) belongs to the host, a worker proc may only
+// appear after the host logged its worker.register, and job accounting
+// is strict for the host but relaxed for workers (a killed worker ends
+// fewer jobs than it starts). Distributed-transport events
+// (worker.register, lease, lease.expire) must carry their identity
+// keys, leases imply a registered worker, and expiries never exceed
+// grants — globally and per worker. Used by `make trace-demo` and
+// scripts/check.sh as a CI-grade sanity check.
 //
 // Usage: tracecheck [-quality QUALITY_FILE] [-events EVENTS_FILE] [TRACE_FILE [required-cat ...]]
 package main
@@ -24,7 +31,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -77,7 +86,13 @@ func main() {
 	}
 }
 
-// checkEvents validates a structured JSON-lines event log.
+// procRE matches the identity key of a forked worker's forwarded
+// events; the host's own events carry no "proc" field at all.
+var procRE = regexp.MustCompile(`^w([0-9]+)$`)
+
+// checkEvents validates a structured JSON-lines event log, possibly
+// merged from several processes (see the package comment for the
+// multi-process grammar).
 func checkEvents(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -85,12 +100,19 @@ func checkEvents(path string) error {
 	}
 	defer f.Close()
 
-	type phaseKey struct{ job, phase string }
+	type phaseKey struct{ proc, job, phase string }
+	type jobKey struct{ proc, name string }
 	starts := map[phaseKey]int{}
 	dones := map[phaseKey]int{}
+	jobStarts := map[jobKey]int{}
+	jobEnds := map[jobKey]int{}
 	names := map[string]int{}
-	var first, last string
-	lines, prevSeq := 0, 0
+	seqs := map[string]int{}     // per-proc last seq
+	registered := map[int]bool{} // worker IDs seen in worker.register
+	grants := map[int]int{}      // per-worker lease grants
+	expiries := map[int]int{}    // per-worker lease expiries
+	var first, last, lastProc string
+	lines := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -111,35 +133,65 @@ func checkEvents(path string) error {
 				return fmt.Errorf("%s: line %d (%s): leaked slog field %q", path, lines, name, banned)
 			}
 		}
-		seq, ok := ev["seq"].(float64)
-		if !ok || int(seq) != prevSeq+1 {
-			return fmt.Errorf("%s: line %d (%s): seq %v, want %d", path, lines, name, ev["seq"], prevSeq+1)
+		proc := ""
+		if p, ok := ev["proc"]; ok {
+			proc, _ = p.(string)
+			m := procRE.FindStringSubmatch(proc)
+			if m == nil {
+				return fmt.Errorf("%s: line %d (%s): bad proc %v", path, lines, name, ev["proc"])
+			}
+			id, _ := strconv.Atoi(m[1])
+			if !registered[id] {
+				return fmt.Errorf("%s: line %d (%s): proc %q before worker.register", path, lines, name, proc)
+			}
 		}
-		prevSeq = int(seq)
+		seq, ok := ev["seq"].(float64)
+		if !ok || int(seq) != seqs[proc]+1 {
+			return fmt.Errorf("%s: line %d (%s, proc %q): seq %v, want %d", path, lines, name, proc, ev["seq"], seqs[proc]+1)
+		}
+		seqs[proc] = int(seq)
 		if ms, ok := ev["wall_ms"].(float64); !ok || ms < 0 {
 			return fmt.Errorf("%s: line %d (%s): bad wall_ms %v", path, lines, name, ev["wall_ms"])
 		}
 		if first == "" {
-			first = name
+			first, lastProc = name, proc
+			if proc != "" {
+				return fmt.Errorf("%s: line %d: first event from proc %q, want host run.start", path, lines, proc)
+			}
 		}
-		last = name
+		last, lastProc = name, proc
 		names[name]++
 		job, _ := ev["job"].(string)
 		phase, _ := ev["phase"].(string)
 		switch name {
+		case "job.start":
+			jobStarts[jobKey{proc, job}]++
+		case "job.end":
+			jobEnds[jobKey{proc, job}]++
 		case "task.start":
-			starts[phaseKey{job, phase}]++
+			starts[phaseKey{proc, job, phase}]++
 		case "task.done", "task.failed":
-			dones[phaseKey{job, phase}]++
+			dones[phaseKey{proc, job, phase}]++
 		case "worker.register":
-			if _, ok := ev["worker"].(float64); !ok {
+			id, ok := ev["worker"].(float64)
+			if !ok {
 				return fmt.Errorf("%s: line %d (%s): missing worker id", path, lines, name)
 			}
+			if proc != "" {
+				return fmt.Errorf("%s: line %d (%s): registration must come from the host, got proc %q", path, lines, name, proc)
+			}
+			registered[int(id)] = true
 		case "lease", "lease.expire":
 			for _, key := range []string{"worker", "lease", "task"} {
 				if _, ok := ev[key].(float64); !ok {
 					return fmt.Errorf("%s: line %d (%s): missing %q", path, lines, name, key)
 				}
+			}
+			id := int(ev["worker"].(float64))
+			if name == "lease" {
+				grants[id]++
+			} else {
+				expiries[id]++
 			}
 		}
 	}
@@ -152,27 +204,51 @@ func checkEvents(path string) error {
 	if first != "run.start" {
 		return fmt.Errorf("%s: first event %q, want run.start", path, first)
 	}
-	if last != "run.end" {
-		return fmt.Errorf("%s: last event %q, want run.end", path, last)
+	if last != "run.end" || lastProc != "" {
+		return fmt.Errorf("%s: last event %q (proc %q), want host run.end", path, last, lastProc)
 	}
-	if names["job.start"] == 0 || names["job.start"] != names["job.end"] {
-		return fmt.Errorf("%s: %d job.start vs %d job.end", path, names["job.start"], names["job.end"])
+	if names["job.start"] == 0 {
+		return fmt.Errorf("%s: no job.start events", path)
+	}
+	// Job accounting is strict for the host; a worker killed mid-run
+	// legitimately forwards fewer job.end events than job.start ones.
+	for k, n := range jobStarts {
+		e := jobEnds[k]
+		if k.proc == "" && e != n {
+			return fmt.Errorf("%s: job %q: %d job.start vs %d job.end", path, k.name, n, e)
+		}
+		if e > n {
+			return fmt.Errorf("%s: proc %q job %q: %d job.end exceed %d job.start", path, k.proc, k.name, e, n)
+		}
+	}
+	for k, e := range jobEnds {
+		if jobStarts[k] == 0 {
+			return fmt.Errorf("%s: proc %q job %q: %d job.end without job.start", path, k.proc, k.name, e)
+		}
 	}
 	for k, n := range dones {
 		if s := starts[k]; n > s {
-			return fmt.Errorf("%s: %s/%s: %d task completions exceed %d starts", path, k.job, k.phase, n, s)
+			return fmt.Errorf("%s: proc %q %s/%s: %d task completions exceed %d starts", path, k.proc, k.job, k.phase, n, s)
 		}
 	}
 	// Distributed-transport events: a lease cannot exist without a
-	// registered worker, and expiries are a subset of grants.
+	// registered worker, and expiries are a subset of grants — per
+	// worker and therefore globally.
 	if names["lease"] > 0 && names["worker.register"] == 0 {
 		return fmt.Errorf("%s: %d leases but no worker.register", path, names["lease"])
 	}
-	if names["lease.expire"] > names["lease"] {
-		return fmt.Errorf("%s: %d lease expiries exceed %d grants", path, names["lease.expire"], names["lease"])
+	for id, g := range grants {
+		if !registered[id] {
+			return fmt.Errorf("%s: worker %d: %d leases without worker.register", path, id, g)
+		}
 	}
-	fmt.Printf("tracecheck: %s ok — %d events (%d task starts), %d jobs, kinds %v\n",
-		path, lines, names["task.start"], names["job.start"], catNames(names))
+	for id, e := range expiries {
+		if g := grants[id]; e > g {
+			return fmt.Errorf("%s: worker %d: %d lease expiries exceed %d grants", path, id, e, g)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok — %d events (%d task starts), %d jobs, %d procs, kinds %v\n",
+		path, lines, names["task.start"], names["job.start"], len(seqs), catNames(names))
 	return nil
 }
 
